@@ -1,0 +1,245 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Section 5) from the simulator, then runs one Bechamel
+    micro-benchmark per table on the corresponding compile pipeline.
+
+    Output sections are labelled with the paper artifact they reproduce;
+    EXPERIMENTS.md records the shape comparison against the published
+    numbers.
+
+    Environment:
+    - [BENCH_SCALE] (default 4): workload scale factor. *)
+
+module E = Nullelim_experiments.Experiments
+module Config = Nullelim.Config
+module Arch = Nullelim.Arch
+module Compiler = Nullelim.Compiler
+module W = Nullelim_workloads.Workload
+module Registry = Nullelim_workloads.Registry
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let line = String.make 78 '-'
+
+let section title paper =
+  Fmt.pr "@.%s@.%s   [reproduces %s]@.%s@." line title paper line
+
+(* ------------------------------------------------------------------ *)
+(* Table formatting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_score_table ~unit (rows : E.row list) =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let configs = List.map (fun (c : E.cell) -> c.E.config) first.E.cells in
+    Fmt.pr "%-18s" unit;
+    List.iter (fun c -> Fmt.pr " %20s" c) configs;
+    Fmt.pr "@.";
+    List.iter
+      (fun (r : E.row) ->
+        Fmt.pr "%-18s" r.E.workload;
+        List.iter (fun (c : E.cell) -> Fmt.pr " %20.4f" c.E.value) r.E.cells;
+        Fmt.pr "@.")
+      rows
+
+let pp_improvement_table (rows : E.row list) =
+  pp_score_table ~unit:"(improvement %)" rows
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "jBYTEmark scores on IA32/Windows (index, larger is better)"
+    "Table 1";
+  let rows = E.table1 ~scale in
+  pp_score_table ~unit:"(index)" rows;
+  rows
+
+let figure8 rows =
+  section "jBYTEmark improvement over No-Null-Opt/No-Trap baseline"
+    "Figure 8";
+  pp_improvement_table
+    (E.improvements ~baseline:"no-null-opt-no-trap" ~higher_better:true rows)
+
+let table2 () =
+  section "SPECjvm98 times on IA32/Windows (seconds, smaller is better)"
+    "Table 2";
+  let rows = E.table2 ~scale in
+  pp_score_table ~unit:"(sec)" rows;
+  rows
+
+let figure9 rows =
+  section "SPECjvm98 improvement over No-Null-Opt/No-Trap baseline"
+    "Figure 9";
+  pp_improvement_table
+    (E.improvements ~baseline:"no-null-opt-no-trap" ~higher_better:false rows)
+
+let figure10 rows =
+  section "jBYTEmark: our JIT relative to the HotSpot-model comparator"
+    "Figure 10";
+  pp_score_table ~unit:"(ratio, >1 = ours)"
+    (E.versus_hotspot ~higher_better:true rows)
+
+let figure11 rows =
+  section "SPECjvm98: our JIT relative to the HotSpot-model comparator"
+    "Figure 11";
+  pp_score_table ~unit:"(ratio, >1 = ours)"
+    (E.versus_hotspot ~higher_better:false rows)
+
+let table3 () =
+  section
+    "SPECjvm98 first run / best run / compilation time (ours vs \
+     HotSpot-model)"
+    "Table 3 / Figure 12";
+  Fmt.pr "%-12s %31s   %31s@." "" "ours (new-phase1+2)" "hotspot-model";
+  Fmt.pr "%-12s %10s %10s %9s   %10s %10s %9s@." "" "first" "best" "comp%"
+    "first" "best" "comp%";
+  let ours = E.table3 ~cfg:Config.new_full ~scale in
+  let hs = E.table3 ~cfg:Config.hotspot_model ~scale in
+  List.iter2
+    (fun (o : E.compile_row) (h : E.compile_row) ->
+      let pct (r : E.compile_row) = 100. *. r.E.compile_time /. r.E.first_run in
+      Fmt.pr "%-12s %10.4f %10.4f %8.1f%%   %10.4f %10.4f %8.1f%%@."
+        o.E.cw_name o.E.first_run o.E.best_run (pct o) h.E.first_run
+        h.E.best_run (pct h))
+    ours hs
+
+let table4 () =
+  section "Breakdown of JIT compilation time: null-check opt vs. others"
+    "Table 4 / Figure 13";
+  Fmt.pr "%-24s %4s %14s %14s %8s@." "" "" "nullcheck (s)" "others (s)" "nc %";
+  let rows = E.table4 ~scale in
+  List.iter
+    (fun (r : E.breakdown_row) ->
+      let pr tag nc ot =
+        Fmt.pr "%-24s %4s %14.5f %14.5f %7.2f%%@." r.E.bw_name tag nc ot
+          (100. *. nc /. (nc +. ot))
+      in
+      pr "NEW" r.E.new_nullcheck r.E.new_other;
+      pr "OLD" r.E.old_nullcheck r.E.old_other)
+    rows;
+  rows
+
+let table5 rows =
+  section "Increase in total JIT compilation time (new vs old)" "Table 5";
+  Fmt.pr "%-24s %14s %10s@." "" "delta (s)" "delta (%)";
+  List.iter
+    (fun (name, ds, pct) -> Fmt.pr "%-24s %14.5f %9.2f%%@." name ds pct)
+    (E.table5 rows)
+
+let table6 () =
+  section "jBYTEmark on AIX/PowerPC (index, larger is better)" "Table 6";
+  let rows = E.table6 ~scale in
+  pp_score_table ~unit:"(index)" rows;
+  rows
+
+let figure14 rows =
+  section "jBYTEmark improvement on AIX over No-Null-Check-Optimization"
+    "Figure 14";
+  pp_improvement_table
+    (E.improvements ~baseline:"aix-no-null-opt" ~higher_better:true rows)
+
+let table7 () =
+  section "SPECjvm98 on AIX/PowerPC (seconds, smaller is better)" "Table 7";
+  let rows = E.table7 ~scale in
+  pp_score_table ~unit:"(sec)" rows;
+  rows
+
+let figure15 rows =
+  section "SPECjvm98 improvement on AIX over No-Null-Check-Optimization"
+    "Figure 15";
+  pp_improvement_table
+    (E.improvements ~baseline:"aix-no-null-opt" ~higher_better:false rows)
+
+let ablation () =
+  section
+    "Ablation: iteration count (Figure 2's claim), inlining, array opts \
+     (cycles, smaller is better)"
+    "design choices (DESIGN.md)";
+  pp_score_table ~unit:"(cycles)" (E.ablation ~scale)
+
+let check_statistics () =
+  section "Static and dynamic null-check counts (full config, IA32)"
+    "supplementary";
+  Fmt.pr "%-18s %8s %10s %10s %12s %12s@." "" "raw" "expl(st)" "impl(st)"
+    "expl(dyn)" "impl(dyn)";
+  List.iter
+    (fun (r : E.check_row) ->
+      Fmt.pr "%-18s %8d %10d %10d %12d %12d@." r.E.sw_name r.E.raw
+        r.E.explicit_static r.E.implicit_static r.E.explicit_dynamic
+        r.E.implicit_dynamic)
+    (E.check_stats ~arch:Arch.ia32_windows Config.new_full ~scale:1)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table, measuring the   *)
+(* compile pipeline that the table exercises.                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  section "Bechamel: compile-pipeline timings (one test per table)"
+    "methodology";
+  let open Bechamel in
+  let compile_test name (cfg : Config.t) ~arch (wname : string) =
+    let w = Option.get (Registry.find wname) in
+    let prog = w.W.build ~scale:1 in
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Compiler.compile cfg ~arch prog)))
+  in
+  let tests =
+    [
+      compile_test "table1:jbytemark-full-ia32" Config.new_full
+        ~arch:Arch.ia32_windows "assignment";
+      compile_test "table2:specjvm-full-ia32" Config.new_full
+        ~arch:Arch.ia32_windows "mtrt";
+      compile_test "table3:javac-full" Config.new_full ~arch:Arch.ia32_windows
+        "javac";
+      compile_test "table4:javac-old" Config.old_null_check
+        ~arch:Arch.ia32_windows "javac";
+      compile_test "table5:jbytemark-old" Config.old_null_check
+        ~arch:Arch.ia32_windows "assignment";
+      compile_test "table6:jbytemark-speculation-aix" Config.aix_speculation
+        ~arch:Arch.ppc_aix "neural-net";
+      compile_test "table7:specjvm-speculation-aix" Config.aix_speculation
+        ~arch:Arch.ppc_aix "jess";
+    ]
+  in
+  let test = Test.make_grouped ~name:"compile" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some [ est ] -> Fmt.pr "%-44s %14.1f ns/compile@." name est
+      | _ -> Fmt.pr "%-44s (no estimate)@." name)
+    (List.sort compare names)
+
+let () =
+  Fmt.pr "nullelim benchmark harness — scale %d@." scale;
+  Fmt.pr "reproducing: Kawahito, Komatsu, Nakatani — ASPLOS 2000@.";
+  let t1 = table1 () in
+  figure8 t1;
+  let t2 = table2 () in
+  figure9 t2;
+  figure10 t1;
+  figure11 t2;
+  table3 ();
+  let t4 = table4 () in
+  table5 t4;
+  let t6 = table6 () in
+  figure14 t6;
+  let t7 = table7 () in
+  figure15 t7;
+  ablation ();
+  check_statistics ();
+  bechamel_suite ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,159 @@
+(** nullelim CLI: list/run workloads, dump IR before/after optimization,
+    verify compiled programs. *)
+
+open Nullelim
+module W = Nullelim_workloads.Workload
+module Registry = Nullelim_workloads.Registry
+
+let arch_conv =
+  let parse s =
+    match Arch.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg ("unknown architecture: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf a -> Fmt.string ppf a.Arch.name)
+
+let config_conv =
+  let parse s =
+    match Config.by_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg ("unknown config: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf c -> Fmt.string ppf c.Config.name)
+
+let arch_arg =
+  Cmdliner.Arg.(
+    value
+    & opt arch_conv Arch.ia32_windows
+    & info [ "a"; "arch" ] ~docv:"ARCH"
+        ~doc:"Target architecture: ia32-windows, ppc-aix, sparc, no-trap.")
+
+let config_arg =
+  Cmdliner.Arg.(
+    value
+    & opt config_conv Config.new_full
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:
+          "JIT configuration (see `nullelim list-configs'); default \
+           new-phase1+2.")
+
+let scale_arg =
+  Cmdliner.Arg.(
+    value & opt int 1
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let workload_arg =
+  Cmdliner.Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `nullelim list').")
+
+let find_workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None ->
+    Fmt.epr "unknown workload %s; try `nullelim list'@." name;
+    exit 2
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List available workloads." in
+  let run () =
+    List.iter
+      (fun (w : W.t) ->
+        Fmt.pr "%-18s %-10s %s@." w.W.name
+          (match w.W.suite with W.Jbytemark -> "jBYTEmark" | W.Specjvm -> "SPECjvm98")
+          w.W.description)
+      (Registry.all ())
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "list" ~doc)
+    Cmdliner.Term.(const run $ const ())
+
+let list_configs_cmd =
+  let doc = "List JIT configurations." in
+  let run () =
+    List.iter
+      (fun (c : Config.t) -> Fmt.pr "%s@." c.Config.name)
+      (Config.windows_suite @ Config.aix_suite)
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "list-configs" ~doc)
+    Cmdliner.Term.(const run $ const ())
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Compile and run a workload, printing counters and checksum." in
+  let run arch cfg scale name =
+    let w = find_workload name in
+    let prog = w.W.build ~scale in
+    let compiled = Compiler.compile cfg ~arch prog in
+    let r = Interp.run ~arch compiled.Compiler.program [] in
+    let c = r.Interp.counters in
+    Fmt.pr "workload       : %s (scale %d)@." w.W.name scale;
+    Fmt.pr "config / arch  : %s / %s@." cfg.Config.name arch.Arch.name;
+    Fmt.pr "outcome        : %a@." Interp.pp_outcome r.Interp.outcome;
+    Fmt.pr "expected       : %d@." (w.W.expected ~scale);
+    Fmt.pr "cycles         : %d@." c.Interp.cycles;
+    Fmt.pr "instructions   : %d@." c.Interp.instrs;
+    Fmt.pr "explicit checks: %d@." c.Interp.explicit_checks;
+    Fmt.pr "implicit checks: %d@." c.Interp.implicit_checks;
+    Fmt.pr "bound checks   : %d@." c.Interp.bound_checks;
+    Fmt.pr "loads / stores : %d / %d@." c.Interp.loads c.Interp.stores;
+    Fmt.pr "calls / allocs : %d / %d@." c.Interp.calls c.Interp.allocs;
+    Fmt.pr "static explicit: %d (of %d raw)@."
+      compiled.Compiler.checks.Compiler.explicit_after
+      compiled.Compiler.checks.Compiler.raw_checks;
+    Fmt.pr "static implicit: %d@." compiled.Compiler.checks.Compiler.implicit_after;
+    Fmt.pr "compile time   : %.4f s@." compiled.Compiler.compile_seconds
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
+    Cmdliner.Term.(const run $ arch_arg $ config_arg $ scale_arg $ workload_arg)
+
+(* --- dump ---------------------------------------------------------- *)
+
+let dump_cmd =
+  let doc = "Dump a workload's IR, raw or after a configuration." in
+  let raw_arg =
+    Cmdliner.Arg.(value & flag & info [ "raw" ] ~doc:"Dump unoptimized IR.")
+  in
+  let run arch cfg scale raw name =
+    let w = find_workload name in
+    let prog = w.W.build ~scale in
+    let prog =
+      if raw then prog else (Compiler.compile cfg ~arch prog).Compiler.program
+    in
+    Fmt.pr "%a@." Ir_pp.pp_program prog
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "dump" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ config_arg $ scale_arg $ raw_arg $ workload_arg)
+
+(* --- verify -------------------------------------------------------- *)
+
+let verify_cmd =
+  let doc =
+    "Compile a workload and verify the implicit-check soundness contract."
+  in
+  let run arch cfg scale name =
+    let w = find_workload name in
+    let prog = w.W.build ~scale in
+    let compiled = Compiler.compile cfg ~arch prog in
+    match Verify.verify_program ~arch compiled.Compiler.program with
+    | [] ->
+      Fmt.pr "OK: no violations@.";
+      exit 0
+    | vs ->
+      List.iter (fun vi -> Fmt.pr "%a@." Verify.pp_violation vi) vs;
+      exit 1
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "verify" ~doc)
+    Cmdliner.Term.(const run $ arch_arg $ config_arg $ scale_arg $ workload_arg)
+
+let () =
+  let doc = "null-check elimination reproduction (ASPLOS 2000)" in
+  let info = Cmdliner.Cmd.info "nullelim" ~doc in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info
+          [ list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd ]))

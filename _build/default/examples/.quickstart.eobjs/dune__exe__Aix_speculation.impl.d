@@ -1,0 +1,1 @@
+examples/aix_speculation.ml: Arch Builder Compiler Config Fmt Interp Ir Ir_pp Nullelim

@@ -1,0 +1,1 @@
+examples/aix_speculation.mli:

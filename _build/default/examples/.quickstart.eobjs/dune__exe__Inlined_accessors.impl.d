@@ -1,0 +1,1 @@
+examples/inlined_accessors.ml: Arch Builder Copyprop Dce Fmt Hashtbl Inline Interp Ir Ir_pp List Nullelim Phase2 Simplify_cfg Value

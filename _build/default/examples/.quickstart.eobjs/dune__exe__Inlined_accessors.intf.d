@@ -1,0 +1,1 @@
+examples/inlined_accessors.mli:

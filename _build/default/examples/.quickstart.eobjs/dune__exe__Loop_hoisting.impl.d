@@ -1,0 +1,1 @@
+examples/loop_hoisting.ml: Arch Boundcheck Builder Compiler Config Copyprop Dce Fmt Interp Ir Ir_pp List Nullelim Phase1 Printf Scalar_repl

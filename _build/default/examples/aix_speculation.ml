@@ -1,0 +1,72 @@
+(** The Figure 6 / Section 5.4 scenario: on AIX only memory writes trap,
+    so a read through a possibly-null pointer is harmless — the compiler
+    may move loads {e above} their null checks ("speculation") and out of
+    loops, even when a store barrier pins the checks inside the loop.
+
+    Run with: [dune exec examples/aix_speculation.exe] *)
+
+open Nullelim
+
+let fld_i = { Ir.fname = "I"; foffset = 16; fkind = Ir.Kint }
+
+let cls =
+  { Ir.cname = "Counter"; csuper = None; cfields = [ fld_i ]; cmethods = [] }
+
+(* Figure 6's loop:  do { total += b[a.I++]; } while (cond)
+   The store a.I = t is a barrier: nullcheck b cannot move above it, so
+   without speculation "arraylength b" is stuck in the loop. *)
+let kernel () =
+  let open Builder in
+  let b = create ~name:"kernel" ~params:[ "a"; "b"; "n" ] () in
+  let a = param b 0 and arr = param b 1 and n = param b 2 in
+  let total = fresh ~name:"total" b and t = fresh ~name:"t" b in
+  let x = fresh ~name:"x" b and k = fresh ~name:"k" b in
+  emit b (Move (total, Cint 0));
+  count_do b ~v:k ~from:(Cint 0) ~limit:(Var n) (fun b ->
+      getfield b ~dst:t ~obj:a fld_i;
+      emit b (Binop (t, Add, Var t, Cint 1));
+      putfield b ~obj:a fld_i (Var t);
+      (* barrier ^ ; the checks of [arr] below cannot move up *)
+      emit b (Binop (t, Rem, Var t, Cint 8));
+      aload b ~kind:Ir.Kint ~dst:x ~arr (Var t);
+      emit b (Binop (total, Add, Var total, Var x)));
+  terminate b (Return (Some (Var total)));
+  finish b
+
+let () =
+  let aix = Arch.ppc_aix in
+  let prog =
+    let open Builder in
+    let main =
+      let b = create ~name:"main" ~params:[] () in
+      let a = fresh ~name:"a" b and arr = fresh ~name:"arr" b in
+      let i = fresh b and r = fresh b in
+      emit b (New_object (a, "Counter"));
+      emit b (New_array (arr, Ir.Kint, Cint 8));
+      count_do b ~v:i ~from:(Cint 0) ~limit:(Cint 8) (fun b ->
+          astore b ~kind:Ir.Kint ~arr (Var i) (Var i));
+      scall b ~dst:r "kernel" [ Var a; Var arr; Cint 50 ];
+      terminate b (Return (Some (Var r)));
+      finish b
+    in
+    Builder.program ~classes:[ cls ] ~main:"main" [ main; kernel () ]
+  in
+  Fmt.pr "=== raw kernel (Figure 6(2)) ===@.%a@." Ir_pp.pp_func
+    (Ir.find_func prog "kernel");
+
+  let show name cfg =
+    let c = Compiler.compile cfg ~arch:aix prog in
+    Fmt.pr "@.=== %s ===@.%a@." name Ir_pp.pp_func
+      (Ir.find_func c.Compiler.program "kernel");
+    let r = Interp.run ~arch:aix c.Compiler.program [] in
+    Fmt.pr "%-18s %a, %d cycles, %d loads, %d explicit checks executed@."
+      name Interp.pp_outcome r.Interp.outcome r.Interp.counters.Interp.cycles
+      r.Interp.counters.Interp.loads r.Interp.counters.Interp.explicit_checks
+  in
+  (* the kernel is tiny, so keep it out-of-line for the demonstration *)
+  show "no speculation" { Config.aix_no_speculation with inline = false };
+  show "speculation" { Config.aix_speculation with inline = false };
+  Fmt.pr
+    "@.speculation hoisted [arraylength b] above its null check and out of@.\
+     the loop (Figure 6(3)); the explicit conditional-trap checks remain,@.\
+     exactly as the paper describes for AIX.@."

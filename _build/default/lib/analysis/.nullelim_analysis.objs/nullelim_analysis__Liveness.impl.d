@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array List Nullelim_cfg Nullelim_dataflow Nullelim_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Nullelim_cfg Nullelim_dataflow Nullelim_ir

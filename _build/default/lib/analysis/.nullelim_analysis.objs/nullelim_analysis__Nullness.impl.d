@@ -1,0 +1,1 @@
+lib/analysis/nullness.ml: Array Nullelim_cfg Nullelim_dataflow Nullelim_ir

@@ -1,0 +1,50 @@
+(** Backward may-analysis computing live variables; used by dead-code
+    elimination and by the random-program shrinker in the test suite. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Solver = Nullelim_dataflow.Solver
+module Cfg = Nullelim_cfg.Cfg
+
+(** Update [s] (live after instruction) to live-before, in place. *)
+let transfer_instr (s : Bitset.t) (i : Ir.instr) : unit =
+  (match Ir.def_of_instr i with
+  | Some d -> Bitset.remove_mut s d
+  | None -> ());
+  List.iter (Bitset.add_mut s) (Ir.uses_of_instr i)
+
+let block_transfer (f : Ir.func) l (outb : Bitset.t) : Bitset.t =
+  let s = Bitset.copy outb in
+  List.iter (Bitset.add_mut s) (Ir.uses_of_term (Ir.block f l).term);
+  let instrs = (Ir.block f l).instrs in
+  for k = Array.length instrs - 1 downto 0 do
+    transfer_instr s instrs.(k)
+  done;
+  s
+
+type t = { result : Solver.result; func : Ir.func }
+
+let solve (cfg : Cfg.t) : t =
+  let f = Cfg.func cfg in
+  let nv = f.fn_nvars in
+  (* A block inside a try region can transfer control to its handler
+     from ANY program point, and the handler (and everything after it)
+     may then observe the values variables held at that point — even
+     values a later instruction of the same block overwrites.  So for
+     such blocks both the live-out and the live-in are conservatively
+     the full set: no definition inside a protected block can make an
+     earlier value dead. *)
+  let handler_of l = Ir.handler_of f (Ir.block f l).breg in
+  let result =
+    Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
+      ~top:(Bitset.empty nv) ~meet:Bitset.union
+      ~transfer:(fun l s ->
+        match handler_of l with
+        | Some _ -> Bitset.full nv
+        | None -> block_transfer f l s)
+      ()
+  in
+  { result; func = f }
+
+let live_in t l = t.result.Solver.inb.(l)
+let live_out t l = t.result.Solver.outb.(l)

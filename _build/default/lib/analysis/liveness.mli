@@ -1,0 +1,16 @@
+(** Backward may-analysis: live variables.  Inside a try region every
+    variable is conservatively live (the handler can observe mid-block
+    state), which keeps dead-code elimination exception-safe. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Cfg = Nullelim_cfg.Cfg
+
+type t
+
+val solve : Cfg.t -> t
+val live_in : t -> Ir.label -> Bitset.t
+val live_out : t -> Ir.label -> Bitset.t
+
+val transfer_instr : Bitset.t -> Ir.instr -> unit
+(** In-place: update live-after to live-before. *)

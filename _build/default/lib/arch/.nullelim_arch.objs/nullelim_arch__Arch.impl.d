@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Nullelim_ir

@@ -1,0 +1,1 @@
+lib/arch/arch.mli: Nullelim_ir

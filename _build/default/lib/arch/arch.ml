@@ -1,0 +1,145 @@
+(** Architecture / operating-system models.
+
+    Section 3.3.1 of the paper identifies the two properties of the
+    platform that the architecture-dependent phase needs:
+
+    - the size of the protected trap area at address zero (accesses beyond
+      it do not fault — the "BigOffset" case of Figure 5(1)); the JVM spec
+      allows field offsets up to 512 KB, so offsets must be compared
+      against the page-protection size;
+    - which access kinds fault: Windows/IA32 faults on reads and writes;
+      AIX/PowerPC faults only on writes to the protected page ("AIX does
+      not generate an interrupt for reading from the first page"), which
+      conversely allows {e speculation} of reads across null checks;
+      SPARC/LaTTe assumes both fault.
+
+    The cost model is a coarse per-instruction cycle count used by the
+    simulating interpreter.  Absolute values are not calibrated to the
+    1999 hardware; only relative costs matter for reproducing the shape of
+    the results (e.g. an explicit check costs 1 cycle on PowerPC — a
+    conditional trap instruction — versus 2 on IA32 — compare + branch;
+    an implicit check costs 0). *)
+
+module Ir = Nullelim_ir.Ir
+
+type access = Read | Write
+
+type cost_model = {
+  c_alu : int;          (** integer ALU op, move, compare *)
+  c_fpu : int;          (** floating-point op *)
+  c_intrinsic : int;    (** sqrt/exp/log/sin/cos when inlined as instruction *)
+  c_intrinsic_call : int; (** same, when only available as an out-of-line call *)
+  c_load : int;
+  c_store : int;
+  c_branch : int;
+  c_call : int;
+  c_alloc : int;
+  c_explicit_check : int; (** explicit null check *)
+  c_bound_check : int;
+  c_print : int;
+}
+
+type t = {
+  name : string;
+  trap_area : int;                 (** bytes protected at address zero *)
+  traps_on : access -> bool;
+  has_fp_intrinsics : bool;
+      (** IA32 converts [Math.exp] etc. to an instruction; PowerPC 604e
+          does not (Section 5.4), so there they cost a call and act as a
+          scalar-replacement barrier *)
+  cost : cost_model;
+  clock_mhz : float;               (** to convert cycles to "seconds" *)
+}
+
+let base_cost =
+  {
+    c_alu = 1;
+    c_fpu = 3;
+    c_intrinsic = 20;
+    c_intrinsic_call = 60;
+    c_load = 3;
+    c_store = 3;
+    c_branch = 1;
+    c_call = 15;
+    c_alloc = 30;
+    c_explicit_check = 2;
+    c_bound_check = 2;
+    c_print = 10;
+  }
+
+(** Pentium III 600 MHz, Windows NT 4.0: reads and writes both fault on
+    the first page (4 KB). *)
+let ia32_windows =
+  {
+    name = "ia32-windows";
+    trap_area = 4096;
+    traps_on = (fun (Read | Write) -> true);
+    has_fp_intrinsics = true;
+    cost = { base_cost with c_explicit_check = 2 };
+    clock_mhz = 600.;
+  }
+
+(** PowerPC 604e 332 MHz, AIX 4.3.3: only writes fault; reads of the first
+    page silently return.  Explicit checks compile to a one-cycle
+    conditional trap instruction. *)
+let ppc_aix =
+  {
+    name = "ppc-aix";
+    trap_area = 4096;
+    traps_on = (function Write -> true | Read -> false);
+    has_fp_intrinsics = false;
+    cost = { base_cost with c_explicit_check = 1 };
+    clock_mhz = 332.;
+  }
+
+(** SPARC (the LaTTe assumption): all accesses fault. *)
+let sparc =
+  {
+    name = "sparc";
+    trap_area = 8192;
+    traps_on = (fun (Read | Write) -> true);
+    has_fp_intrinsics = false;
+    cost = { base_cost with c_explicit_check = 2 };
+    clock_mhz = 300.;
+  }
+
+(** Degenerate model used by the "No Null Opt. (No Hardware Trap)"
+    baseline: nothing faults, so every check must stay explicit. *)
+let no_trap =
+  {
+    name = "no-trap";
+    trap_area = 0;
+    traps_on = (fun (Read | Write) -> false);
+    has_fp_intrinsics = true;
+    cost = base_cost;
+    clock_mhz = 600.;
+  }
+
+let by_name = function
+  | "ia32-windows" | "ia32" | "windows" -> Some ia32_windows
+  | "ppc-aix" | "aix" | "ppc" -> Some ppc_aix
+  | "sparc" -> Some sparc
+  | "no-trap" -> Some no_trap
+  | _ -> None
+
+let all = [ ia32_windows; ppc_aix; sparc; no_trap ]
+
+(** Does dereferencing a null pointer at [offset] with the given access
+    kind raise a hardware trap on this architecture?  [offset = None]
+    means statically unknown (array element with variable index): the
+    compiler must then assume no trap. *)
+let trap_covers t ~offset ~access =
+  match offset with
+  | Some o -> t.traps_on access && o >= 0 && o < t.trap_area
+  | None -> false
+
+(** Compile-time query: can the null check of [v] be subsumed by
+    instruction [i] trapping?  True when [i] dereferences [v] at a
+    statically known offset inside the protected area with a faulting
+    access kind. *)
+let instr_traps_for t (i : Ir.instr) (v : Ir.var) =
+  match Ir.deref_site i with
+  | Some (base, offset, acc) when base = v ->
+    let access = match acc with `Read -> Read | `Write -> Write in
+    trap_covers t ~offset ~access
+  | Some _ | None -> false

@@ -1,0 +1,59 @@
+(** Architecture / operating-system models (paper Section 3.3.1): the
+    size of the protected trap area, which access kinds fault, whether
+    floating-point intrinsics exist, and the cycle cost model used by
+    the simulating interpreter.  Only relative costs matter for
+    reproducing the shape of the results. *)
+
+module Ir = Nullelim_ir.Ir
+
+type access = Read | Write
+
+type cost_model = {
+  c_alu : int;
+  c_fpu : int;
+  c_intrinsic : int;
+  c_intrinsic_call : int;
+  c_load : int;
+  c_store : int;
+  c_branch : int;
+  c_call : int;
+  c_alloc : int;
+  c_explicit_check : int;
+  c_bound_check : int;
+  c_print : int;
+}
+
+type t = {
+  name : string;
+  trap_area : int;               (** bytes protected at address zero *)
+  traps_on : access -> bool;
+  has_fp_intrinsics : bool;
+  cost : cost_model;
+  clock_mhz : float;
+}
+
+val base_cost : cost_model
+
+val ia32_windows : t
+(** Pentium III / Windows NT: reads and writes both fault. *)
+
+val ppc_aix : t
+(** PowerPC 604e / AIX: only writes fault; explicit checks are 1-cycle
+    conditional traps; no FP intrinsics. *)
+
+val sparc : t
+(** The LaTTe assumption: all accesses fault. *)
+
+val no_trap : t
+(** Nothing faults: the "No Hardware Trap" baseline model. *)
+
+val by_name : string -> t option
+val all : t list
+
+val trap_covers : t -> offset:int option -> access:access -> bool
+(** Does dereferencing null at [offset] fault?  [None] = statically
+    unknown offset (variable-index element), assumed not to fault. *)
+
+val instr_traps_for : t -> Ir.instr -> Ir.var -> bool
+(** Compile-time query: can the null check of the variable be subsumed
+    by this instruction trapping? *)

@@ -1,0 +1,1 @@
+lib/backend/codegen.ml: Array List Nullelim_arch Nullelim_ir Regalloc

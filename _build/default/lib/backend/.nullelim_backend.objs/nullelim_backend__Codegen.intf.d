@@ -1,0 +1,1 @@
+lib/backend/codegen.mli: Nullelim_arch Nullelim_ir Regalloc

@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array List Nullelim_analysis Nullelim_cfg Nullelim_dataflow Nullelim_ir Queue

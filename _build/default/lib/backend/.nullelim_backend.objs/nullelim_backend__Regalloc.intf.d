@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Nullelim_ir

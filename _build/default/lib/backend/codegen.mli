@@ -1,0 +1,18 @@
+(** Code-emission model: machine-instruction and spill statistics
+    derived from a register allocation.  Implicit null checks emit zero
+    instructions — the point of the paper's phase 2. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+type stats = {
+  machine_instrs : int;
+  spill_loads : int;
+  spill_stores : int;
+  explicit_check_instrs : int;
+  implicit_check_instrs : int; (** always 0: documents the invariant *)
+  code_bytes : int;
+}
+
+val emit_func : arch:Arch.t -> Ir.func -> Regalloc.allocation -> stats
+val run : arch:Arch.t -> ?nregs:int -> Ir.func -> stats

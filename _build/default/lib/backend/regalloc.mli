@@ -1,0 +1,26 @@
+(** Linear-scan register allocation over the IR: linearization in
+    reverse postorder, whole live intervals, spill-furthest-end.  The
+    back end substrate behind the compilation-time tables; allocation
+    quality affects emitted-code statistics, not program behaviour. *)
+
+module Ir = Nullelim_ir.Ir
+
+type location = Reg of int | Slot of int
+
+type interval = { iv_var : Ir.var; iv_start : int; iv_end : int }
+
+type allocation = {
+  locations : location array;
+  intervals : interval list;
+  nregs : int;
+  spill_slots : int;
+  linear_length : int;
+}
+
+val allocate : ?nregs:int -> Ir.func -> allocation
+val location : allocation -> Ir.var -> location
+val is_spilled : allocation -> Ir.var -> bool
+
+val check_no_overlap : allocation -> (Ir.var * Ir.var) option
+(** Allocation invariant for the tests: overlapping intervals never
+    share a register; returns a counterexample if they do. *)

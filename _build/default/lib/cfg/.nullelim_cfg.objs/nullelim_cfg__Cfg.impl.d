@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array List Nullelim_ir

@@ -1,0 +1,61 @@
+(** Dominator computation (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
+    Algorithm").  Immediate dominators over the reachable subgraph. *)
+
+type t = {
+  idom : int array; (** immediate dominator; [idom.(entry) = entry];
+                        [-1] for unreachable blocks *)
+  cfg : Cfg.t;
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.nblocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let pos l = Cfg.rpo_pos cfg l in
+  let rec intersect a b =
+    if a = b then a
+    else if pos a > pos b then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        if l <> 0 then begin
+          let processed =
+            List.filter (fun p -> idom.(p) >= 0) (Cfg.preds cfg l)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(l) <> new_idom then begin
+              idom.(l) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; cfg }
+
+let idom t l = t.idom.(l)
+
+(** [dominates t a b]: does block [a] dominate block [b]?  Every block
+    dominates itself.  Unreachable blocks dominate nothing and are
+    dominated by nothing. *)
+let dominates t a b =
+  if t.idom.(a) < 0 || t.idom.(b) < 0 then false
+  else begin
+    let rec up x = if x = a then true else if x = 0 then a = 0 else up t.idom.(x) in
+    up b
+  end
+
+(** Dominance ordering key usable for sorting blocks entry-outward. *)
+let depth t l =
+  if t.idom.(l) < 0 then max_int
+  else begin
+    let rec go x acc = if x = 0 then acc else go t.idom.(x) (acc + 1) in
+    go l 0
+  end

@@ -1,0 +1,21 @@
+(** Dominator computation (Cooper-Harvey-Kennedy) over the normal-edge
+    subgraph.  Blocks reachable only through exception edges have no
+    dominator information ([idom] = -1) and dominate nothing — the
+    clients that consult dominance (loop-invariant hoisting) treat that
+    conservatively. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int
+(** Immediate dominator; [idom t entry = entry]; [-1] when the block is
+    not reachable through normal edges. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive on normally
+    reachable blocks. *)
+
+val depth : t -> int -> int
+(** Distance from the entry in the dominator tree ([max_int] when
+    unreachable). *)

@@ -1,0 +1,108 @@
+(** Natural-loop detection and preheader insertion.
+
+    A natural loop is induced by a back edge [t -> h] where [h] dominates
+    [t]; its body is every block that can reach [t] without passing
+    through [h].  Loops sharing a header are merged.  The hoisting passes
+    (phase-1 null-check insertion indirectly, bound-check hoisting and
+    scalar replacement directly) place code in the loop's {e preheader}, a
+    dedicated block that is the unique out-of-loop predecessor of the
+    header. *)
+
+module Ir = Nullelim_ir.Ir
+
+type loop = {
+  header : int;
+  body : bool array;      (** membership per block label (pre-insertion) *)
+  latches : int list;     (** sources of back edges *)
+  mutable preheader : int option;
+}
+
+let in_loop l b = b < Array.length l.body && l.body.(b)
+
+(** Detect all natural loops, innermost (smallest body) first. *)
+let detect (cfg : Cfg.t) (dom : Dominance.t) : loop list =
+  let n = Cfg.nblocks cfg in
+  let tbl : (int, loop) Hashtbl.t = Hashtbl.create 8 in
+  for t = 0 to n - 1 do
+    if Cfg.is_reachable cfg t then
+      List.iter
+        (fun h ->
+          if Dominance.dominates dom h t then begin
+            let l =
+              match Hashtbl.find_opt tbl h with
+              | Some l -> l
+              | None ->
+                let l =
+                  { header = h; body = Array.make n false; latches = [];
+                    preheader = None }
+                in
+                l.body.(h) <- true;
+                Hashtbl.replace tbl h l;
+                l
+            in
+            (* walk backwards from the latch *)
+            let rec mark b =
+              if not l.body.(b) then begin
+                l.body.(b) <- true;
+                List.iter mark (Cfg.preds cfg b)
+              end
+            in
+            mark t;
+            Hashtbl.replace tbl h { l with latches = t :: l.latches }
+          end)
+        (Cfg.succs cfg t)
+  done;
+  let size l = Array.fold_left (fun n b -> if b then n + 1 else n) 0 l.body in
+  Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
+  |> List.sort (fun a b -> compare (size a) (size b))
+
+(** Blocks of the loop as a list. *)
+let members l =
+  let acc = ref [] in
+  Array.iteri (fun b m -> if m then acc := b :: !acc) l.body;
+  List.rev !acc
+
+(** Edges leaving the loop: [(src, dst)] with [src] in the loop and [dst]
+    outside. *)
+let exit_edges (cfg : Cfg.t) l =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun s -> if in_loop l s then None else Some (b, s))
+        (Cfg.succs cfg b))
+    (members l)
+
+(** Ensure the loop has a preheader: a block whose only successor is the
+    header and through which every loop entry passes.  Mutates the
+    function (appends a block and redirects entry edges); the caller must
+    rebuild the {!Cfg.t} afterwards.  Returns the preheader label. *)
+let ensure_preheader (f : Ir.func) (cfg : Cfg.t) (l : loop) : int =
+  match l.preheader with
+  | Some p -> p
+  | None ->
+    let outside_preds =
+      List.filter (fun p -> not (in_loop l p)) (Cfg.preds cfg l.header)
+    in
+    (match outside_preds with
+    | [ p ]
+      when (match (Ir.block f p).term with
+           | Ir.Goto h -> h = l.header
+           | _ -> false)
+           && (Ir.block f p).breg = (Ir.block f l.header).breg ->
+      (* an adequate preheader already exists *)
+      l.preheader <- Some p;
+      p
+    | _ ->
+      let ph : Ir.block =
+        { instrs = [||]; term = Goto l.header; breg = (Ir.block f l.header).breg }
+      in
+      let n = Ir.nblocks f in
+      f.fn_blocks <- Array.append f.fn_blocks [| ph |];
+      List.iter
+        (fun p ->
+          let b = Ir.block f p in
+          b.term <-
+            Ir.map_term_labels (fun t -> if t = l.header then n else t) b.term)
+        outside_preds;
+      l.preheader <- Some n;
+      n)

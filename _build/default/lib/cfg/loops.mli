@@ -1,0 +1,28 @@
+(** Natural-loop detection and preheader insertion.
+
+    A natural loop is induced by a back edge [t -> h] where [h]
+    dominates [t]; loops sharing a header are merged.  The hoisting
+    passes place code in the loop's preheader. *)
+
+module Ir = Nullelim_ir.Ir
+
+type loop = {
+  header : int;
+  body : bool array;   (** membership per (pre-insertion) block label *)
+  latches : int list;  (** sources of back edges *)
+  mutable preheader : int option;
+}
+
+val detect : Cfg.t -> Dominance.t -> loop list
+(** All natural loops, innermost (smallest body) first. *)
+
+val in_loop : loop -> int -> bool
+val members : loop -> int list
+
+val exit_edges : Cfg.t -> loop -> (int * int) list
+(** Edges [(src, dst)] with [src] in the loop and [dst] outside. *)
+
+val ensure_preheader : Ir.func -> Cfg.t -> loop -> int
+(** Ensure a dedicated out-of-loop predecessor of the header; mutates
+    the function (the caller must rebuild the {!Cfg.t}) and returns the
+    preheader label.  Idempotent. *)

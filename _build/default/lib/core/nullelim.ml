@@ -1,0 +1,78 @@
+(** Public façade of the null-check-elimination library.
+
+    {b nullelim} reproduces "Effective Null Pointer Check Elimination
+    Utilizing Hardware Trap" (Kawahito, Komatsu, Nakatani — ASPLOS 2000).
+    The modules below are aliases for the underlying libraries; see
+    DESIGN.md for the system inventory and EXPERIMENTS.md for the
+    reproduction results.
+
+    Typical use:
+
+    {[
+      let prog = (* build with Nullelim.Builder *) ... in
+      let arch = Nullelim.Arch.ia32_windows in
+      let compiled =
+        Nullelim.Compiler.compile Nullelim.Config.new_full ~arch prog
+      in
+      let result = Nullelim.Interp.run ~arch compiled.program [] in
+      Fmt.pr "%a, %d cycles@." Nullelim.Interp.pp_outcome result.outcome
+        result.counters.cycles
+    ]} *)
+
+(** {1 Intermediate representation} *)
+
+module Ir = Nullelim_ir.Ir
+module Builder = Nullelim_ir.Ir_builder
+module Ir_pp = Nullelim_ir.Ir_pp
+module Ir_validate = Nullelim_ir.Ir_validate
+
+(** {1 Control-flow graph} *)
+
+module Cfg = Nullelim_cfg.Cfg
+module Dominance = Nullelim_cfg.Dominance
+module Loops = Nullelim_cfg.Loops
+
+(** {1 Data-flow framework} *)
+
+module Bitset = Nullelim_dataflow.Bitset
+module Solver = Nullelim_dataflow.Solver
+
+(** {1 Analyses} *)
+
+module Nullness = Nullelim_analysis.Nullness
+module Liveness = Nullelim_analysis.Liveness
+
+(** {1 Architecture models} *)
+
+module Arch = Nullelim_arch.Arch
+
+(** {1 Optimizations} *)
+
+module Phase1 = Nullelim_opt.Phase1
+module Phase2 = Nullelim_opt.Phase2
+module Whaley = Nullelim_opt.Whaley
+module Naive_trap = Nullelim_opt.Naive_trap
+module Boundcheck = Nullelim_opt.Boundcheck
+module Scalar_repl = Nullelim_opt.Scalar_repl
+module Inline = Nullelim_opt.Inline
+module Copyprop = Nullelim_opt.Copyprop
+module Simplify_cfg = Nullelim_opt.Simplify_cfg
+module Dce = Nullelim_opt.Dce
+module Verify = Nullelim_opt.Verify
+module Pipeline = Nullelim_opt.Pipeline
+module Opt_util = Nullelim_opt.Opt_util
+
+(** {1 Back end} *)
+
+module Regalloc = Nullelim_backend.Regalloc
+module Codegen = Nullelim_backend.Codegen
+
+(** {1 Virtual machine (simulator)} *)
+
+module Value = Nullelim_vm.Value
+module Interp = Nullelim_vm.Interp
+
+(** {1 JIT driver} *)
+
+module Config = Nullelim_jit.Config
+module Compiler = Nullelim_jit.Compiler

@@ -1,0 +1,1 @@
+lib/dataflow/bitset.ml: Array List String Sys

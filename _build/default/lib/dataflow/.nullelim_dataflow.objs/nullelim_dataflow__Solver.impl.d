@@ -1,0 +1,1 @@
+lib/dataflow/solver.ml: Array Bitset List Nullelim_cfg

@@ -1,0 +1,1 @@
+lib/dataflow/solver.mli: Bitset Nullelim_cfg

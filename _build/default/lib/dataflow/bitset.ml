@@ -1,0 +1,100 @@
+(** Fixed-universe bit sets for data-flow analysis.
+
+    A set carries its universe size so that complement is well defined.
+    Operations are functional (they return fresh sets) — the data-flow
+    solver relies on that for change detection; sizes in this code base are
+    tiny (universe = number of variables of a function), so the copies are
+    cheap. *)
+
+type t = { size : int; bits : int array }
+
+let word_bits = Sys.int_size
+let nwords size = (size + word_bits - 1) / word_bits
+
+let empty size = { size; bits = Array.make (nwords size) 0 }
+
+let full size =
+  let w = nwords size in
+  let bits = Array.make w (-1) in
+  (* mask off the tail so equal-looking sets are structurally equal *)
+  let rem = size mod word_bits in
+  if w > 0 && rem <> 0 then bits.(w - 1) <- (1 lsl rem) - 1;
+  { size; bits }
+
+let copy s = { s with bits = Array.copy s.bits }
+let size s = s.size
+
+let check s i =
+  if i < 0 || i >= s.size then invalid_arg "Bitset: index out of universe"
+
+let mem i s =
+  check s i;
+  s.bits.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add i s =
+  check s i;
+  let t = copy s in
+  t.bits.(i / word_bits) <- t.bits.(i / word_bits) lor (1 lsl (i mod word_bits));
+  t
+
+let remove i s =
+  check s i;
+  let t = copy s in
+  t.bits.(i / word_bits) <-
+    t.bits.(i / word_bits) land lnot (1 lsl (i mod word_bits));
+  t
+
+(* in-place variants for hot local loops *)
+let add_mut s i =
+  check s i;
+  s.bits.(i / word_bits) <- s.bits.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove_mut s i =
+  check s i;
+  s.bits.(i / word_bits) <-
+    s.bits.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let clear_mut s = Array.fill s.bits 0 (Array.length s.bits) 0
+
+let lift2 op a b =
+  if a.size <> b.size then invalid_arg "Bitset: universe mismatch";
+  { size = a.size; bits = Array.init (Array.length a.bits) (fun i -> op a.bits.(i) b.bits.(i)) }
+
+let union = lift2 ( lor )
+let inter = lift2 ( land )
+let diff = lift2 (fun x y -> x land lnot y)
+
+let complement s = diff (full s.size) s
+
+let equal a b = a.size = b.size && a.bits = b.bits
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.bits
+
+let cardinal s =
+  let pop w =
+    let rec go w n = if w = 0 then n else go (w land (w - 1)) (n + 1) in
+    go w 0
+  in
+  Array.fold_left (fun n w -> n + pop w) 0 s.bits
+
+let iter g s =
+  for i = 0 to s.size - 1 do
+    if mem i s then g i
+  done
+
+let fold g s acc =
+  let acc = ref acc in
+  iter (fun i -> acc := g i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list size l =
+  let s = empty size in
+  List.iter (fun i -> add_mut s i) l;
+  s
+
+let to_string s =
+  "{" ^ String.concat "," (List.map string_of_int (elements s)) ^ "}"
+
+let subset a b = equal (diff a b) (empty a.size)

@@ -1,0 +1,42 @@
+(** Fixed-universe bit sets for data-flow analysis.
+
+    Every set carries its universe size, so {!complement} is total and
+    {!full} is representable.  The binary operations require both
+    operands to share a universe and raise [Invalid_argument] otherwise.
+    The main operations are functional; the [_mut] variants mutate in
+    place and are meant for building sets inside block-local loops. *)
+
+type t
+
+val empty : int -> t
+(** [empty size] is the empty set over a universe of [size] elements. *)
+
+val full : int -> t
+(** [full size] contains every element of the universe. *)
+
+val of_list : int -> int list -> t
+val copy : t -> t
+val size : t -> int
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val add_mut : t -> int -> unit
+val remove_mut : t -> int -> unit
+val clear_mut : t -> unit
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val to_string : t -> string

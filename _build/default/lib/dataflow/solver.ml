@@ -1,0 +1,90 @@
+(** Generic iterative bit-vector data-flow solver.
+
+    All four analyses of the paper (Sections 4.1.1, 4.1.2, 4.2.1, 4.2.2)
+    and the auxiliary analyses (nullness, liveness, availability) are
+    instances of this solver.  The client supplies:
+
+    - the direction;
+    - the meet used to combine facts flowing into a node ([inter] for
+      all-paths/must problems, [union] for any-path/may problems);
+    - a per-edge transfer [edge ~src ~dst fact] — this is where the
+      paper's [Edge_try(m,n)] kill and [Edge(m,n)] gen live;
+    - a per-block transfer;
+    - the boundary value for blocks with no incoming edges (the entry for
+      forward problems, returns/throws for backward ones);
+    - the initial interior value ([top]): the full set for must problems,
+      the empty set for may problems.
+
+    The solver iterates over the reachable blocks in reverse postorder
+    (forward) or postorder (backward) until a fixpoint.  Unreachable
+    blocks keep [top]. *)
+
+module Cfg = Nullelim_cfg.Cfg
+
+type direction = Forward | Backward
+
+type result = { inb : Bitset.t array; outb : Bitset.t array }
+(** [inb.(l)] / [outb.(l)] are the facts at block entry / exit.  For
+    backward problems "in" is still block entry and "out" block exit. *)
+
+let solve ~(dir : direction) ~(cfg : Cfg.t)
+    ~(boundary : Bitset.t)
+    ~(top : Bitset.t)
+    ~(meet : Bitset.t -> Bitset.t -> Bitset.t)
+    ?(edge = fun ~src:_ ~dst:_ s -> s)
+    ?(boundary_blocks = ([] : int list))
+    ~(transfer : int -> Bitset.t -> Bitset.t) () : result =
+  let n = Cfg.nblocks cfg in
+  let inb = Array.make n top and outb = Array.make n top in
+  let order = Cfg.reverse_postorder cfg in
+  let order =
+    match dir with
+    | Forward -> order
+    | Backward ->
+      let r = Array.copy order in
+      let len = Array.length r in
+      Array.init len (fun i -> r.(len - 1 - i))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        match dir with
+        | Forward ->
+          let incoming =
+            List.map (fun p -> edge ~src:p ~dst:l outb.(p)) (Cfg.preds cfg l)
+          in
+          let i =
+            (* boundary blocks (exception handlers) are entered with no
+               accumulated facts regardless of syntactic predecessors *)
+            if List.mem l boundary_blocks then boundary
+            else
+              match incoming with
+              | [] -> boundary
+              | first :: rest -> List.fold_left meet first rest
+          in
+          inb.(l) <- i;
+          let o = transfer l i in
+          if not (Bitset.equal o outb.(l)) then begin
+            outb.(l) <- o;
+            changed := true
+          end
+        | Backward ->
+          let incoming =
+            List.map (fun s -> edge ~src:l ~dst:s inb.(s)) (Cfg.succs cfg l)
+          in
+          let o =
+            match incoming with
+            | [] -> boundary
+            | first :: rest -> List.fold_left meet first rest
+          in
+          outb.(l) <- o;
+          let i = transfer l o in
+          if not (Bitset.equal i inb.(l)) then begin
+            inb.(l) <- i;
+            changed := true
+          end)
+      order
+  done;
+  { inb; outb }

@@ -1,0 +1,38 @@
+(** Generic iterative bit-vector data-flow solver.
+
+    All the paper's analyses (Sections 4.1.1, 4.1.2, 4.2.1, 4.2.2) and
+    the auxiliary ones (nullness, liveness, availability) are instances.
+
+    Parameters of {!solve}:
+    - [boundary]: value for blocks with no incoming edges (function
+      entry for forward problems, exits for backward ones) and for
+      [boundary_blocks];
+    - [top]: initial interior value — [Bitset.full _] for must problems,
+      [Bitset.empty _] for may problems;
+    - [meet]: combines facts flowing into a node ([Bitset.inter] for
+      all-paths problems, [Bitset.union] for any-path ones);
+    - [edge]: per-edge transfer — the paper's [Edge_try]/[Edge] sets
+      live here;
+    - [boundary_blocks]: blocks entered exceptionally (try-region
+      handlers), whose input is forced to [boundary] regardless of
+      syntactic predecessors;
+    - [transfer]: per-block transfer function. *)
+
+module Cfg = Nullelim_cfg.Cfg
+
+type direction = Forward | Backward
+
+type result = { inb : Bitset.t array; outb : Bitset.t array }
+(** Facts at block entry ([inb]) and exit ([outb]), indexed by label. *)
+
+val solve :
+  dir:direction ->
+  cfg:Cfg.t ->
+  boundary:Bitset.t ->
+  top:Bitset.t ->
+  meet:(Bitset.t -> Bitset.t -> Bitset.t) ->
+  ?edge:(src:int -> dst:int -> Bitset.t -> Bitset.t) ->
+  ?boundary_blocks:int list ->
+  transfer:(int -> Bitset.t -> Bitset.t) ->
+  unit ->
+  result

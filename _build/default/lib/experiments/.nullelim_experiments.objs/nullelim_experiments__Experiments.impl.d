@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Fmt List Nullelim_arch Nullelim_ir Nullelim_jit Nullelim_vm Nullelim_workloads Option

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Hashtbl List Printf

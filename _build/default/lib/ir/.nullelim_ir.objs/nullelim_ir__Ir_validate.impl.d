@@ -1,0 +1,1 @@
+lib/ir/ir_validate.ml: Array Hashtbl Ir List Printf String

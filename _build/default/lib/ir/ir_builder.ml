@@ -1,0 +1,283 @@
+(** Imperative construction of IR functions.
+
+    The builder produces the "raw" form a bytecode front end would emit:
+    the high-level access helpers ({!getfield}, {!aload}, ...) insert the
+    explicit [Null_check]/[Bound_check] pseudo-instructions in front of
+    every memory operation, exactly like the intermediate representation in
+    Figure 6(2) of the paper.  The optimizer's job is then to remove or
+    cheapen them.
+
+    Structured control-flow combinators ({!do_while}, {!count_do},
+    {!if_then}, ...) build the corresponding CFG shapes.  Loops are built
+    bottom-tested (do-while), reflecting a JIT working after loop
+    inversion. *)
+
+type proto_block = {
+  mutable pinstrs : Ir.instr list; (* reversed *)
+  mutable pterm : Ir.terminator option;
+  mutable preg : Ir.region;
+}
+
+type t = {
+  name : string;
+  nparams : int;
+  is_method : bool;
+  mutable nvars : int;
+  mutable blocks : proto_block array;
+  mutable nblocks : int;
+  mutable cur : Ir.label;
+  mutable handlers : (Ir.region * Ir.label) list;
+  mutable cur_region : Ir.region;
+  var_names : (Ir.var, string) Hashtbl.t;
+}
+
+let new_proto region =
+  { pinstrs = []; pterm = None; preg = region }
+
+let create ~name ?(is_method = false) ~params () =
+  let var_names = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace var_names i n) params;
+  let b =
+    {
+      name;
+      nparams = List.length params;
+      is_method;
+      nvars = List.length params;
+      blocks = Array.make 8 (new_proto Ir.no_region);
+      nblocks = 0;
+      cur = 0;
+      handlers = [];
+      cur_region = Ir.no_region;
+      var_names;
+    }
+  in
+  (* entry block *)
+  b.blocks.(0) <- new_proto Ir.no_region;
+  b.nblocks <- 1;
+  b
+
+let param (b : t) i =
+  if i < 0 || i >= b.nparams then invalid_arg "Ir_builder.param";
+  i
+
+let fresh ?name (b : t) =
+  let v = b.nvars in
+  b.nvars <- v + 1;
+  (match name with Some s -> Hashtbl.replace b.var_names v s | None -> ());
+  v
+
+(** Allocate a new (empty, unterminated) block in the current try region. *)
+let new_block (b : t) : Ir.label =
+  if b.nblocks = Array.length b.blocks then begin
+    let bigger = Array.make (2 * b.nblocks) (new_proto Ir.no_region) in
+    Array.blit b.blocks 0 bigger 0 b.nblocks;
+    b.blocks <- bigger
+  end;
+  let l = b.nblocks in
+  b.blocks.(l) <- new_proto b.cur_region;
+  b.nblocks <- l + 1;
+  l
+
+let current (b : t) = b.cur
+let switch_to (b : t) l = b.cur <- l
+
+let emit (b : t) i =
+  let blk = b.blocks.(b.cur) in
+  (match blk.pterm with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Ir_builder.emit: block %d of %s already terminated"
+         b.cur b.name)
+  | None -> ());
+  blk.pinstrs <- i :: blk.pinstrs
+
+let terminate (b : t) t =
+  let blk = b.blocks.(b.cur) in
+  (match blk.pterm with
+  | Some _ -> invalid_arg "Ir_builder.terminate: already terminated"
+  | None -> ());
+  blk.pterm <- Some t
+
+(** Terminate the current block with a jump and switch to the target. *)
+let goto_new (b : t) : Ir.label =
+  let l = new_block b in
+  terminate b (Goto l);
+  switch_to b l;
+  l
+
+(** {1 Try regions} *)
+
+(** [with_try b ~handler body] runs [body] with all newly created blocks
+    (and emissions) placed inside a fresh try region whose handler is the
+    block built by [handler].  Control falls through to the returned join
+    label both after the protected body and after the handler. *)
+let with_try (b : t) ~(handler : t -> unit) (body : t -> unit) : unit =
+  let region = List.length b.handlers + 1 in
+  let saved_region = b.cur_region in
+  b.cur_region <- region;
+  let entry = goto_new b in
+  ignore entry;
+  body b;
+  let after_body = b.cur in
+  b.cur_region <- saved_region;
+  let handler_l = new_block b in
+  b.handlers <- (region, handler_l) :: b.handlers;
+  switch_to b handler_l;
+  handler b;
+  let after_handler = b.cur in
+  let join = new_block b in
+  switch_to b after_body;
+  terminate b (Goto join);
+  switch_to b after_handler;
+  (match b.blocks.(after_handler).pterm with
+  | None -> terminate b (Goto join)
+  | Some _ -> ());
+  switch_to b join
+
+(** {1 Structured control flow} *)
+
+(** [if_then b (c, x, y) ~then_ ?else_ ()] emits a two-armed conditional;
+    execution continues in the join block. *)
+let if_then (b : t) (c, x, y) ~(then_ : t -> unit) ?(else_ : (t -> unit) option)
+    () =
+  let lt = new_block b in
+  let lf = new_block b in
+  terminate b (If (c, x, y, lt, lf));
+  let join = new_block b in
+  switch_to b lt;
+  then_ b;
+  if (b.blocks.(b.cur)).pterm = None then terminate b (Goto join);
+  switch_to b lf;
+  (match else_ with Some f -> f b | None -> ());
+  if (b.blocks.(b.cur)).pterm = None then terminate b (Goto join);
+  switch_to b join
+
+(** [if_null b v ~null ~nonnull] branches on nullness of [v]. *)
+let if_null (b : t) v ~(null : t -> unit) ~(nonnull : t -> unit) =
+  let ln = new_block b in
+  let lnn = new_block b in
+  terminate b (Ifnull (v, ln, lnn));
+  let join = new_block b in
+  switch_to b ln;
+  null b;
+  if (b.blocks.(b.cur)).pterm = None then terminate b (Goto join);
+  switch_to b lnn;
+  nonnull b;
+  if (b.blocks.(b.cur)).pterm = None then terminate b (Goto join);
+  switch_to b join
+
+(** Bottom-tested loop: the body always executes at least once, then
+    repeats while [cond] (evaluated by emitting into the loop's last block)
+    holds. *)
+let do_while (b : t) ~(body : t -> unit) ~(cond : t -> Ir.cmp * Ir.operand * Ir.operand)
+    () =
+  let head = goto_new b in
+  body b;
+  let c, x, y = cond b in
+  let exit = new_block b in
+  terminate b (If (c, x, y, head, exit));
+  switch_to b exit
+
+(** Top-tested loop: [cond] is (re)evaluated in the loop header — its
+    emissions land there — and the body may run zero times. *)
+let while_ (b : t) ~(cond : t -> Ir.cmp * Ir.operand * Ir.operand)
+    ~(body : t -> unit) () =
+  let head = goto_new b in
+  let c, x, y = cond b in
+  let body_l = new_block b in
+  let exit = new_block b in
+  terminate b (If (c, x, y, body_l, exit));
+  switch_to b body_l;
+  body b;
+  if (b.blocks.(b.cur)).pterm = None then terminate b (Goto head);
+  switch_to b exit
+
+(** Counted bottom-tested loop: [for (v = from; ; v += step) { body; if
+    (v >= limit) break }] — i.e. [body] runs for [v = from, from+step, ...]
+    while [v < limit], and at least once.  This is the shape the paper's
+    Figures 4 and 6 use. *)
+let count_do (b : t) ~(v : Ir.var) ~(from : Ir.operand) ~(limit : Ir.operand)
+    ?(step = 1) (body : t -> unit) =
+  emit b (Move (v, from));
+  do_while b
+    ~body:(fun b ->
+      body b;
+      emit b (Binop (v, Add, Var v, Cint step)))
+    ~cond:(fun _ -> (Ir.Lt, Ir.Var v, limit))
+    ()
+
+(** {1 Java-like access helpers (raw form: checks included)} *)
+
+let getfield (b : t) ~dst ~obj fld =
+  emit b (Null_check (Explicit, obj));
+  emit b (Get_field (dst, obj, fld))
+
+let putfield (b : t) ~obj fld src =
+  emit b (Null_check (Explicit, obj));
+  emit b (Put_field (obj, fld, src))
+
+let alen (b : t) ~dst ~arr =
+  emit b (Null_check (Explicit, arr));
+  emit b (Array_length (dst, arr))
+
+(** Array read with the canonical null-check / length / bound-check
+    sequence.  [kind] is the static element type. *)
+let aload (b : t) ~kind ~dst ~arr idx =
+  emit b (Null_check (Explicit, arr));
+  let len = fresh b in
+  emit b (Array_length (len, arr));
+  emit b (Bound_check (idx, Var len));
+  emit b (Array_load (dst, arr, idx, kind))
+
+let astore (b : t) ~kind ~arr idx src =
+  emit b (Null_check (Explicit, arr));
+  let len = fresh b in
+  emit b (Array_length (len, arr));
+  emit b (Bound_check (idx, Var len));
+  emit b (Array_store (arr, idx, src, kind))
+
+(** Virtual call; the receiver is passed as the first argument.  The
+    receiver null check belongs to the dispatch sequence (method-table
+    load). *)
+let vcall (b : t) ?dst ~recv mname args =
+  emit b (Null_check (Explicit, recv));
+  emit b (Call (dst, Virtual mname, Var recv :: args))
+
+let scall (b : t) ?dst fname args = emit b (Call (dst, Static fname, args))
+
+(** {1 Finishing} *)
+
+let finish (b : t) : Ir.func =
+  let blocks =
+    Array.init b.nblocks (fun l ->
+        let p = b.blocks.(l) in
+        let term =
+          match p.pterm with
+          | Some t -> t
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Ir_builder.finish: block %d of %s unterminated"
+                 l b.name)
+        in
+        { Ir.instrs = Array.of_list (List.rev p.pinstrs);
+          term;
+          breg = p.preg })
+  in
+  {
+    Ir.fn_name = b.name;
+    fn_nparams = b.nparams;
+    fn_is_method = b.is_method;
+    fn_nvars = b.nvars;
+    fn_blocks = blocks;
+    fn_handlers = b.handlers;
+    fn_var_names = b.var_names;
+  }
+
+(** Convenience: build a whole program. *)
+let program ?(classes = []) ~main funcs : Ir.program =
+  let ctbl = Hashtbl.create 16 and ftbl = Hashtbl.create 16 in
+  List.iter (fun (c : Ir.cls) -> Hashtbl.replace ctbl c.Ir.cname c) classes;
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace ftbl f.Ir.fn_name f) funcs;
+  if not (Hashtbl.mem ftbl main) then
+    invalid_arg ("Ir_builder.program: missing main function " ^ main);
+  { Ir.classes = ctbl; funcs = ftbl; prog_main = main }

@@ -1,0 +1,103 @@
+(** Pretty-printing of the IR, in a textual form close to the paper's
+    examples ([nullcheck a], [T1 = a.I], [boundcheck T1, T3], ...). *)
+
+let pp_kind ppf = function
+  | Ir.Kint -> Fmt.string ppf "int"
+  | Ir.Kfloat -> Fmt.string ppf "float"
+  | Ir.Kref -> Fmt.string ppf "ref"
+
+let pp_cmp ppf c =
+  Fmt.string ppf
+    (match c with
+    | Ir.Eq -> "==" | Ir.Ne -> "!=" | Ir.Lt -> "<"
+    | Ir.Le -> "<=" | Ir.Gt -> ">" | Ir.Ge -> ">=")
+
+let binop_str = function
+  | Ir.Add -> "+" | Ir.Sub -> "-" | Ir.Mul -> "*" | Ir.Div -> "/"
+  | Ir.Rem -> "%" | Ir.Band -> "&" | Ir.Bor -> "|" | Ir.Bxor -> "^"
+  | Ir.Shl -> "<<" | Ir.Shr -> ">>"
+  | Ir.Fadd -> "+." | Ir.Fsub -> "-." | Ir.Fmul -> "*." | Ir.Fdiv -> "/."
+  | Ir.Icmp c | Ir.Fcmp c ->
+    (match c with
+    | Ir.Eq -> "==" | Ir.Ne -> "!=" | Ir.Lt -> "<"
+    | Ir.Le -> "<=" | Ir.Gt -> ">" | Ir.Ge -> ">=")
+
+let unop_str = function
+  | Ir.Neg -> "neg" | Ir.Fneg -> "fneg" | Ir.I2f -> "i2f" | Ir.F2i -> "f2i"
+  | Ir.Fsqrt -> "sqrt" | Ir.Fexp -> "exp" | Ir.Flog -> "log"
+  | Ir.Fsin -> "sin" | Ir.Fcos -> "cos"
+
+let pp_var f ppf v = Fmt.string ppf (Ir.var_name f v)
+
+let pp_operand f ppf = function
+  | Ir.Var v -> pp_var f ppf v
+  | Ir.Cint n -> Fmt.int ppf n
+  | Ir.Cfloat x -> Fmt.float ppf x
+  | Ir.Cnull -> Fmt.string ppf "null"
+
+let pp_instr f ppf i =
+  let v = pp_var f and o = pp_operand f in
+  match i with
+  | Ir.Move (d, s) -> Fmt.pf ppf "%a = %a" v d o s
+  | Ir.Unop (d, op, s) -> Fmt.pf ppf "%a = %s %a" v d (unop_str op) o s
+  | Ir.Binop (d, op, a, b) ->
+    Fmt.pf ppf "%a = %a %s %a" v d o a (binop_str op) o b
+  | Ir.Null_check (Explicit, x) -> Fmt.pf ppf "explicit_nullcheck %a" v x
+  | Ir.Null_check (Implicit, x) -> Fmt.pf ppf "implicit_nullcheck %a" v x
+  | Ir.Bound_check (i, l) -> Fmt.pf ppf "boundcheck %a, %a" o i o l
+  | Ir.Get_field (d, obj, fld) -> Fmt.pf ppf "%a = %a.%s" v d v obj fld.fname
+  | Ir.Put_field (obj, fld, s) -> Fmt.pf ppf "%a.%s = %a" v obj fld.fname o s
+  | Ir.Array_load (d, a, i, _) -> Fmt.pf ppf "%a = %a[%a]" v d v a o i
+  | Ir.Array_store (a, i, s, _) -> Fmt.pf ppf "%a[%a] = %a" v a o i o s
+  | Ir.Array_length (d, a) -> Fmt.pf ppf "%a = arraylength %a" v d v a
+  | Ir.New_object (d, c) -> Fmt.pf ppf "%a = new %s" v d c
+  | Ir.New_array (d, k, n) -> Fmt.pf ppf "%a = new %a[%a]" v d pp_kind k o n
+  | Ir.Call (d, tgt, args) ->
+    let name = match tgt with Ir.Static s -> s | Ir.Virtual m -> "virtual " ^ m in
+    (match d with
+    | Some d -> Fmt.pf ppf "%a = call %s(%a)" v d name Fmt.(list ~sep:comma (o)) args
+    | None -> Fmt.pf ppf "call %s(%a)" name Fmt.(list ~sep:comma (o)) args)
+  | Ir.Print s -> Fmt.pf ppf "print %a" o s
+
+let pp_term f ppf t =
+  let o = pp_operand f in
+  match t with
+  | Ir.Goto l -> Fmt.pf ppf "goto B%d" l
+  | Ir.If (c, a, b, l1, l2) ->
+    Fmt.pf ppf "if %a %a %a then B%d else B%d" o a pp_cmp c o b l1 l2
+  | Ir.Ifnull (x, l1, l2) ->
+    Fmt.pf ppf "ifnull %a then B%d else B%d" (pp_var f) x l1 l2
+  | Ir.Return None -> Fmt.string ppf "return"
+  | Ir.Return (Some x) -> Fmt.pf ppf "return %a" o x
+  | Ir.Throw s -> Fmt.pf ppf "throw %s" s
+
+let pp_block f ppf (l, b) =
+  let region =
+    if b.Ir.breg = Ir.no_region then ""
+    else Printf.sprintf "  (try region %d)" b.Ir.breg
+  in
+  Fmt.pf ppf "@[<v2>B%d:%s@," l region;
+  Array.iter (fun i -> Fmt.pf ppf "%a@," (pp_instr f) i) b.Ir.instrs;
+  Fmt.pf ppf "%a@]" (pp_term f) b.Ir.term
+
+let pp_func ppf (f : Ir.func) =
+  let params =
+    List.init f.fn_nparams (fun i -> Ir.var_name f i) |> String.concat ", "
+  in
+  Fmt.pf ppf "@[<v>%s %s(%s):@,%a@]"
+    (if f.fn_is_method then "method" else "function")
+    f.fn_name params
+    Fmt.(list ~sep:cut (pp_block f))
+    (Array.to_list (Array.mapi (fun l b -> (l, b)) f.fn_blocks));
+  if f.fn_handlers <> [] then
+    Fmt.pf ppf "@,handlers: %a"
+      Fmt.(list ~sep:comma (fun ppf (r, l) -> Fmt.pf ppf "region %d -> B%d" r l))
+      f.fn_handlers
+
+let func_to_string f = Fmt.str "%a" pp_func f
+
+let pp_program ppf (p : Ir.program) =
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) p.funcs [] in
+  List.iter
+    (fun n -> Fmt.pf ppf "%a@.@." pp_func (Hashtbl.find p.funcs n))
+    (List.sort compare names)

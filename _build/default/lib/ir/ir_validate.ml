@@ -1,0 +1,84 @@
+(** Structural validation of IR programs.
+
+    Checks performed per function:
+    - every terminator targets an existing block;
+    - every instruction references variables below [fn_nvars];
+    - every try region referenced by a block has a handler, and handlers
+      are existing blocks;
+    - all blocks are reachable from the entry (warning-level: unreachable
+      blocks are tolerated by the optimizer but reported here);
+    - virtual calls pass at least the receiver.
+
+    Returns a list of human-readable error strings; [\[\]] means valid. *)
+
+let validate_func (p : Ir.program option) (f : Ir.func) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := (f.fn_name ^ ": " ^ s) :: !errs) fmt in
+  let n = Ir.nblocks f in
+  if n = 0 then err "no blocks";
+  let check_label where l =
+    if l < 0 || l >= n then err "%s: bad label B%d" where l
+  in
+  let check_var where v =
+    if v < 0 || v >= f.fn_nvars then err "%s: bad variable %d" where v
+  in
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      let where = Printf.sprintf "B%d" bi in
+      Array.iter
+        (fun i ->
+          List.iter (check_var where) (Ir.uses_of_instr i);
+          (match Ir.def_of_instr i with
+          | Some d -> check_var where d
+          | None -> ());
+          match (i, p) with
+          | Ir.Call (_, Virtual _, []), _ ->
+            err "%s: virtual call without receiver" where
+          | Ir.Call (_, Static fn, _), Some prog ->
+            if
+              (not (Hashtbl.mem prog.Ir.funcs fn))
+              && Ir.intrinsic_of_name fn = None
+            then err "%s: call to unknown function %s" where fn
+          | Ir.New_object (_, c), Some prog ->
+            if not (Hashtbl.mem prog.Ir.classes c) then
+              err "%s: new of unknown class %s" where c
+          | _ -> ())
+        b.instrs;
+      List.iter (check_label where) (Ir.succs_of_term b.term);
+      List.iter (check_var where) (Ir.uses_of_term b.term);
+      if b.breg <> Ir.no_region then
+        match Ir.handler_of f b.breg with
+        | Some h -> check_label where h
+        | None -> err "%s: try region %d has no handler" where b.breg)
+    f.fn_blocks;
+  (* reachability (only meaningful once all labels are in range) *)
+  if n > 0 && !errs = [] then begin
+    let seen = Array.make n false in
+    let rec go l =
+      if l >= 0 && l < n && not seen.(l) then begin
+        seen.(l) <- true;
+        List.iter go (Ir.succs_of_term f.fn_blocks.(l).term);
+        match Ir.handler_of f f.fn_blocks.(l).breg with
+        | Some h -> go h
+        | None -> ()
+      end
+    in
+    go 0;
+    Array.iteri
+      (fun i s -> if not s then err "B%d unreachable from entry" i)
+      seen
+  end;
+  List.rev !errs
+
+let validate_program (p : Ir.program) : string list =
+  let errs = ref [] in
+  if not (Hashtbl.mem p.funcs p.prog_main) then
+    errs := [ "missing main function " ^ p.prog_main ];
+  Ir.iter_funcs (fun f -> errs := validate_func (Some p) f @ !errs) p;
+  !errs
+
+(** Raise [Invalid_argument] if the program is structurally invalid. *)
+let check_exn p =
+  match validate_program p with
+  | [] -> ()
+  | errs -> invalid_arg ("invalid IR:\n" ^ String.concat "\n" errs)

@@ -1,0 +1,1 @@
+lib/jit/compiler.ml: Config List Nullelim_arch Nullelim_backend Nullelim_ir Nullelim_opt Option String Sys

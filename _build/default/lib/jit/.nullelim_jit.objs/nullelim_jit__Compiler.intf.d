@@ -1,0 +1,1 @@
+lib/jit/compiler.mli: Config Nullelim_arch Nullelim_ir Nullelim_opt

@@ -1,0 +1,1 @@
+lib/jit/config.ml: List Nullelim_arch

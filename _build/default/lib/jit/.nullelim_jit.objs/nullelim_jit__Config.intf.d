@@ -1,0 +1,1 @@
+lib/jit/config.mli: Nullelim_arch

@@ -1,0 +1,150 @@
+(** The JIT compile driver: applies a {!Config.t} to a program for a
+    target architecture, recording per-pass timings and static
+    null-check statistics. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+module Opt = Nullelim_opt
+module Pipeline = Nullelim_opt.Pipeline
+module Codegen = Nullelim_backend.Codegen
+
+type check_stats = {
+  raw_checks : int;        (** explicit checks in the input program *)
+  explicit_after : int;
+  implicit_after : int;
+}
+
+type compiled = {
+  program : Ir.program;
+  config : Config.t;
+  arch : Arch.t;
+  timings : Pipeline.timings;
+  checks : check_stats;
+  compile_seconds : float;
+}
+
+let count_all_checks p =
+  let e = ref 0 and i = ref 0 in
+  Ir.iter_funcs
+    (fun f ->
+      e := !e + Ir.count_checks ~kind:Ir.Explicit f;
+      i := !i + Ir.count_checks ~kind:Ir.Implicit f)
+    p;
+  (!e, !i)
+
+(** Build the pass list for a configuration. *)
+let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
+  let normalize =
+    Pipeline.per_func "other:normalize" Opt.Opt_util.remove_unreachable
+  in
+  let cleanup =
+    [
+      Pipeline.per_func "other:simplify-cfg" (fun f ->
+          ignore (Opt.Simplify_cfg.run f));
+      Pipeline.per_func "other:copyprop" (fun f -> ignore (Opt.Copyprop.run f));
+      Pipeline.per_func "other:dce" (fun f -> ignore (Opt.Dce.run f));
+    ]
+  in
+  let null_pass =
+    match cfg.null_opt with
+    | Config.No_null_opt -> []
+    | Config.Old_whaley ->
+      [ Pipeline.per_func "nullcheck:whaley" (fun f -> ignore (Opt.Whaley.run f)) ]
+    | Config.New_phase1 | Config.New_full ->
+      [ Pipeline.per_func "nullcheck:phase1" (fun f -> ignore (Opt.Phase1.run f)) ]
+  in
+  let helpers =
+    if cfg.weak_arrays then
+      [
+        Pipeline.per_func "other:boundcheck" (fun f ->
+            ignore (Opt.Boundcheck.eliminate_redundant f));
+        Pipeline.per_func "other:scalar-repl" (fun f ->
+            let stats = { Opt.Scalar_repl.hoisted = 0; replaced = 0 } in
+            Opt.Scalar_repl.eliminate_redundant_loads f stats);
+      ]
+    else
+      [
+        Pipeline.per_func "other:boundcheck" (fun f -> ignore (Opt.Boundcheck.run f));
+        Pipeline.per_func "other:scalar-repl" (fun f ->
+            ignore (Opt.Scalar_repl.run ~speculate:cfg.speculate ~arch f));
+      ]
+  in
+  let inline_passes =
+    if cfg.inline then
+      [
+        Pipeline.program_pass "other:devirtualize" (fun p ->
+            ignore (Opt.Inline.devirtualize p));
+        Pipeline.program_pass "other:inline" (fun p -> ignore (Opt.Inline.run p));
+        Pipeline.program_pass "other:intrinsify" (fun p ->
+            ignore (Opt.Inline.intrinsify ~arch p));
+      ]
+    else []
+  in
+  let iterated =
+    List.concat
+      (List.init cfg.iterations (fun _ -> null_pass @ helpers @ cleanup))
+  in
+  let arch_dep =
+    match cfg.null_opt with
+    | Config.New_full ->
+      let phase2_arch =
+        Option.value ~default:arch cfg.phase2_arch_override
+      in
+      [
+        Pipeline.per_func "nullcheck:phase2" (fun f ->
+            ignore (Opt.Phase2.run ~arch:phase2_arch f));
+      ]
+    | Config.No_null_opt | Config.Old_whaley | Config.New_phase1 ->
+      if cfg.use_trap then
+        [
+          Pipeline.per_func "other:trap-conversion" (fun f ->
+              ignore (Opt.Naive_trap.run ~arch f));
+        ]
+      else []
+  in
+  (* the HotSpot stand-in repeats its (cheaper per-round) pipeline many
+     times to model a compiler that spends much more time compiling *)
+  let heavy =
+    if cfg.heavy_factor <= 1 then []
+    else
+      List.concat
+        (List.init (cfg.heavy_factor - 1) (fun _ ->
+             null_pass @ helpers @ cleanup))
+  in
+  (normalize :: inline_passes) @ iterated @ heavy @ arch_dep
+  @ [
+      Pipeline.per_func "other:dce-final" (fun f ->
+          ignore (Opt.Dce.run ~keep_derefs:true f));
+      (* back end: linear-scan register allocation + emission statistics.
+         In a real JIT this is where most compilation time goes, which is
+         what keeps the paper's null-check share at ~2% (Table 4). *)
+      Pipeline.per_func "other:codegen" (fun f ->
+          ignore (Codegen.run ~arch f));
+    ]
+
+(** Compile a copy of [p]; the input program is left untouched. *)
+let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
+  let p' = Ir.copy_program p in
+  let raw_e, _ = count_all_checks p' in
+  let timings = Pipeline.new_timings () in
+  let t0 = Sys.time () in
+  Pipeline.run ~timings (passes cfg ~arch) p';
+  let compile_seconds = Sys.time () -. t0 in
+  let e, i = count_all_checks p' in
+  {
+    program = p';
+    config = cfg;
+    arch;
+    timings;
+    checks = { raw_checks = raw_e; explicit_after = e; implicit_after = i };
+    compile_seconds;
+  }
+
+(** Time spent in null-check optimization vs. the rest (Table 4). *)
+let nullcheck_time c =
+  Pipeline.total_matching c.timings (fun n ->
+      String.length n >= 9 && String.sub n 0 9 = "nullcheck")
+
+let other_time c =
+  Pipeline.total_matching c.timings (fun n ->
+      not (String.length n >= 9 && String.sub n 0 9 = "nullcheck"))

@@ -1,0 +1,34 @@
+(** The JIT compile driver: applies a configuration to a program for a
+    target architecture, recording per-pass timings and null-check
+    statistics. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+module Pipeline = Nullelim_opt.Pipeline
+
+type check_stats = {
+  raw_checks : int;
+  explicit_after : int;
+  implicit_after : int;
+}
+
+type compiled = {
+  program : Ir.program;
+  config : Config.t;
+  arch : Arch.t;
+  timings : Pipeline.timings;
+  checks : check_stats;
+  compile_seconds : float;
+}
+
+val passes : Config.t -> arch:Arch.t -> Pipeline.pass list
+val compile : Config.t -> arch:Arch.t -> Ir.program -> compiled
+(** Compiles a copy; the input program is left untouched. *)
+
+val count_all_checks : Ir.program -> int * int
+(** [(explicit, implicit)] static counts. *)
+
+val nullcheck_time : compiled -> float
+(** Seconds spent in null-check optimization passes (Table 4). *)
+
+val other_time : compiled -> float

@@ -1,0 +1,38 @@
+(** JIT configurations — one per line of the paper's evaluation tables.
+    See the implementation header for the mapping to Tables 1-7. *)
+
+module Arch = Nullelim_arch.Arch
+
+type null_opt = No_null_opt | Old_whaley | New_phase1 | New_full
+
+type t = {
+  name : string;
+  null_opt : null_opt;
+  use_trap : bool;
+  speculate : bool;
+  phase2_arch_override : Arch.t option;
+  iterations : int;
+  inline : bool;
+  heavy_factor : int;
+  weak_arrays : bool;
+}
+
+val base : t
+
+(* Windows/IA32 configurations (Tables 1-2) *)
+val no_null_opt_no_trap : t
+val no_null_opt_trap : t
+val old_null_check : t
+val new_phase1_only : t
+val new_full : t
+val hotspot_model : t
+
+(* AIX/PowerPC configurations (Tables 6-7, Section 5.4) *)
+val aix_no_null_opt : t
+val aix_no_speculation : t
+val aix_speculation : t
+val aix_illegal_implicit : t
+
+val windows_suite : t list
+val aix_suite : t list
+val by_name : string -> t option

@@ -1,0 +1,1 @@
+lib/opt/boundcheck.ml: Array Hashtbl List Nullelim_cfg Nullelim_dataflow Nullelim_ir Opt_util Option

@@ -1,0 +1,1 @@
+lib/opt/boundcheck.mli: Nullelim_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Hashtbl List Nullelim_arch Nullelim_ir Option

@@ -1,0 +1,1 @@
+lib/opt/naive_trap.ml: Array Nullelim_arch Nullelim_ir Opt_util

@@ -1,0 +1,1 @@
+lib/opt/naive_trap.mli: Nullelim_arch Nullelim_ir

@@ -1,0 +1,1 @@
+lib/opt/opt_util.ml: Array Fun List Nullelim_dataflow Nullelim_ir

@@ -1,0 +1,1 @@
+lib/opt/opt_util.mli: Nullelim_ir

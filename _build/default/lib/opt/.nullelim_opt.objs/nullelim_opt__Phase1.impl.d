@@ -1,0 +1,1 @@
+lib/opt/phase1.ml: Array List Nullelim_analysis Nullelim_cfg Nullelim_dataflow Nullelim_ir Opt_util

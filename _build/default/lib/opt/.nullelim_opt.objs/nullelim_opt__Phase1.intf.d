@@ -1,0 +1,1 @@
+lib/opt/phase1.mli: Nullelim_cfg Nullelim_dataflow Nullelim_ir

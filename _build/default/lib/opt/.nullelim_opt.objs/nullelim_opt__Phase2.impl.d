@@ -1,0 +1,1 @@
+lib/opt/phase2.ml: Array List Nullelim_arch Nullelim_cfg Nullelim_dataflow Nullelim_ir Opt_util

@@ -1,0 +1,1 @@
+lib/opt/phase2.mli: Nullelim_arch Nullelim_ir

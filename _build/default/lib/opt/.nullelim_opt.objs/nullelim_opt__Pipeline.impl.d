@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Hashtbl List Nullelim_ir Option Sys

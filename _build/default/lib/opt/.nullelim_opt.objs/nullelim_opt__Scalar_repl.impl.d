@@ -1,0 +1,1 @@
+lib/opt/scalar_repl.ml: Array Hashtbl List Nullelim_analysis Nullelim_arch Nullelim_cfg Nullelim_dataflow Nullelim_ir Opt_util Option

@@ -1,0 +1,1 @@
+lib/opt/scalar_repl.mli: Nullelim_arch Nullelim_ir

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Array List Nullelim_cfg Nullelim_ir Opt_util

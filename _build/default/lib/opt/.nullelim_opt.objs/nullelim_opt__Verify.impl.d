@@ -1,0 +1,1 @@
+lib/opt/verify.ml: Array Fmt List Nullelim_arch Nullelim_ir Printf

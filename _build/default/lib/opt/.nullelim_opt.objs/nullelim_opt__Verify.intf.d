@@ -1,0 +1,1 @@
+lib/opt/verify.mli: Fmt Nullelim_arch Nullelim_ir

@@ -1,0 +1,1 @@
+lib/opt/whaley.ml: List Nullelim_analysis Nullelim_cfg Nullelim_dataflow Nullelim_ir Opt_util

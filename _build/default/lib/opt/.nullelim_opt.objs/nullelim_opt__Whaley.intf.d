@@ -1,0 +1,1 @@
+lib/opt/whaley.mli: Nullelim_ir

@@ -1,0 +1,208 @@
+(** Array-bounds-check optimization.
+
+    The paper iterates the architecture-independent null-check phase with
+    "array bounds check optimization" and scalar replacement (Figure 2);
+    the three assist each other on multidimensional-array code
+    (Section 5.1: Assignment, Neural Net, LU Decomposition).  We implement
+    the two ingredients that participate in that synergy:
+
+    - {b availability elimination}: a [Bound_check (i, l)] is deleted when
+      a syntactically identical check has executed on every path since the
+      last redefinition of [i] or [l];
+    - {b loop-invariant hoisting}: a bound check whose operands are loop
+      invariant is moved to the loop preheader when it provably executes
+      on every iteration of a loop that runs at least once (its block is
+      the loop header, it dominates all latches and exit-edge sources, and
+      no side-effecting instruction precedes it in the first iteration),
+      so the hoisted check throws exactly when and where the first
+      original check would have.
+
+    Range-analysis-based elimination of induction-variable checks is a
+    separate published optimization and is deliberately out of scope (see
+    DESIGN.md); all configurations pay the same cost for those checks, so
+    the comparisons between null-check configurations are unaffected. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Solver = Nullelim_dataflow.Solver
+module Cfg = Nullelim_cfg.Cfg
+module Dominance = Nullelim_cfg.Dominance
+module Loops = Nullelim_cfg.Loops
+
+(* ------------------------------------------------------------------ *)
+(* Availability-based elimination                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pair_vars (i, l) = Ir.vars_of_operand i @ Ir.vars_of_operand l
+
+(** Collect the universe of distinct (index, length) operand pairs. *)
+let collect_pairs (f : Ir.func) : (Ir.operand * Ir.operand) array =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun (b : Ir.block) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | Ir.Bound_check (x, y) ->
+            if not (Hashtbl.mem tbl (x, y)) then begin
+              Hashtbl.replace tbl (x, y) (Hashtbl.length tbl);
+              order := (x, y) :: !order
+            end
+          | _ -> ())
+        b.instrs)
+    f.fn_blocks;
+  Array.of_list (List.rev !order)
+
+let eliminate_redundant (f : Ir.func) : int =
+  let pairs = collect_pairs f in
+  let np = Array.length pairs in
+  if np = 0 then 0
+  else begin
+    let cfg = Cfg.make f in
+    let index = Hashtbl.create 16 in
+    Array.iteri (fun k p -> Hashtbl.replace index p k) pairs;
+    let killed_by = Array.make np [] in
+    (* map var -> pair ids it participates in *)
+    let by_var = Hashtbl.create 16 in
+    Array.iteri
+      (fun k p ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace by_var v
+              (k :: (Option.value ~default:[] (Hashtbl.find_opt by_var v))))
+          (pair_vars p))
+      pairs;
+    ignore killed_by;
+    let transfer_instr (s : Bitset.t) i =
+      (match Ir.def_of_instr i with
+      | Some d ->
+        List.iter
+          (fun k -> Bitset.remove_mut s k)
+          (Option.value ~default:[] (Hashtbl.find_opt by_var d))
+      | None -> ());
+      match i with
+      | Ir.Bound_check (x, y) ->
+        Bitset.add_mut s (Hashtbl.find index (x, y))
+      | _ -> ()
+    in
+    let r =
+      Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty np)
+        ~top:(Bitset.full np) ~meet:Bitset.inter
+        ~boundary_blocks:(Cfg.handler_blocks f)
+        ~transfer:(fun l inb ->
+          let s = Bitset.copy inb in
+          Array.iter (transfer_instr s) (Ir.block f l).instrs;
+          s)
+        ()
+    in
+    let removed = ref 0 in
+    for l = 0 to Ir.nblocks f - 1 do
+      if Cfg.is_reachable cfg l then begin
+        let s = Bitset.copy r.Solver.inb.(l) in
+        let keep = ref [] in
+        Array.iter
+          (fun i ->
+            let drop =
+              match i with
+              | Ir.Bound_check (x, y) ->
+                Bitset.mem (Hashtbl.find index (x, y)) s
+              | _ -> false
+            in
+            if drop then incr removed else keep := i :: !keep;
+            transfer_instr s i)
+          (Ir.block f l).instrs;
+        Opt_util.set_instrs f l (List.rev !keep)
+      end
+    done;
+    !removed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant hoisting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let operand_invariant defs_in_loop = function
+  | Ir.Var v -> not (Hashtbl.mem defs_in_loop v)
+  | Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull -> true
+
+let hoist_loop_invariant (f : Ir.func) : int =
+  let hoisted = ref 0 in
+  let continue_ = ref true in
+  (* Loop until no change: hoisting into a preheader creates blocks, so
+     recompute the CFG each round. *)
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.make f in
+    let dom = Dominance.compute cfg in
+    let loops = Loops.detect cfg dom in
+    List.iter
+      (fun (l : Loops.loop) ->
+        if not !continue_ then begin
+          let members = Loops.members l in
+          let defs_in_loop = Hashtbl.create 16 in
+          List.iter
+            (fun m ->
+              Array.iter
+                (fun i ->
+                  match Ir.def_of_instr i with
+                  | Some d -> Hashtbl.replace defs_in_loop d ()
+                  | None -> ())
+                (Ir.block f m).instrs)
+            members;
+          let latches = l.latches in
+          let exit_srcs = List.map fst (Loops.exit_edges cfg l) in
+          let block_ok b =
+            b = l.header
+            && List.for_all (fun t -> Dominance.dominates dom b t) latches
+            && List.for_all (fun t -> Dominance.dominates dom b t) exit_srcs
+          in
+          (* find the first hoistable check in the header with no barrier
+             above it *)
+          if block_ok l.header then begin
+            let instrs = (Ir.block f l.header).instrs in
+            let blocked = ref false in
+            let found = ref None in
+            Array.iteri
+              (fun k i ->
+                if !found = None && not !blocked then begin
+                  (match i with
+                  | Ir.Bound_check (x, y)
+                    when operand_invariant defs_in_loop x
+                         && operand_invariant defs_in_loop y ->
+                    found := Some (k, i)
+                  | _ -> ());
+                  (* Anything that can throw before the check in the first
+                     iteration blocks hoisting: moving the bound check
+                     above it would reorder exceptions observably.  Null
+                     checks count here (unlike for null-check motion,
+                     where NPE-vs-NPE reordering is permitted). *)
+                  match i with
+                  | Ir.Null_check _ -> blocked := true
+                  | _ -> if Opt_util.barrier f l.header i then blocked := true
+                end)
+              instrs;
+            match !found with
+            | Some (k, check) ->
+              let ph = Loops.ensure_preheader f cfg l in
+              (* remove from header *)
+              let keep = ref [] in
+              Array.iteri
+                (fun j i -> if j <> k then keep := i :: !keep)
+                instrs;
+              Opt_util.set_instrs f l.header (List.rev !keep);
+              Opt_util.append_instrs f ph [ check ];
+              incr hoisted;
+              continue_ := true
+            | None -> ()
+          end
+        end)
+      loops
+  done;
+  !hoisted
+
+(** Run both stages.  Returns [(eliminated, hoisted)]. *)
+let run (f : Ir.func) : int * int =
+  let h = hoist_loop_invariant f in
+  let e = eliminate_redundant f in
+  (e, h)

@@ -1,0 +1,81 @@
+(** Block-local copy and constant propagation.
+
+    Replaces uses of a variable by its defining copy source within a
+    basic block ([d = s; ... use d] becomes [... use s]) as long as
+    neither side has been redefined in between.  Null-check targets are
+    only rewritten to variables (a check needs a variable), which lets
+    phase 1 recognize two checks of the same object through a copy. *)
+
+module Ir = Nullelim_ir.Ir
+
+let run (f : Ir.func) : int =
+  let changed = ref 0 in
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      let copy : (Ir.var, Ir.operand) Hashtbl.t = Hashtbl.create 8 in
+      let kill v =
+        Hashtbl.remove copy v;
+        Hashtbl.iter
+          (fun d s -> if s = Ir.Var v then Hashtbl.remove copy d)
+          (Hashtbl.copy copy)
+      in
+      let subst_op o =
+        match o with
+        | Ir.Var v -> (
+          match Hashtbl.find_opt copy v with
+          | Some o' ->
+            incr changed;
+            o'
+          | None -> o)
+        | _ -> o
+      in
+      let subst_var v =
+        match Hashtbl.find_opt copy v with
+        | Some (Ir.Var w) ->
+          incr changed;
+          w
+        | _ -> v
+      in
+      let rewrite (i : Ir.instr) : Ir.instr =
+        match i with
+        | Move (d, s) -> Move (d, subst_op s)
+        | Unop (d, u, s) -> Unop (d, u, subst_op s)
+        | Binop (d, op, a, b) -> Binop (d, op, subst_op a, subst_op b)
+        | Null_check (k, v) -> Null_check (k, subst_var v)
+        | Bound_check (a, b) -> Bound_check (subst_op a, subst_op b)
+        | Get_field (d, o, fld) -> Get_field (d, subst_var o, fld)
+        | Put_field (o, fld, s) -> Put_field (subst_var o, fld, subst_op s)
+        | Array_load (d, a, idx, k) -> Array_load (d, subst_var a, subst_op idx, k)
+        | Array_store (a, idx, s, k) ->
+          Array_store (subst_var a, subst_op idx, subst_op s, k)
+        | Array_length (d, a) -> Array_length (d, subst_var a)
+        | New_object _ | New_array _ -> (
+          match i with
+          | New_array (d, k, n) -> New_array (d, k, subst_op n)
+          | _ -> i)
+        | Call (d, t, args) -> Call (d, t, List.map subst_op args)
+        | Print s -> Print (subst_op s)
+      in
+      let out = ref [] in
+      Array.iter
+        (fun i ->
+          let i' = rewrite i in
+          out := i' :: !out;
+          (match Ir.def_of_instr i' with Some d -> kill d | None -> ());
+          match i' with
+          | Move (d, (Ir.Var s as src)) when d <> s ->
+            Hashtbl.replace copy d src
+          | Move (d, ((Ir.Cint _ | Ir.Cfloat _) as c)) ->
+            Hashtbl.replace copy d c
+          | _ -> ())
+        b.instrs;
+      b.term <-
+        (match b.term with
+        | Goto _ as t -> t
+        | If (c, a, b', l1, l2) -> If (c, subst_op a, subst_op b', l1, l2)
+        | Ifnull (v, l1, l2) -> Ifnull (subst_var v, l1, l2)
+        | Return (Some o) -> Return (Some (subst_op o))
+        | (Return None | Throw _) as t -> t);
+      Opt_util.set_instrs f l (List.rev !out))
+    f.fn_blocks;
+  !changed

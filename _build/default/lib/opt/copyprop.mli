@@ -1,0 +1,9 @@
+(** Block-local copy and constant propagation.  Null-check targets are
+    rewritten through copies, which lets the check phases recognize two
+    checks of the same object (essential after inlining's argument
+    moves). *)
+
+module Ir = Nullelim_ir.Ir
+
+val run : Ir.func -> int
+(** Returns the number of substitutions performed. *)

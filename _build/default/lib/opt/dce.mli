@@ -1,0 +1,9 @@
+(** Liveness-based dead-code elimination, exception-site aware. *)
+
+module Ir = Nullelim_ir.Ir
+
+val run : ?keep_derefs:bool -> Ir.func -> int
+(** Remove pure instructions whose destination is dead.  [keep_derefs]
+    must be set when running after phase 2: the substitutable-check
+    elimination may rely on an unmarked dereference as the instruction
+    that raises the NPE.  Returns the number of instructions removed. *)

@@ -1,0 +1,225 @@
+(** Devirtualization, intrinsification and method inlining.
+
+    These are the "other optimizations" whose interaction with null
+    checking motivates the paper's phase 2 (Figure 1): after
+    devirtualizing and inlining a virtual call, the dispatch no longer
+    dereferences the receiver, so an {e explicit} receiver null check
+    must be kept — and a path through the inlined body may not touch the
+    receiver at all, which is exactly the case phase 2 optimizes.
+
+    - {b devirtualization} (class-hierarchy analysis): a virtual call to
+      a method with a single implementation anywhere in the hierarchy
+      becomes a static call; the explicit receiver check emitted by the
+      front end stays behind, per Figure 1.
+    - {b intrinsification}: calls to [Math.exp]/[Math.sqrt]/... become
+      single instructions when the architecture supports it (IA32 in the
+      paper); on PowerPC they remain out-of-line calls and keep acting as
+      scalar-replacement barriers — the Neural Net anecdote of
+      Section 5.4.
+    - {b inlining}: small static leaf functions without try regions are
+      spliced into the caller; inlined blocks inherit the call site's try
+      region so exceptions keep flowing to the caller's handler. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+(* ------------------------------------------------------------------ *)
+(* Devirtualization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let devirtualize (p : Ir.program) : int =
+  let changed = ref 0 in
+  Ir.iter_funcs
+    (fun f ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          b.instrs <-
+            Array.map
+              (fun i ->
+                match i with
+                | Ir.Call (d, Virtual mname, args) -> (
+                  match Ir.method_impls p mname with
+                  | [ impl ] ->
+                    incr changed;
+                    Ir.Call (d, Static impl, args)
+                  | _ -> i)
+                | _ -> i)
+              b.instrs)
+        f.fn_blocks)
+    p;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsification                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let intrinsic_unop = Ir.intrinsic_of_name
+
+let intrinsify ~(arch : Arch.t) (p : Ir.program) : int =
+  if not arch.Arch.has_fp_intrinsics then 0
+  else begin
+    let changed = ref 0 in
+    Ir.iter_funcs
+      (fun f ->
+        Array.iter
+          (fun (b : Ir.block) ->
+            b.instrs <-
+              Array.map
+                (fun i ->
+                  match i with
+                  | Ir.Call (Some d, Static name, [ x ]) -> (
+                    match intrinsic_unop name with
+                    | Some u ->
+                      incr changed;
+                      Ir.Unop (d, u, x)
+                    | None -> i)
+                  | _ -> i)
+                b.instrs)
+          f.fn_blocks)
+      p;
+    !changed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Is [callee] small and simple enough to inline? *)
+let inlinable (p : Ir.program) ~(caller : Ir.func) name =
+  match Hashtbl.find_opt p.Ir.funcs name with
+  | None -> None (* intrinsic or unknown *)
+  | Some callee ->
+    if
+      callee.Ir.fn_name = caller.Ir.fn_name
+      || callee.fn_handlers <> []
+      || Ir.instr_count callee > 24
+      || Ir.nblocks callee > 8
+      || Ir.count_instrs (function Ir.Call _ -> true | _ -> false) callee > 0
+    then None
+    else Some callee
+
+(** Inline one call site: block [l], instruction index [k].  The caller
+    gains the callee's blocks (remapped) and a continuation block holding
+    the instructions after the call. *)
+let inline_site (f : Ir.func) l k (callee : Ir.func) (d : Ir.var option)
+    (args : Ir.operand list) : unit =
+  let base = f.Ir.fn_nvars in
+  f.fn_nvars <- base + callee.fn_nvars;
+  Hashtbl.iter
+    (fun v name -> Hashtbl.replace f.fn_var_names (base + v) (name ^ "$i"))
+    callee.fn_var_names;
+  let nb = Ir.nblocks f in
+  let callee_nb = Ir.nblocks callee in
+  let cont_label = nb + callee_nb in
+  let call_block = Ir.block f l in
+  let region = call_block.breg in
+  let remap_label cl = nb + cl in
+  let remap_var v = base + v in
+  let remap_operand = function
+    | Ir.Var v -> Ir.Var (remap_var v)
+    | (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) as o -> o
+  in
+  let remap_instr (i : Ir.instr) : Ir.instr =
+    match i with
+    | Move (x, o) -> Move (remap_var x, remap_operand o)
+    | Unop (x, u, o) -> Unop (remap_var x, u, remap_operand o)
+    | Binop (x, op, a, b) ->
+      Binop (remap_var x, op, remap_operand a, remap_operand b)
+    | Null_check (ck, v) -> Null_check (ck, remap_var v)
+    | Bound_check (a, b) -> Bound_check (remap_operand a, remap_operand b)
+    | Get_field (x, o, fld) -> Get_field (remap_var x, remap_var o, fld)
+    | Put_field (o, fld, s) -> Put_field (remap_var o, fld, remap_operand s)
+    | Array_load (x, a, idx, kd) ->
+      Array_load (remap_var x, remap_var a, remap_operand idx, kd)
+    | Array_store (a, idx, s, kd) ->
+      Array_store (remap_var a, remap_operand idx, remap_operand s, kd)
+    | Array_length (x, a) -> Array_length (remap_var x, remap_var a)
+    | New_object (x, c) -> New_object (remap_var x, c)
+    | New_array (x, kd, n) -> New_array (remap_var x, kd, remap_operand n)
+    | Call (dd, t, aa) ->
+      Call (Option.map remap_var dd, t, List.map remap_operand aa)
+    | Print o -> Print (remap_operand o)
+  in
+  let remap_term (t : Ir.terminator) : Ir.terminator =
+    match t with
+    | Goto cl -> Goto (remap_label cl)
+    | If (c, a, b, l1, l2) ->
+      If (c, remap_operand a, remap_operand b, remap_label l1, remap_label l2)
+    | Ifnull (v, l1, l2) ->
+      Ifnull (remap_var v, remap_label l1, remap_label l2)
+    | Return (None | Some _) ->
+      (* the value move, when any, is appended to the returning block *)
+      Goto cont_label
+    | Throw s -> Throw s
+  in
+  (* Because several return sites may exist, each Return(Some o) needs its
+     own move into [d]; we append the move to the returning block. *)
+  let inlined_blocks =
+    Array.map
+      (fun (cb : Ir.block) ->
+        let instrs = Array.map remap_instr cb.instrs in
+        let instrs =
+          match (cb.term, d) with
+          | Ir.Return (Some o), Some dst ->
+            Array.append instrs [| Ir.Move (dst, remap_operand o) |]
+          | _ -> instrs
+        in
+        { Ir.instrs; term = remap_term cb.term; breg = region })
+      callee.fn_blocks
+  in
+  (* continuation block: instructions after the call, original term *)
+  let cont_block =
+    {
+      Ir.instrs =
+        Array.sub call_block.instrs (k + 1)
+          (Array.length call_block.instrs - (k + 1));
+      term = call_block.term;
+      breg = region;
+    }
+  in
+  (* rewrite the call block: prefix + argument moves, then jump into the
+     inlined entry *)
+  let arg_moves =
+    List.mapi (fun idx a -> Ir.Move (base + idx, a)) args
+  in
+  call_block.instrs <-
+    Array.append (Array.sub call_block.instrs 0 k) (Array.of_list arg_moves);
+  call_block.term <- Goto (remap_label 0);
+  f.fn_blocks <- Array.concat [ f.fn_blocks; inlined_blocks; [| cont_block |] ]
+
+(** Find the next inlinable call site in [f]. *)
+let find_site (p : Ir.program) (f : Ir.func) =
+  let found = ref None in
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      if !found = None then
+        Array.iteri
+          (fun k i ->
+            if !found = None then
+              match i with
+              | Ir.Call (d, Static name, args) -> (
+                match inlinable p ~caller:f name with
+                | Some callee -> found := Some (l, k, callee, d, args)
+                | None -> ())
+              | _ -> ())
+          b.instrs)
+    f.fn_blocks;
+  !found
+
+(** Inline up to [budget] call sites per function. *)
+let run ?(budget = 40) (p : Ir.program) : int =
+  let total = ref 0 in
+  Ir.iter_funcs
+    (fun f ->
+      let n = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !n < budget do
+        match find_site p f with
+        | Some (l, k, callee, d, args) ->
+          inline_site f l k callee d args;
+          incr n;
+          incr total
+        | None -> continue_ := false
+      done)
+    p;
+  !total

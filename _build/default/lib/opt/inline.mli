@@ -1,0 +1,13 @@
+(** Devirtualization (class-hierarchy analysis), intrinsification of
+    [Math.*] calls on architectures that support it, and inlining of
+    small leaf functions.  The receiver null check emitted by the front
+    end survives devirtualization, per Figure 1 of the paper. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+val devirtualize : Ir.program -> int
+val intrinsify : arch:Arch.t -> Ir.program -> int
+val run : ?budget:int -> Ir.program -> int
+(** Inline up to [budget] call sites per function; returns the number of
+    sites inlined. *)

@@ -1,0 +1,64 @@
+(** Local conversion of explicit null checks into implicit (hardware-trap)
+    checks, without any code motion.
+
+    This models how JITs used hardware traps before the paper's
+    architecture-dependent optimization: when an explicit check is
+    followed — within the same block, with no intervening barrier,
+    other-exception source or redefinition — by an instruction that
+    dereferences the checked variable inside the protected trap area with
+    a faulting access kind, the check instruction can be dropped and the
+    dereference marked as the exception site (Section 2.1).  The
+    "No Null Opt. (Hardware Trap)" baseline is exactly this pass. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+(** Returns the number of checks converted. *)
+let run ~(arch : Arch.t) (f : Ir.func) : int =
+  let converted = ref 0 in
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      let instrs = b.instrs in
+      let n = Array.length instrs in
+      (* For each explicit check, find the dereference that can subsume it. *)
+      let drop = Array.make n false in
+      let implicit_before = Array.make n false in
+      for k = 0 to n - 1 do
+        match instrs.(k) with
+        | Ir.Null_check (Explicit, v) ->
+          let rec scan j =
+            if j >= n then ()
+            else begin
+              let i = instrs.(j) in
+              if Arch.instr_traps_for arch i v then begin
+                (* j becomes the exception site *)
+                drop.(k) <- true;
+                implicit_before.(j) <- true;
+                incr converted
+              end
+              else if
+                Opt_util.barrier f l i
+                || Ir.may_throw_other i
+                || Ir.def_of_instr i = Some v
+                || (match Ir.deref_site i with
+                   | Some (base, _, _) -> base = v (* non-trapping deref *)
+                   | None -> false)
+              then ()
+              else scan (j + 1)
+            end
+          in
+          scan (k + 1)
+        | _ -> ()
+      done;
+      let out = ref [] in
+      for k = n - 1 downto 0 do
+        if not drop.(k) then out := instrs.(k) :: !out;
+        if implicit_before.(k) then begin
+          match Ir.deref_site instrs.(k) with
+          | Some (base, _, _) -> out := Ir.Null_check (Implicit, base) :: !out
+          | None -> assert false
+        end
+      done;
+      Opt_util.set_instrs f l !out)
+    f.fn_blocks;
+  !converted

@@ -1,0 +1,12 @@
+(** Local (no-motion) conversion of explicit null checks to implicit
+    hardware-trap checks, as JITs did before the paper's phase 2: a
+    check converts when a dereference of the same variable follows in
+    the same block with no intervening barrier, other-exception source
+    or redefinition, and the dereference traps on the target
+    architecture. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+val run : arch:Arch.t -> Ir.func -> int
+(** Returns the number of checks converted. *)

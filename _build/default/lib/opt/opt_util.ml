@@ -1,0 +1,63 @@
+(** Helpers shared by the optimization passes. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+
+let in_try (f : Ir.func) (l : Ir.label) = (Ir.block f l).breg <> Ir.no_region
+
+(** Is the instruction a barrier to null-check motion in block [l]?  This
+    is the paper's side-effecting-instruction condition, evaluated with the
+    block's try-region context. *)
+let barrier f l i = Ir.is_side_effecting ~in_try:(in_try f l) i
+
+(** Replace the instructions of block [l] (keeping the terminator). *)
+let set_instrs (f : Ir.func) l (instrs : Ir.instr list) =
+  (Ir.block f l).instrs <- Array.of_list instrs
+
+(** Append instructions at the end of block [l], before the terminator. *)
+let append_instrs (f : Ir.func) l (extra : Ir.instr list) =
+  let b = Ir.block f l in
+  b.instrs <- Array.append b.instrs (Array.of_list extra)
+
+(** Remove blocks unreachable from the entry (following both normal and
+    handler edges) and compact labels.  Keeps the optimizer's data-flow
+    facts and the validator's reachability expectations consistent. *)
+let remove_unreachable (f : Ir.func) : unit =
+  let n = Ir.nblocks f in
+  if n = 0 then ()
+  else begin
+    let seen = Array.make n false in
+    let rec go l =
+      if not seen.(l) then begin
+        seen.(l) <- true;
+        List.iter go (Ir.succs_of_term (Ir.block f l).term);
+        match Ir.handler_of f (Ir.block f l).breg with
+        | Some h -> go h
+        | None -> ()
+      end
+    in
+    go 0;
+    if not (Array.for_all Fun.id seen) then begin
+      let remap = Array.make n (-1) in
+      let next = ref 0 in
+      for l = 0 to n - 1 do
+        if seen.(l) then begin
+          remap.(l) <- !next;
+          incr next
+        end
+      done;
+      let blocks = Array.make !next (Ir.block f 0) in
+      for l = 0 to n - 1 do
+        if seen.(l) then begin
+          let b = Ir.block f l in
+          b.term <- Ir.map_term_labels (fun t -> remap.(t)) b.term;
+          blocks.(remap.(l)) <- b
+        end
+      done;
+      f.fn_blocks <- blocks;
+      f.fn_handlers <-
+        List.filter_map
+          (fun (r, h) -> if seen.(h) then Some (r, remap.(h)) else None)
+          f.fn_handlers
+    end
+  end

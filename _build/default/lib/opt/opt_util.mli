@@ -1,0 +1,12 @@
+(** Helpers shared by the optimization passes. *)
+
+module Ir = Nullelim_ir.Ir
+
+val in_try : Ir.func -> Ir.label -> bool
+val barrier : Ir.func -> Ir.label -> Ir.instr -> bool
+(** The paper's side-effecting-instruction condition, with the block's
+    try-region context. *)
+
+val set_instrs : Ir.func -> Ir.label -> Ir.instr list -> unit
+val append_instrs : Ir.func -> Ir.label -> Ir.instr list -> unit
+val remove_unreachable : Ir.func -> unit

@@ -1,0 +1,144 @@
+(** Architecture-independent null-check optimization (paper Section 4.1).
+
+    Null checks are moved {e backward} (earlier) in the control-flow
+    graph, to the earliest points they can reach without violating
+    precise-exception semantics, and checks that become redundant are
+    eliminated.  The pass is the enhanced partial-redundancy-elimination
+    of Section 3.2 and removes loop-invariant null checks from loops.
+
+    Stage 1 — insertion points (Section 4.1.1), a backward bit-vector
+    problem over the set of null checks (identified by target variable):
+
+    {v
+      Out_bwd(n) = /\ over m in Succ(n) of (In_bwd(m) - Edge_try(m,n))
+      In_bwd(n)  = (Out_bwd(n) - Kill_bwd(n)) \/ Gen_bwd(n)
+      Earliest(n) = Out_bwd(n) /\ /\ over m in Pred(n) of not Out_bwd(m)
+    v}
+
+    - [Gen_bwd(n)]: checks located in [n] that can move up to its entry —
+      no overwrite of the target and no side-effecting instruction above
+      them in the block.
+    - [Kill_bwd(n)]: checks whose target is overwritten in [n], plus
+      everything if [n] contains a side-effecting instruction (may throw a
+      non-NPE exception, writes memory, or writes a local while inside a
+      try region).
+    - [Edge_try(m,n)]: everything is killed on edges that change try
+      region.
+
+    The intersection over successors is down-safety: a check may sit at a
+    block exit only if every path from there executes an equivalent check
+    before any barrier, so insertion never introduces an exception the
+    original program would not have thrown.  [Earliest(n)] — the checks
+    that reach the exit of [n] but no predecessor's exit — are the
+    {e insertion points} (checks are inserted at block exits).  A block
+    with no predecessors hosts everything that reaches its exit.
+
+    Stage 2 — elimination (Section 4.1.2), a forward non-nullness
+    analysis whose merge treats the pending insertions as available:
+
+    {v
+      In_fwd(n) = /\ over m in Pred(n) of (Out_fwd(m) \/ Earliest(m) \/ Edge(m,n))
+    v}
+
+    Checks known non-null immediately before their position are deleted;
+    finally [Earliest(n) := Earliest(n) - Out_fwd(n)] and the survivors
+    are materialized as explicit checks at block exits. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Solver = Nullelim_dataflow.Solver
+module Cfg = Nullelim_cfg.Cfg
+module Nullness = Nullelim_analysis.Nullness
+
+(** Gen/Kill of Section 4.1.1 for one block. *)
+let gen_kill_bwd (f : Ir.func) (l : Ir.label) : Bitset.t * Bitset.t =
+  let nv = f.fn_nvars in
+  let gen = Bitset.empty nv in
+  let killed = Bitset.empty nv in
+  let blocked = ref false in
+  Array.iter
+    (fun i ->
+      (match i with
+      | Ir.Null_check (_, v) ->
+        if (not !blocked) && not (Bitset.mem v killed) then
+          Bitset.add_mut gen v
+      | _ -> ());
+      if Opt_util.barrier f l i then blocked := true;
+      match Ir.def_of_instr i with
+      | Some d -> Bitset.add_mut killed d
+      | None -> ())
+    (Ir.block f l).instrs;
+  let kill = if !blocked then Bitset.full nv else killed in
+  (gen, kill)
+
+type analysis = {
+  out_bwd : Bitset.t array;
+  earliest : Bitset.t array;
+}
+
+let analyse (cfg : Cfg.t) : analysis =
+  let f = Cfg.func cfg in
+  let nv = f.fn_nvars in
+  let n = Ir.nblocks f in
+  let gen = Array.make n (Bitset.empty nv)
+  and kill = Array.make n (Bitset.empty nv) in
+  for l = 0 to n - 1 do
+    let g, k = gen_kill_bwd f l in
+    gen.(l) <- g;
+    kill.(l) <- k
+  done;
+  let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let r =
+    Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~edge:(fun ~src ~dst s ->
+        if same_region src dst then s else Bitset.empty nv)
+      ~transfer:(fun l out ->
+        Bitset.union (Bitset.diff out kill.(l)) gen.(l))
+      ()
+  in
+  let out_bwd =
+    Array.init n (fun l ->
+        if Cfg.is_reachable cfg l then r.Solver.outb.(l) else Bitset.empty nv)
+  in
+  let earliest =
+    Array.init n (fun l ->
+        if not (Cfg.is_reachable cfg l) then Bitset.empty nv
+        else
+          List.fold_left
+            (fun acc m -> Bitset.diff acc out_bwd.(m))
+            out_bwd.(l) (Cfg.preds cfg l))
+  in
+  { out_bwd; earliest }
+
+(** Run the whole phase on a function.  Returns
+    [(eliminated, inserted)]. *)
+let run (f : Ir.func) : int * int =
+  let cfg = Cfg.make f in
+  let { earliest; _ } = analyse cfg in
+  (* Stage 2: forward elimination, treating Earliest(m) as available at
+     the exit of m. *)
+  let nullness =
+    Nullness.solve ~deref_gen:false
+      ~extra_exit:(fun m -> Some earliest.(m))
+      cfg
+  in
+  let eliminated = ref 0 and inserted = ref 0 in
+  for l = 0 to Ir.nblocks f - 1 do
+    if Cfg.is_reachable cfg l then begin
+      let keep = ref [] in
+      Nullness.iter_block nullness l (fun facts _idx i ->
+          match i with
+          | Ir.Null_check (_, v) when Bitset.mem v facts -> incr eliminated
+          | _ -> keep := i :: !keep);
+      (* Earliest(l) minus what is already available at the exit of l. *)
+      let to_insert = Bitset.diff earliest.(l) (Nullness.at_exit nullness l) in
+      Bitset.iter
+        (fun v ->
+          keep := Ir.Null_check (Explicit, v) :: !keep;
+          incr inserted)
+        to_insert;
+      Opt_util.set_instrs f l (List.rev !keep)
+    end
+  done;
+  (!eliminated, !inserted)

@@ -1,0 +1,22 @@
+(** Architecture-independent null-check optimization (paper Section 4.1):
+    backward PRE that moves checks to the earliest legal points (hoisting
+    loop-invariant checks into preheaders) and eliminates the redundant
+    ones.  Meant to be iterated with bound-check optimization and scalar
+    replacement (Figure 2).  See the implementation header for the
+    reconstructed data-flow equations. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Cfg = Nullelim_cfg.Cfg
+
+type analysis = {
+  out_bwd : Bitset.t array;  (** checks that can sit at each block exit *)
+  earliest : Bitset.t array; (** the insertion points, per block *)
+}
+
+val analyse : Cfg.t -> analysis
+(** The Section 4.1.1 backward problem alone (exposed for tests). *)
+
+val run : Ir.func -> int * int
+(** Run insertion-point analysis, elimination and materialization.
+    Returns [(eliminated, inserted)]. *)

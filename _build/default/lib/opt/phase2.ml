@@ -1,0 +1,257 @@
+(** Architecture-dependent null-check optimization (paper Section 4.2).
+
+    The PRE machinery is applied in the {e opposite} direction: null
+    checks are moved forward (later) to the latest points they can reach,
+    so that as many as possible land immediately in front of an
+    instruction that dereferences the same object inside the protected
+    trap area — there they are converted to free {e implicit} checks
+    (Section 3.3).  Remaining explicit checks that are "substitutable"
+    (re-covered later on every path before any side effect) are
+    eliminated by a final backward analysis (Section 4.2.2).
+
+    Stage 1 — forward motion (Section 4.2.1):
+
+    {v
+      In_fwd(n)  = /\ over m in Pred(n) of (Out_fwd(m) - Edge_try(m,n))
+      Out_fwd(n) = walk of block n (see below)
+    v}
+
+    The per-block transfer function and the rewriting share one walk,
+    which follows the paper's insertion-point pseudocode:
+
+    - an original null check is deleted and its target joins the floating
+      set;
+    - an instruction that dereferences a floating variable inside the
+      trap area with a faulting access kind consumes the check: an
+      implicit check is inserted in front of it and the instruction
+      becomes the designated exception site;
+    - an instruction that dereferences a floating variable {e without} a
+      guaranteed trap (offset beyond the trap area — the BigOffset case
+      of Figure 5(1) — a variable-index array element, or a read on an
+      OS that traps only writes) forces an explicit check in front of it;
+    - a side-effecting instruction flushes every floating check as
+      explicit checks placed in front of it;
+    - an instruction overwriting a floating variable forces that one
+      check out, in front of it;
+    - checks still floating at the block exit continue into the
+      successors when every successor receives them ([In_fwd] of every
+      successor contains the variable); otherwise they are materialized
+      as explicit checks at the block exit.
+
+    The meet is intersection so that a delayed check never executes on a
+    path that did not already contain one, which preserves the exception
+    semantics exactly; and because only side-effect-free instructions can
+    separate the old and new positions, delaying the NullPointerException
+    is unobservable. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Solver = Nullelim_dataflow.Solver
+module Cfg = Nullelim_cfg.Cfg
+module Arch = Nullelim_arch.Arch
+
+type stats = {
+  mutable made_implicit : int;
+  mutable made_explicit : int;
+  mutable eliminated : int;
+}
+
+(** The shared walk.  Updates [floating] in place; when [emit] is given,
+    produces the rewritten instruction list through it. *)
+let walk_block ~arch (f : Ir.func) (l : Ir.label)
+    ~(floating : Bitset.t) ?emit ?stats () : unit =
+  let emit i = match emit with Some e -> e i | None -> () in
+  let count_impl () =
+    match stats with Some s -> s.made_implicit <- s.made_implicit + 1 | None -> ()
+  in
+  let count_expl () =
+    match stats with Some s -> s.made_explicit <- s.made_explicit + 1 | None -> ()
+  in
+  Array.iter
+    (fun i ->
+      match i with
+      | Ir.Null_check (_, v) ->
+        (* the check is picked up and floats; the instruction is dropped *)
+        Bitset.add_mut floating v
+      | _ ->
+        (* 1. dereference of a floating variable consumes its check:
+           implicit when the trap is guaranteed, explicit otherwise.  The
+           emission is deferred until after any barrier flush so that an
+           implicit check stays immediately adjacent to its exception
+           site (a store is both a consumer of its own check and a
+           barrier for every other floating check). *)
+        let pending =
+          match Ir.deref_site i with
+          | Some (base, _, _) when Bitset.mem base floating ->
+            Bitset.remove_mut floating base;
+            Some (base, Arch.instr_traps_for arch i base)
+          | Some _ | None -> None
+        in
+        (* 2. side-effect barrier: flush everything still floating *)
+        if Opt_util.barrier f l i then begin
+          Bitset.iter
+            (fun v ->
+              emit (Ir.Null_check (Explicit, v));
+              count_expl ())
+            floating;
+          Bitset.clear_mut floating
+        end
+        else begin
+          (* 3. overwrite of a floating variable *)
+          match Ir.def_of_instr i with
+          | Some d when Bitset.mem d floating ->
+            emit (Ir.Null_check (Explicit, d));
+            count_expl ();
+            Bitset.remove_mut floating d
+          | Some _ | None -> ()
+        end;
+        (match pending with
+        | Some (base, true) ->
+          emit (Ir.Null_check (Implicit, base));
+          count_impl ()
+        | Some (base, false) ->
+          emit (Ir.Null_check (Explicit, base));
+          count_expl ()
+        | None -> ());
+        emit i)
+    (Ir.block f l).instrs
+
+(** Forward data-flow of Section 4.2.1. *)
+let analyse ~arch (cfg : Cfg.t) : Solver.result =
+  let f = Cfg.func cfg in
+  let nv = f.fn_nvars in
+  let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
+    ~top:(Bitset.full nv) ~meet:Bitset.inter
+    ~edge:(fun ~src ~dst s ->
+      if same_region src dst then s else Bitset.empty nv)
+    ~boundary_blocks:(Cfg.handler_blocks f)
+    ~transfer:(fun l inb ->
+      let floating = Bitset.copy inb in
+      walk_block ~arch f l ~floating ();
+      floating)
+    ()
+
+(** Stage 2 of the phase: backward substitutable-check elimination
+    (Section 4.2.2).
+
+    {v
+      Out_bwd(n) = /\ over m in Succ(n) of (In_bwd(m) - Edge_try(m,n))
+      In_bwd(n)  = (Out_bwd(n) - Kill(n)) \/ Gen_bwd(n)
+    v}
+
+    [Gen_bwd(n)]: variables covered — by another null check or by a
+    dereference that traps — before any kill from the entry of [n].  An
+    explicit check that is substitutable immediately after its position
+    is deleted: the later cover raises the same NullPointerException and
+    only side-effect-free instructions separate the two points. *)
+let eliminate_substitutable ~arch (f : Ir.func) (stats : stats) : unit =
+  let cfg = Cfg.make f in
+  let nv = f.fn_nvars in
+  let gen_kill l =
+    let gen = Bitset.empty nv and killed = Bitset.empty nv in
+    let blocked = ref false in
+    Array.iter
+      (fun i ->
+        (* cover first: a covering instruction may itself be a barrier
+           (e.g. a field store), but it covers checks above it *)
+        (match i with
+        | Ir.Null_check (_, v) ->
+          if (not !blocked) && not (Bitset.mem v killed) then
+            Bitset.add_mut gen v
+        | _ -> (
+          match Ir.deref_site i with
+          | Some (base, _, _)
+            when Arch.instr_traps_for arch i base
+                 && (not !blocked)
+                 && not (Bitset.mem base killed) ->
+            Bitset.add_mut gen base
+          | Some _ | None -> ()));
+        if Opt_util.barrier f l i then blocked := true;
+        match Ir.def_of_instr i with
+        | Some d -> Bitset.add_mut killed d
+        | None -> ())
+      (Ir.block f l).instrs;
+    let kill = if !blocked then Bitset.full nv else killed in
+    (gen, kill)
+  in
+  let n = Ir.nblocks f in
+  let gen = Array.make n (Bitset.empty nv)
+  and kill = Array.make n (Bitset.empty nv) in
+  for l = 0 to n - 1 do
+    let g, k = gen_kill l in
+    gen.(l) <- g;
+    kill.(l) <- k
+  done;
+  let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let r =
+    Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~edge:(fun ~src ~dst s ->
+        if same_region src dst then s else Bitset.empty nv)
+      ~transfer:(fun l out ->
+        Bitset.union (Bitset.diff out kill.(l)) gen.(l))
+      ()
+  in
+  for l = 0 to n - 1 do
+    if Cfg.is_reachable cfg l then begin
+      let instrs = (Ir.block f l).instrs in
+      let sub = Bitset.copy r.Solver.outb.(l) in
+      let out = ref [] in
+      for k = Array.length instrs - 1 downto 0 do
+        let i = instrs.(k) in
+        let deleted =
+          match i with
+          | Ir.Null_check (Explicit, v) when Bitset.mem v sub ->
+            stats.eliminated <- stats.eliminated + 1;
+            true
+          | _ -> false
+        in
+        if not deleted then out := i :: !out;
+        (* update [sub] to the point before [i] *)
+        if Opt_util.barrier f l i then Bitset.clear_mut sub;
+        (match Ir.def_of_instr i with
+        | Some d -> Bitset.remove_mut sub d
+        | None -> ());
+        match i with
+        | Ir.Null_check (_, v) -> if not deleted then Bitset.add_mut sub v
+        | _ -> (
+          match Ir.deref_site i with
+          | Some (base, _, _) when Arch.instr_traps_for arch i base ->
+            Bitset.add_mut sub base
+          | Some _ | None -> ())
+      done;
+      Opt_util.set_instrs f l !out
+    end
+  done
+
+(** Run the whole architecture-dependent phase on a function. *)
+let run ~(arch : Arch.t) (f : Ir.func) : stats =
+  let stats = { made_implicit = 0; made_explicit = 0; eliminated = 0 } in
+  let cfg = Cfg.make f in
+  let r = analyse ~arch cfg in
+  let nblocks = Ir.nblocks f in
+  for l = 0 to nblocks - 1 do
+    if Cfg.is_reachable cfg l then begin
+      let acc = ref [] in
+      let emit i = acc := i :: !acc in
+      let floating = Bitset.copy r.Solver.inb.(l) in
+      walk_block ~arch f l ~floating ~emit ~stats ();
+      (* materialize checks that not every successor accepts *)
+      let succs = Cfg.succs cfg l in
+      Bitset.iter
+        (fun v ->
+          let continues =
+            succs <> []
+            && List.for_all (fun s -> Bitset.mem v r.Solver.inb.(s)) succs
+          in
+          if not continues then begin
+            emit (Ir.Null_check (Explicit, v));
+            stats.made_explicit <- stats.made_explicit + 1
+          end)
+        floating;
+      Opt_util.set_instrs f l (List.rev !acc)
+    end
+  done;
+  eliminate_substitutable ~arch f stats;
+  stats

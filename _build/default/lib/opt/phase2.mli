@@ -1,0 +1,16 @@
+(** Architecture-dependent null-check optimization (paper Section 4.2):
+    forward motion to the latest points, conversion to implicit
+    (hardware-trap) checks at covered dereferences, explicit
+    materialization elsewhere, then backward substitutable-check
+    elimination.  See the implementation header for the walk rules. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+type stats = {
+  mutable made_implicit : int;
+  mutable made_explicit : int;
+  mutable eliminated : int;
+}
+
+val run : arch:Arch.t -> Ir.func -> stats

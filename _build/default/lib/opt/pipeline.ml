@@ -1,0 +1,40 @@
+(** Pass manager: named passes over whole programs, with per-pass wall
+    time accumulated into a [timings] table.  The compilation-time
+    breakdown of the paper's Tables 4 and 5 (null-check optimization vs.
+    everything else, new vs. old algorithm) is produced from these
+    timings. *)
+
+module Ir = Nullelim_ir.Ir
+
+type pass = { name : string; run : Ir.program -> unit }
+
+type timings = (string, float) Hashtbl.t
+
+let new_timings () : timings = Hashtbl.create 16
+
+let add (t : timings) name dt =
+  Hashtbl.replace t name (dt +. Option.value ~default:0. (Hashtbl.find_opt t name))
+
+let timed (t : timings option) name g =
+  match t with
+  | None -> g ()
+  | Some tbl ->
+    let t0 = Sys.time () in
+    let r = g () in
+    add tbl name (Sys.time () -. t0);
+    r
+
+(** Lift a per-function transformation to a program pass. *)
+let per_func name (g : Ir.func -> unit) : pass =
+  { name; run = (fun p -> Ir.iter_funcs g p) }
+
+let program_pass name (g : Ir.program -> unit) : pass = { name; run = g }
+
+let run ?timings (passes : pass list) (p : Ir.program) : unit =
+  List.iter (fun pass -> timed timings pass.name (fun () -> pass.run p)) passes
+
+let total (t : timings) = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.
+
+(** Total time spent in passes whose name matches the predicate. *)
+let total_matching (t : timings) pred =
+  Hashtbl.fold (fun k v acc -> if pred k then acc +. v else acc) t 0.

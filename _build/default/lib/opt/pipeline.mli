@@ -1,0 +1,14 @@
+(** Pass manager: named program passes with accumulated per-pass wall
+    time; the source of the paper's compilation-time tables. *)
+
+module Ir = Nullelim_ir.Ir
+
+type pass = { name : string; run : Ir.program -> unit }
+type timings = (string, float) Hashtbl.t
+
+val new_timings : unit -> timings
+val per_func : string -> (Ir.func -> unit) -> pass
+val program_pass : string -> (Ir.program -> unit) -> pass
+val run : ?timings:timings -> pass list -> Ir.program -> unit
+val total : timings -> float
+val total_matching : timings -> (string -> bool) -> float

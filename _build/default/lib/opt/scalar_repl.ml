@@ -1,0 +1,281 @@
+(** Scalar replacement of memory accesses.
+
+    Two ingredients (paper Sections 3.2, 3.3.1 and Figure 4/6):
+
+    - {b loop-invariant load hoisting}: [getfield]/[arraylength]/array
+      loads whose operands are loop invariant move to the loop preheader
+      when no instruction in the loop may write the accessed location
+      (type/field-based alias analysis: a field load is killed only by a
+      store to the same field name; an array-element load only by an
+      array store of the same element kind; any call kills everything;
+      array lengths are immutable).  Hoisting a load is only legal when
+      it cannot fault where the original could not: either the base is
+      known non-null on loop entry (typically because phase 1 already
+      hoisted its null check to the preheader — the synergy of Figure 4),
+      or {e speculation} is enabled: on an OS that does not trap reads of
+      the protected page (AIX), a read through a possibly-null pointer at
+      a known offset inside that page is harmless, so the load may move
+      above its own null check (Figure 6);
+    - {b redundant-load elimination} within a block: a second load of the
+      same field/length with no intervening aliasing store becomes a
+      register move, and a store forwards its value to subsequent loads.
+
+    A hoisted array-element load additionally needs an in-bounds
+    guarantee: the preheader must already contain (or make available) the
+    corresponding [arraylength] and [Bound_check] — which the bound-check
+    pass puts there on an earlier pipeline iteration, another leg of the
+    iterate-until-settled design of Figure 2. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Cfg = Nullelim_cfg.Cfg
+module Dominance = Nullelim_cfg.Dominance
+module Loops = Nullelim_cfg.Loops
+module Nullness = Nullelim_analysis.Nullness
+module Liveness = Nullelim_analysis.Liveness
+module Arch = Nullelim_arch.Arch
+
+type stats = { mutable hoisted : int; mutable replaced : int }
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant hoisting                                             *)
+(* ------------------------------------------------------------------ *)
+
+type loop_summary = {
+  defs : (Ir.var, int) Hashtbl.t;       (** def counts in the loop *)
+  stored_fields : (string, unit) Hashtbl.t;
+  stored_kinds : (Ir.kind, unit) Hashtbl.t;
+  has_call : bool;
+}
+
+let summarize (f : Ir.func) members : loop_summary =
+  let defs = Hashtbl.create 16 in
+  let stored_fields = Hashtbl.create 8 in
+  let stored_kinds = Hashtbl.create 4 in
+  let has_call = ref false in
+  List.iter
+    (fun m ->
+      Array.iter
+        (fun i ->
+          (match Ir.def_of_instr i with
+          | Some d ->
+            Hashtbl.replace defs d
+              (1 + Option.value ~default:0 (Hashtbl.find_opt defs d))
+          | None -> ());
+          match i with
+          | Ir.Put_field (_, fld, _) -> Hashtbl.replace stored_fields fld.fname ()
+          | Ir.Array_store (_, _, _, k) -> Hashtbl.replace stored_kinds k ()
+          | Ir.Call _ -> has_call := true
+          | _ -> ())
+        (Ir.block f m).instrs)
+    members;
+  { defs; stored_fields; stored_kinds; has_call = !has_call }
+
+let invariant_var s v = not (Hashtbl.mem s.defs v)
+
+let invariant_operand s = function
+  | Ir.Var v -> invariant_var s v
+  | Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull -> true
+
+(** Is an in-bounds guarantee for [arr.(idx)] available at the end of the
+    preheader?  We look for the pattern the bound-check hoisting pass
+    produces: [len = arraylength arr] followed (not necessarily
+    adjacently) by [Bound_check (idx, Var len)], with neither [len] nor
+    the variables of [idx] redefined in between. *)
+let bounds_proven (f : Ir.func) ph ~arr ~idx =
+  let instrs = (Ir.block f ph).instrs in
+  let n = Array.length instrs in
+  let ok = ref false in
+  for k = 0 to n - 1 do
+    match instrs.(k) with
+    | Ir.Array_length (len, a) when a = arr ->
+      (* scan forward for the matching bound check *)
+      let rec scan j =
+        if j >= n then ()
+        else
+          match instrs.(j) with
+          | Ir.Bound_check (x, Ir.Var l2) when x = idx && l2 = len -> ok := true
+          | i ->
+            (match Ir.def_of_instr i with
+            | Some d when d = len || List.mem d (Ir.vars_of_operand idx) -> ()
+            | _ -> scan (j + 1))
+      in
+      scan (k + 1)
+    | _ -> ()
+  done;
+  !ok
+
+(** One hoisting round over one loop; returns true if something moved. *)
+let hoist_in_loop ~speculate ~(arch : Arch.t) (f : Ir.func) (cfg : Cfg.t)
+    (live : Liveness.t) (nullness : Nullness.t) (l : Loops.loop)
+    (stats : stats) : bool =
+  let members = Loops.members l in
+  let s = summarize f members in
+  if s.has_call then false
+  else begin
+    let live_in_header = Liveness.live_in live l.header in
+    let nonnull_at ph v = Bitset.mem v (Nullness.at_exit nullness ph) in
+    let may_speculate_read ~offset =
+      speculate
+      && (not (arch.Arch.traps_on Arch.Read))
+      && offset >= 0 && offset < arch.Arch.trap_area
+    in
+    let dst_ok d =
+      Hashtbl.find_opt s.defs d = Some 1 && not (Bitset.mem d live_in_header)
+    in
+    (* collect all candidates: (block, index, instr, base, site) *)
+    let candidates = ref [] in
+    List.iter
+      (fun m ->
+        Array.iteri
+          (fun k i ->
+            match i with
+            | Ir.Get_field (d, o, fld)
+              when invariant_var s o
+                   && (not (Hashtbl.mem s.stored_fields fld.fname))
+                   && dst_ok d ->
+              candidates := (m, k, i, o, `Field fld.foffset) :: !candidates
+            | Ir.Array_length (d, a) when invariant_var s a && dst_ok d ->
+              candidates :=
+                (m, k, i, a, `Field Ir.array_length_offset) :: !candidates
+            | Ir.Array_load (d, a, idx, kind)
+              when invariant_var s a
+                   && invariant_operand s idx
+                   && (not (Hashtbl.mem s.stored_kinds kind))
+                   && dst_ok d ->
+              candidates := (m, k, i, a, `Elem idx) :: !candidates
+            | _ -> ())
+          (Ir.block f m).instrs)
+      members;
+    match List.rev !candidates with
+    | [] -> false
+    | candidates ->
+      let old_nblocks = Cfg.nblocks cfg in
+      let ph = Loops.ensure_preheader f cfg l in
+      if ph >= old_nblocks then
+        (* a fresh preheader block was created: the analyses are stale;
+           signal progress so the caller recomputes and retries *)
+        true
+      else begin
+        let try_one (m, k, i, base, site) =
+          let safe =
+            match site with
+            | `Field offset ->
+              nonnull_at ph base || may_speculate_read ~offset
+            | `Elem idx ->
+              (* element loads need non-nullness and proven bounds *)
+              nonnull_at ph base && bounds_proven f ph ~arr:base ~idx
+          in
+          if not safe then false
+          else begin
+            let instrs = (Ir.block f m).instrs in
+            let keep = ref [] in
+            Array.iteri (fun j x -> if j <> k then keep := x :: !keep) instrs;
+            Opt_util.set_instrs f m (List.rev !keep);
+            Opt_util.append_instrs f ph [ i ];
+            stats.hoisted <- stats.hoisted + 1;
+            true
+          end
+        in
+        List.exists try_one candidates
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block-local redundant-load elimination                              *)
+(* ------------------------------------------------------------------ *)
+
+type expr = Efield of Ir.var * int | Elen of Ir.var
+
+let eliminate_redundant_loads (f : Ir.func) (stats : stats) : unit =
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      let avail : (expr, Ir.var) Hashtbl.t = Hashtbl.create 16 in
+      let kill_var v =
+        Hashtbl.iter
+          (fun e w ->
+            match e with
+            | Efield (o, _) when o = v || w = v -> Hashtbl.remove avail e
+            | Elen a when a = v || w = v -> Hashtbl.remove avail e
+            | _ -> ())
+          (Hashtbl.copy avail)
+      in
+      let kill_field offset =
+        Hashtbl.iter
+          (fun e _ ->
+            match e with
+            | Efield (_, o) when o = offset -> Hashtbl.remove avail e
+            | _ -> ())
+          (Hashtbl.copy avail)
+      in
+      let kill_all_fields () =
+        Hashtbl.iter
+          (fun e _ ->
+            match e with
+            | Efield _ -> Hashtbl.remove avail e
+            | Elen _ -> ())
+          (Hashtbl.copy avail)
+      in
+      let out = ref [] in
+      Array.iter
+        (fun i ->
+          let replacement =
+            match i with
+            | Ir.Get_field (d, o, fld) -> (
+              match Hashtbl.find_opt avail (Efield (o, fld.foffset)) with
+              | Some w when w <> d -> Some (Ir.Move (d, Ir.Var w))
+              | _ -> None)
+            | Ir.Array_length (d, a) -> (
+              match Hashtbl.find_opt avail (Elen a) with
+              | Some w when w <> d -> Some (Ir.Move (d, Ir.Var w))
+              | _ -> None)
+            | _ -> None
+          in
+          let emitted =
+            match replacement with
+            | Some r ->
+              stats.replaced <- stats.replaced + 1;
+              r
+            | None -> i
+          in
+          out := emitted :: !out;
+          (* update availability from the ORIGINAL instruction *)
+          (match Ir.def_of_instr i with
+          | Some d -> kill_var d
+          | None -> ());
+          match i with
+          | Ir.Get_field (d, o, fld) ->
+            Hashtbl.replace avail (Efield (o, fld.foffset)) d
+          | Ir.Array_length (d, a) -> Hashtbl.replace avail (Elen a) d
+          | Ir.Put_field (o, fld, src) -> (
+            kill_field fld.foffset;
+            match src with
+            | Ir.Var sv -> Hashtbl.replace avail (Efield (o, fld.foffset)) sv
+            | _ -> ())
+          | Ir.Call _ -> kill_all_fields ()
+          | _ -> ())
+        b.instrs;
+      Opt_util.set_instrs f l (List.rev !out))
+    f.fn_blocks
+
+(** Run the pass.  [speculate] enables read speculation (legal only when
+    the architecture does not trap reads, i.e. AIX in the paper). *)
+let run ?(speculate = false) ~(arch : Arch.t) (f : Ir.func) : stats =
+  let stats = { hoisted = 0; replaced = 0 } in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.make f in
+    let dom = Dominance.compute cfg in
+    let loops = Loops.detect cfg dom in
+    let live = Liveness.solve cfg in
+    let nullness = Nullness.solve ~deref_gen:false cfg in
+    List.iter
+      (fun l ->
+        if not !continue_ then
+          if hoist_in_loop ~speculate ~arch f cfg live nullness l stats then
+            continue_ := true)
+      loops
+  done;
+  eliminate_redundant_loads f stats;
+  stats

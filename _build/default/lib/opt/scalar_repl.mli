@@ -1,0 +1,13 @@
+(** Scalar replacement of memory accesses: loop-invariant load hoisting
+    (with type/field-based alias analysis) and block-local redundant-load
+    elimination.  [speculate] enables the AIX mode of Section 3.3.1 /
+    Figure 6 — reads may move above their null checks when the
+    architecture does not trap reads of the protected page. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+type stats = { mutable hoisted : int; mutable replaced : int }
+
+val eliminate_redundant_loads : Ir.func -> stats -> unit
+val run : ?speculate:bool -> arch:Arch.t -> Ir.func -> stats

@@ -1,0 +1,9 @@
+(** Merge straight-line block chains (a block into its unique Goto
+    predecessor, same try region, not the entry or a handler), then drop
+    unreachable blocks.  Required after inlining so block-local copy
+    propagation can see through argument moves. *)
+
+module Ir = Nullelim_ir.Ir
+
+val run : Ir.func -> int
+(** Returns the number of merges performed. *)

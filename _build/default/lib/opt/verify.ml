@@ -1,0 +1,61 @@
+(** Static soundness verifier for compiled programs.
+
+    Checks the structural contract that makes implicit null checks legal
+    (Section 3.3.1): every [Null_check (Implicit, v)] must be immediately
+    followed, in the same block, by an instruction that dereferences [v]
+    at a statically known offset inside the protected trap area with an
+    access kind the architecture faults on.  The "Illegal Implicit"
+    configuration of Section 5.4 deliberately violates this on AIX (reads
+    do not fault there); this verifier is how the test suite tells legal
+    configurations from that one. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+type violation = {
+  v_func : string;
+  v_block : Ir.label;
+  v_index : int;
+  v_reason : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s B%d[%d]: %s" v.v_func v.v_block v.v_index v.v_reason
+
+let verify_func ~(arch : Arch.t) (f : Ir.func) : violation list =
+  let out = ref [] in
+  let bad l k reason =
+    out := { v_func = f.fn_name; v_block = l; v_index = k; v_reason = reason } :: !out
+  in
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      Array.iteri
+        (fun k i ->
+          match i with
+          | Ir.Null_check (Implicit, v) ->
+            if k + 1 >= Array.length b.instrs then
+              bad l k "implicit null check at block end (no exception site)"
+            else begin
+              let next = b.instrs.(k + 1) in
+              match Ir.deref_site next with
+              | Some (base, _, _) when base = v ->
+                if not (Arch.instr_traps_for arch next v) then
+                  bad l k
+                    (Printf.sprintf
+                       "implicit null check of %s not covered: the following \
+                        access does not trap on %s"
+                       (Ir.var_name f v) arch.Arch.name)
+              | Some _ | None ->
+                bad l k
+                  "implicit null check not followed by a dereference of its \
+                   target"
+            end
+          | _ -> ())
+        b.instrs)
+    f.fn_blocks;
+  List.rev !out
+
+let verify_program ~arch (p : Ir.program) : violation list =
+  let acc = ref [] in
+  Ir.iter_funcs (fun f -> acc := verify_func ~arch f @ !acc) p;
+  !acc

@@ -1,0 +1,32 @@
+(** Whaley's null-check elimination — the paper's "Old Null Check"
+    baseline (Section 2.2, reference [14]).
+
+    A plain forward data-flow analysis computes the variables known to be
+    non-null at every point (from earlier checks, allocations, successful
+    dereferences and non-null branch edges) and deletes null checks whose
+    target is already known non-null.  No code motion is performed, which
+    is precisely the limitation the paper attacks: a loop-invariant null
+    check whose first occurrence is inside the loop stays inside the
+    loop. *)
+
+module Ir = Nullelim_ir.Ir
+module Bitset = Nullelim_dataflow.Bitset
+module Cfg = Nullelim_cfg.Cfg
+module Nullness = Nullelim_analysis.Nullness
+
+(** Returns the number of checks removed. *)
+let run (f : Ir.func) : int =
+  let cfg = Cfg.make f in
+  let nullness = Nullness.solve ~deref_gen:true cfg in
+  let removed = ref 0 in
+  for l = 0 to Ir.nblocks f - 1 do
+    if Cfg.is_reachable cfg l then begin
+      let keep = ref [] in
+      Nullness.iter_block nullness l (fun facts _idx i ->
+          match i with
+          | Ir.Null_check (_, v) when Bitset.mem v facts -> incr removed
+          | _ -> keep := i :: !keep);
+      Opt_util.set_instrs f l (List.rev !keep)
+    end
+  done;
+  !removed

@@ -1,0 +1,8 @@
+(** Whaley's forward-analysis null-check elimination — the paper's
+    "Old Null Check" baseline (Section 2.2, reference [14]).  Deletes
+    checks whose target is known non-null; performs no code motion. *)
+
+module Ir = Nullelim_ir.Ir
+
+val run : Ir.func -> int
+(** Returns the number of checks removed. *)

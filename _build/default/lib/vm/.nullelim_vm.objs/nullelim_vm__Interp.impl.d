@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Float Fmt Hashtbl List Nullelim_arch Nullelim_ir Printf Value

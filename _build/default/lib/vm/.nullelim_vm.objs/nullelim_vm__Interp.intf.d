@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Fmt Nullelim_arch Nullelim_ir Value

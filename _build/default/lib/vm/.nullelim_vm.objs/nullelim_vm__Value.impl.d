@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Fmt Hashtbl List Nullelim_ir Obj

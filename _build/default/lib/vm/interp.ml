@@ -1,0 +1,445 @@
+(** Cost-accounting interpreter with hardware-trap simulation.
+
+    The interpreter executes IR programs and plays the role of the CPU and
+    operating system in the paper's evaluation:
+
+    - every instruction is charged cycles from the architecture's cost
+      model; explicit null checks cost real cycles, implicit ones are
+      free;
+    - dereferencing a null pointer raises a NullPointerException {e only}
+      when the architecture traps for that access kind and the accessed
+      byte offset falls inside the protected trap area — otherwise the
+      access silently reads zero-page garbage or discards the write,
+      exactly the behaviour that makes the "Illegal Implicit"
+      configuration of Section 5.4 violate the Java semantics.  Such
+      silent events are counted: [implicit_miss] when the compiler had
+      designated the access as an implicit-check exception site (a real
+      soundness violation), [spec_null_reads] for speculative reads
+      hoisted above their null check (benign by construction, Section
+      3.3.1);
+    - exceptions dispatch to the try-region handler of the raising block,
+      unwinding call frames as needed;
+    - all observable behaviour (prints, caught exceptions, the final
+      outcome) is recorded in a trace so that differential tests can
+      compare program variants. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+open Value
+
+type event = Eprint of string | Ecaught of Ir.exn_kind
+
+type outcome =
+  | Returned of value option
+  | Uncaught of Ir.exn_kind
+  | Sim_error of string (** the program or the compiler is broken *)
+
+type counters = {
+  mutable instrs : int;
+  mutable cycles : int;
+  mutable explicit_checks : int;
+  mutable implicit_checks : int;
+  mutable bound_checks : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable allocs : int;
+  mutable npe_trap : int;
+  mutable npe_explicit : int;
+  mutable implicit_miss : int;
+  mutable spec_null_reads : int;
+}
+
+let new_counters () =
+  {
+    instrs = 0; cycles = 0; explicit_checks = 0; implicit_checks = 0;
+    bound_checks = 0; loads = 0; stores = 0; calls = 0; allocs = 0;
+    npe_trap = 0; npe_explicit = 0; implicit_miss = 0; spec_null_reads = 0;
+  }
+
+type result = { outcome : outcome; trace : event list; counters : counters }
+
+exception Jexn of Ir.exn_kind
+exception Sim of string
+exception Out_of_fuel
+
+type state = {
+  prog : Ir.program;
+  arch : Arch.t;
+  c : counters;
+  mutable fuel : int;
+  mutable trace_rev : event list;
+  mutable depth : int;
+}
+
+let record st e = st.trace_rev <- e :: st.trace_rev
+
+let charge st n = st.c.cycles <- st.c.cycles + n
+
+let tick st =
+  st.c.instrs <- st.c.instrs + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let as_int = function
+  | Vint n -> n
+  | Vundef -> raise (Sim "use of undefined variable (int)")
+  | v -> raise (Sim (Fmt.str "expected int, got %a" Value.pp v))
+
+let as_float = function
+  | Vfloat x -> x
+  | Vundef -> raise (Sim "use of undefined variable (float)")
+  | v -> raise (Sim (Fmt.str "expected float, got %a" Value.pp v))
+
+let as_ref = function
+  | Vref r -> r
+  | Vundef -> raise (Sim "use of undefined variable (ref)")
+  | v -> raise (Sim (Fmt.str "expected ref, got %a" Value.pp v))
+
+let eval vars = function
+  | Ir.Var v ->
+    (match vars.(v) with
+    | Vundef -> raise (Sim (Printf.sprintf "use of undefined variable v%d" v))
+    | x -> x)
+  | Ir.Cint n -> Vint n
+  | Ir.Cfloat x -> Vfloat x
+  | Ir.Cnull -> Vref Null
+
+(** Handle a dereference through a null pointer: hardware trap (NPE) or a
+    silent zero-page access. [prev] is the instruction preceding the
+    access in its block, used to classify a miss as an implicit-check
+    soundness violation. *)
+let null_deref st ~(prev : Ir.instr option) ~(base : Ir.var) ~offset ~access :
+    value =
+  if Arch.trap_covers st.arch ~offset:(Some offset) ~access then begin
+    st.c.npe_trap <- st.c.npe_trap + 1;
+    raise (Jexn Ir.Npe)
+  end
+  else begin
+    (match prev with
+    | Some (Ir.Null_check (Implicit, v)) when v = base ->
+      st.c.implicit_miss <- st.c.implicit_miss + 1
+    | _ -> st.c.spec_null_reads <- st.c.spec_null_reads + 1);
+    Value.null_page_garbage
+  end
+
+let cmp_values c a b =
+  match (a, b) with
+  | Vint x, Vint y ->
+    (match c with
+    | Ir.Eq -> x = y | Ir.Ne -> x <> y | Ir.Lt -> x < y
+    | Ir.Le -> x <= y | Ir.Gt -> x > y | Ir.Ge -> x >= y)
+  | Vfloat x, Vfloat y ->
+    (match c with
+    | Ir.Eq -> x = y | Ir.Ne -> x <> y | Ir.Lt -> x < y
+    | Ir.Le -> x <= y | Ir.Gt -> x > y | Ir.Ge -> x >= y)
+  | Vref x, Vref y ->
+    (match c with
+    | Ir.Eq -> x == y || (x = Null && y = Null)
+    | Ir.Ne -> not (x == y || (x = Null && y = Null))
+    | _ -> raise (Sim "ordered comparison on references"))
+  | _ -> raise (Sim "comparison on mismatched values")
+
+let intrinsic_of_name = Ir.intrinsic_of_name
+
+let apply_intrinsic u x =
+  match u with
+  | Ir.Fsqrt -> sqrt x
+  | Ir.Fexp -> exp x
+  | Ir.Flog -> log x
+  | Ir.Fsin -> sin x
+  | Ir.Fcos -> cos x
+  | Ir.Neg | Ir.Fneg | Ir.I2f | Ir.F2i -> assert false
+
+let rec exec_func st (f : Ir.func) (args : value list) : value option =
+  st.depth <- st.depth + 1;
+  if st.depth > 2000 then raise (Sim "call depth exceeded");
+  let vars = Array.make (max f.fn_nvars 1) Vundef in
+  List.iteri
+    (fun i a -> if i < f.fn_nvars then vars.(i) <- a)
+    args;
+  let rec run l =
+    let b = Ir.block f l in
+    let next =
+      try `Flow (exec_block st f vars b)
+      with Jexn k -> (
+        match Ir.handler_of f b.breg with
+        | Some h ->
+          record st (Ecaught k);
+          `Flow (`Jump h)
+        | None -> raise (Jexn k))
+    in
+    match next with
+    | `Flow (`Jump l') -> run l'
+    | `Flow (`Return v) -> v
+  in
+  let r = run 0 in
+  st.depth <- st.depth - 1;
+  r
+
+and exec_block st f vars (b : Ir.block) : [ `Jump of Ir.label | `Return of value option ] =
+  let cost = st.arch.cost in
+  let prev = ref None in
+  Array.iter
+    (fun i ->
+      exec_instr st f vars ~prev:!prev i;
+      prev := Some i)
+    b.instrs;
+  tick st;
+  match b.term with
+  | Goto l ->
+    charge st cost.c_branch;
+    `Jump l
+  | If (c, x, y, l1, l2) ->
+    charge st cost.c_branch;
+    `Jump (if cmp_values c (eval vars x) (eval vars y) then l1 else l2)
+  | Ifnull (v, l1, l2) ->
+    charge st cost.c_branch;
+    (match as_ref vars.(v) with Null -> `Jump l1 | Obj _ | Arr _ -> `Jump l2)
+  | Return None ->
+    charge st cost.c_branch;
+    `Return None
+  | Return (Some o) ->
+    charge st cost.c_branch;
+    `Return (Some (eval vars o))
+  | Throw s -> raise (Jexn (User s))
+
+and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
+  let cost = st.arch.cost in
+  tick st;
+  match i with
+  | Move (d, o) ->
+    charge st cost.c_alu;
+    vars.(d) <- eval vars o
+  | Unop (d, u, o) -> (
+    match u with
+    | Neg ->
+      charge st cost.c_alu;
+      vars.(d) <- Vint (-as_int (eval vars o))
+    | Fneg ->
+      charge st cost.c_fpu;
+      vars.(d) <- Vfloat (-.as_float (eval vars o))
+    | I2f ->
+      charge st cost.c_fpu;
+      vars.(d) <- Vfloat (float_of_int (as_int (eval vars o)))
+    | F2i ->
+      charge st cost.c_fpu;
+      vars.(d) <- Vint (int_of_float (as_float (eval vars o)))
+    | (Fsqrt | Fexp | Flog | Fsin | Fcos) as u ->
+      charge st cost.c_intrinsic;
+      vars.(d) <- Vfloat (apply_intrinsic u (as_float (eval vars o))))
+  | Binop (d, op, a, b) -> (
+    let va = eval vars a and vb = eval vars b in
+    match op with
+    | Add -> charge st cost.c_alu; vars.(d) <- Vint (as_int va + as_int vb)
+    | Sub -> charge st cost.c_alu; vars.(d) <- Vint (as_int va - as_int vb)
+    | Mul -> charge st cost.c_alu; vars.(d) <- Vint (as_int va * as_int vb)
+    | Div ->
+      charge st cost.c_alu;
+      let n = as_int vb in
+      if n = 0 then raise (Jexn Arith) else vars.(d) <- Vint (as_int va / n)
+    | Rem ->
+      charge st cost.c_alu;
+      let n = as_int vb in
+      if n = 0 then raise (Jexn Arith) else vars.(d) <- Vint (as_int va mod n)
+    | Band -> charge st cost.c_alu; vars.(d) <- Vint (as_int va land as_int vb)
+    | Bor -> charge st cost.c_alu; vars.(d) <- Vint (as_int va lor as_int vb)
+    | Bxor -> charge st cost.c_alu; vars.(d) <- Vint (as_int va lxor as_int vb)
+    | Shl -> charge st cost.c_alu; vars.(d) <- Vint (as_int va lsl (as_int vb land 63))
+    | Shr -> charge st cost.c_alu; vars.(d) <- Vint (as_int va asr (as_int vb land 63))
+    | Fadd -> charge st cost.c_fpu; vars.(d) <- Vfloat (as_float va +. as_float vb)
+    | Fsub -> charge st cost.c_fpu; vars.(d) <- Vfloat (as_float va -. as_float vb)
+    | Fmul -> charge st cost.c_fpu; vars.(d) <- Vfloat (as_float va *. as_float vb)
+    | Fdiv -> charge st cost.c_fpu; vars.(d) <- Vfloat (as_float va /. as_float vb)
+    | Icmp c | Fcmp c ->
+      charge st cost.c_alu;
+      vars.(d) <- Vint (if cmp_values c va vb then 1 else 0))
+  | Null_check (Explicit, v) -> (
+    charge st cost.c_explicit_check;
+    st.c.explicit_checks <- st.c.explicit_checks + 1;
+    match as_ref vars.(v) with
+    | Null ->
+      st.c.npe_explicit <- st.c.npe_explicit + 1;
+      raise (Jexn Npe)
+    | Obj _ | Arr _ -> ())
+  | Null_check (Implicit, v) ->
+    (* free: the following instruction is the exception site *)
+    st.c.implicit_checks <- st.c.implicit_checks + 1;
+    ignore (as_ref vars.(v))
+  | Bound_check (io, lo) ->
+    charge st cost.c_bound_check;
+    st.c.bound_checks <- st.c.bound_checks + 1;
+    let idx = as_int (eval vars io) and len = as_int (eval vars lo) in
+    if idx < 0 || idx >= len then raise (Jexn Oob)
+  | Get_field (d, o, fld) -> (
+    charge st cost.c_load;
+    st.c.loads <- st.c.loads + 1;
+    match as_ref vars.(o) with
+    | Obj obj -> (
+      match Hashtbl.find_opt obj.o_slots fld.foffset with
+      | Some v -> vars.(d) <- v
+      | None -> raise (Sim ("field " ^ fld.fname ^ " missing from object")))
+    | Null ->
+      vars.(d) <-
+        null_deref st ~prev ~base:o ~offset:fld.foffset ~access:Arch.Read
+    | Arr _ -> raise (Sim "field access on array"))
+  | Put_field (o, fld, s) -> (
+    charge st cost.c_store;
+    st.c.stores <- st.c.stores + 1;
+    let v = eval vars s in
+    match as_ref vars.(o) with
+    | Obj obj -> Hashtbl.replace obj.o_slots fld.foffset v
+    | Null ->
+      ignore
+        (null_deref st ~prev ~base:o ~offset:fld.foffset ~access:Arch.Write)
+    | Arr _ -> raise (Sim "field store on array"))
+  | Array_load (d, a, io, k) -> (
+    charge st cost.c_load;
+    st.c.loads <- st.c.loads + 1;
+    let idx = as_int (eval vars io) in
+    match as_ref vars.(a) with
+    | Arr arr ->
+      if arr.a_kind <> k then raise (Sim "array load with wrong element kind");
+      if idx < 0 || idx >= Array.length arr.a_elems then
+        raise (Sim "unchecked out-of-bounds array read")
+      else vars.(d) <- arr.a_elems.(idx)
+    | Null ->
+      let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
+      vars.(d) <- null_deref st ~prev ~base:a ~offset ~access:Arch.Read
+    | Obj _ -> raise (Sim "array read on object"))
+  | Array_store (a, io, s, k) -> (
+    charge st cost.c_store;
+    st.c.stores <- st.c.stores + 1;
+    let idx = as_int (eval vars io) in
+    let v = eval vars s in
+    match as_ref vars.(a) with
+    | Arr arr ->
+      if arr.a_kind <> k then raise (Sim "array store with wrong element kind");
+      if idx < 0 || idx >= Array.length arr.a_elems then
+        raise (Sim "unchecked out-of-bounds array write")
+      else arr.a_elems.(idx) <- v
+    | Null ->
+      let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
+      ignore (null_deref st ~prev ~base:a ~offset ~access:Arch.Write)
+    | Obj _ -> raise (Sim "array write on object"))
+  | Array_length (d, a) -> (
+    charge st cost.c_load;
+    st.c.loads <- st.c.loads + 1;
+    match as_ref vars.(a) with
+    | Arr arr -> vars.(d) <- Vint (Array.length arr.a_elems)
+    | Null ->
+      vars.(d) <-
+        null_deref st ~prev ~base:a ~offset:Ir.array_length_offset
+          ~access:Arch.Read
+    | Obj _ -> raise (Sim "arraylength on object"))
+  | New_object (d, cname) ->
+    charge st cost.c_alloc;
+    st.c.allocs <- st.c.allocs + 1;
+    let cls = Ir.find_class st.prog cname in
+    vars.(d) <- Vref (Obj (Value.new_object st.prog.classes cls))
+  | New_array (d, k, n) ->
+    let len = as_int (eval vars n) in
+    if len < 0 then raise (Jexn (User "NegativeArraySize"));
+    charge st (cost.c_alloc + (len / 16));
+    st.c.allocs <- st.c.allocs + 1;
+    vars.(d) <- Vref (Arr (Value.new_array k len))
+  | Call (d, target, args) -> (
+    let argv = List.map (eval vars) args in
+    let fname =
+      match target with
+      | Static s -> s
+      | Virtual mname -> (
+        match argv with
+        | Vref (Obj o) :: _ -> (
+          match Ir.resolve_method st.prog o.o_cls mname with
+          | Some fn -> fn
+          | None -> raise (Sim ("no method " ^ mname ^ " on " ^ o.o_cls.cname)))
+        | Vref Null :: _ ->
+          (* method-table load through null *)
+          if Arch.trap_covers st.arch ~offset:(Some 0) ~access:Arch.Read
+          then begin
+            st.c.npe_trap <- st.c.npe_trap + 1;
+            raise (Jexn Npe)
+          end
+          else raise (Sim "virtual dispatch through null without trap")
+        | _ -> raise (Sim "virtual dispatch on non-object"))
+    in
+    match intrinsic_of_name fname with
+    | Some u ->
+      (* out-of-line math routine *)
+      charge st cost.c_intrinsic_call;
+      st.c.calls <- st.c.calls + 1;
+      let x = match argv with [ v ] -> as_float v | _ -> raise (Sim "bad intrinsic arity") in
+      (match d with
+      | Some d -> vars.(d) <- Vfloat (apply_intrinsic u x)
+      | None -> ())
+    | None -> (
+      charge st cost.c_call;
+      st.c.calls <- st.c.calls + 1;
+      let callee = Ir.find_func st.prog fname in
+      let r = exec_func st callee argv in
+      match (d, r) with
+      | Some d, Some v -> vars.(d) <- v
+      | Some _, None -> raise (Sim ("call to void function " ^ fname ^ " expects a value"))
+      | None, _ -> ()))
+  | Print o ->
+    charge st cost.c_print;
+    let v = eval vars o in
+    record st (Eprint (Fmt.str "%a" Value.pp v))
+
+(** Run a program's main function. *)
+let run ?(fuel = 400_000_000) ~(arch : Arch.t) (p : Ir.program)
+    (args : value list) : result =
+  let st =
+    { prog = p; arch; c = new_counters (); fuel; trace_rev = []; depth = 0 }
+  in
+  let outcome =
+    try Returned (exec_func st (Ir.find_func p p.prog_main) args)
+    with
+    | Jexn k -> Uncaught k
+    | Sim msg -> Sim_error msg
+    | Out_of_fuel -> Sim_error "out of fuel"
+    | Division_by_zero -> Sim_error "host division by zero"
+  in
+  { outcome; trace = List.rev st.trace_rev; counters = st.c }
+
+let pp_exn_kind ppf = function
+  | Ir.Npe -> Fmt.string ppf "NullPointerException"
+  | Ir.Oob -> Fmt.string ppf "ArrayIndexOutOfBoundsException"
+  | Ir.Arith -> Fmt.string ppf "ArithmeticException"
+  | Ir.User s -> Fmt.string ppf s
+
+let pp_outcome ppf = function
+  | Returned None -> Fmt.string ppf "returned"
+  | Returned (Some v) -> Fmt.pf ppf "returned %a" Value.pp v
+  | Uncaught k -> Fmt.pf ppf "uncaught %a" pp_exn_kind k
+  | Sim_error m -> Fmt.pf ppf "simulation error: %s" m
+
+let pp_event ppf = function
+  | Eprint s -> Fmt.pf ppf "print %s" s
+  | Ecaught k -> Fmt.pf ppf "caught %a" pp_exn_kind k
+
+(** Observable equivalence for differential testing: same trace of prints
+    and caught exceptions, same outcome (values compared structurally for
+    ints/floats, by kind for exceptions). *)
+let equivalent (a : result) (b : result) : bool =
+  let ev_eq x y =
+    match (x, y) with
+    | Eprint s, Eprint t -> s = t
+    | Ecaught k, Ecaught l -> k = l
+    | Eprint _, Ecaught _ | Ecaught _, Eprint _ -> false
+  in
+  let out_eq x y =
+    match (x, y) with
+    | Returned None, Returned None -> true
+    | Returned (Some (Vint a)), Returned (Some (Vint b)) -> a = b
+    | Returned (Some (Vfloat a)), Returned (Some (Vfloat b)) ->
+      a = b || (Float.is_nan a && Float.is_nan b)
+    | Returned (Some (Vref Null)), Returned (Some (Vref Null)) -> true
+    | Returned (Some (Vref _)), Returned (Some (Vref _)) -> true
+    | Uncaught k, Uncaught l -> k = l
+    | _ -> false
+  in
+  List.length a.trace = List.length b.trace
+  && List.for_all2 ev_eq a.trace b.trace
+  && out_eq a.outcome b.outcome

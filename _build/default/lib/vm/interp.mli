@@ -1,0 +1,55 @@
+(** Cost-accounting interpreter with hardware-trap simulation.
+
+    Plays the role of the CPU and operating system in the paper's
+    evaluation: cycles are charged from the architecture's cost model
+    (implicit checks are free), and dereferencing null raises
+    NullPointerException only when the architecture traps for that
+    access kind at that offset — otherwise the access silently touches
+    the zero page and the event is counted ([implicit_miss] for a
+    violated implicit check, [spec_null_reads] for a benign speculative
+    read). *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+
+type event = Eprint of string | Ecaught of Ir.exn_kind
+
+type outcome =
+  | Returned of Value.value option
+  | Uncaught of Ir.exn_kind
+  | Sim_error of string
+      (** the program or the compiler is broken: undefined variable,
+          unchecked out-of-bounds access, fuel exhaustion, ... *)
+
+type counters = {
+  mutable instrs : int;
+  mutable cycles : int;
+  mutable explicit_checks : int;
+  mutable implicit_checks : int;
+  mutable bound_checks : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable allocs : int;
+  mutable npe_trap : int;
+  mutable npe_explicit : int;
+  mutable implicit_miss : int;
+  mutable spec_null_reads : int;
+}
+
+val new_counters : unit -> counters
+
+type result = { outcome : outcome; trace : event list; counters : counters }
+
+val run :
+  ?fuel:int -> arch:Arch.t -> Ir.program -> Value.value list -> result
+(** Run the program's main function on the given arguments. *)
+
+val equivalent : result -> result -> bool
+(** Observable equivalence: same trace of prints and caught exceptions,
+    same outcome (exceptions compared by kind — the paper permits
+    NPE-for-NPE reordering, so identity is not part of the contract). *)
+
+val pp_outcome : outcome Fmt.t
+val pp_event : event Fmt.t
+val pp_exn_kind : Ir.exn_kind Fmt.t

@@ -1,0 +1,91 @@
+(** Runtime values and heap objects for the simulating interpreter. *)
+
+module Ir = Nullelim_ir.Ir
+
+type value =
+  | Vint of int
+  | Vfloat of float
+  | Vref of heapref
+  | Vundef (** reading this is a simulation error (definite-assignment) *)
+
+and heapref = Null | Obj of obj | Arr of arr
+
+and obj = {
+  o_cls : Ir.cls;
+  o_slots : (int, value) Hashtbl.t; (** keyed by field byte offset *)
+}
+
+and arr = { a_kind : Ir.kind; a_elems : value array }
+
+let default_of_kind = function
+  | Ir.Kint -> Vint 0
+  | Ir.Kfloat -> Vfloat 0.
+  | Ir.Kref -> Vref Null
+
+(** Garbage produced by a non-trapping read through a null pointer (the
+    zero page reads as zeroes). *)
+let null_page_garbage = Vint 0
+
+let rec all_fields (classes : (string, Ir.cls) Hashtbl.t) (c : Ir.cls) :
+    Ir.field list =
+  let inherited =
+    match c.csuper with
+    | Some s -> (
+      match Hashtbl.find_opt classes s with
+      | Some sc -> all_fields classes sc
+      | None -> [])
+    | None -> []
+  in
+  inherited @ c.cfields
+
+let new_object classes (c : Ir.cls) : obj =
+  let slots = Hashtbl.create 8 in
+  List.iter
+    (fun (fd : Ir.field) ->
+      Hashtbl.replace slots fd.foffset (default_of_kind fd.fkind))
+    (all_fields classes c);
+  { o_cls = c; o_slots = slots }
+
+let new_array kind len : arr =
+  { a_kind = kind; a_elems = Array.make len (default_of_kind kind) }
+
+let pp ppf = function
+  | Vint n -> Fmt.pf ppf "%d" n
+  | Vfloat x -> Fmt.pf ppf "%g" x
+  | Vref Null -> Fmt.string ppf "null"
+  | Vref (Obj o) -> Fmt.pf ppf "<%s>" o.o_cls.cname
+  | Vref (Arr a) -> Fmt.pf ppf "<array[%d]>" (Array.length a.a_elems)
+  | Vundef -> Fmt.string ppf "<undef>"
+
+(** Deep copy of a value for differential testing: runs that mutate
+    their argument objects/arrays must not be visible to later runs.
+    Aliasing {e within} one argument list is preserved (the same object
+    passed twice stays the same object in the copy). *)
+let deep_copy_all (vs : value list) : value list =
+  let memo : (Obj.t * heapref) list ref = ref [] in
+  let rec copy_ref (r : heapref) : heapref =
+    match r with
+    | Null -> Null
+    | Obj o -> (
+      match List.assq_opt (Obj.repr o) !memo with
+      | Some r' -> r'
+      | None ->
+        let slots = Hashtbl.create (Hashtbl.length o.o_slots) in
+        let o' = { o_cls = o.o_cls; o_slots = slots } in
+        memo := (Obj.repr o, Obj o') :: !memo;
+        Hashtbl.iter (fun k v -> Hashtbl.replace slots k (copy_value v))
+          o.o_slots;
+        Obj o')
+    | Arr a -> (
+      match List.assq_opt (Obj.repr a) !memo with
+      | Some r' -> r'
+      | None ->
+        let a' = { a_kind = a.a_kind; a_elems = Array.copy a.a_elems } in
+        memo := (Obj.repr a, Arr a') :: !memo;
+        Array.iteri (fun i v -> a'.a_elems.(i) <- copy_value v) a'.a_elems;
+        Arr a')
+  and copy_value = function
+    | Vref r -> Vref (copy_ref r)
+    | (Vint _ | Vfloat _ | Vundef) as v -> v
+  in
+  List.map copy_value vs

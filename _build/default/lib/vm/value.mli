@@ -1,0 +1,33 @@
+(** Runtime values and heap objects for the simulating interpreter. *)
+
+module Ir = Nullelim_ir.Ir
+
+type value =
+  | Vint of int
+  | Vfloat of float
+  | Vref of heapref
+  | Vundef (** reading this is a simulation error (definite assignment) *)
+
+and heapref = Null | Obj of obj | Arr of arr
+
+and obj = {
+  o_cls : Ir.cls;
+  o_slots : (int, value) Hashtbl.t; (** keyed by field byte offset *)
+}
+
+and arr = { a_kind : Ir.kind; a_elems : value array }
+
+val default_of_kind : Ir.kind -> value
+val null_page_garbage : value
+(** What a non-trapping read through a null pointer returns. *)
+
+val all_fields : (string, Ir.cls) Hashtbl.t -> Ir.cls -> Ir.field list
+val new_object : (string, Ir.cls) Hashtbl.t -> Ir.cls -> obj
+val new_array : Ir.kind -> int -> arr
+
+val deep_copy_all : value list -> value list
+(** Deep copy for differential testing: runs that mutate argument
+    objects/arrays must not leak state into later runs.  Aliasing within
+    the list is preserved. *)
+
+val pp : value Fmt.t

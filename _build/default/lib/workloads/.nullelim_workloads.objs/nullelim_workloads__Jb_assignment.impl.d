@@ -1,0 +1,1 @@
+lib/workloads/jb_assignment.ml: Array Nullelim_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/jb_bitfield.ml: Array Nullelim_ir Workload

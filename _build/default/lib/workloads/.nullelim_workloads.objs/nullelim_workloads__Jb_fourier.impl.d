@@ -1,0 +1,1 @@
+lib/workloads/jb_fourier.ml: Nullelim_ir Workload

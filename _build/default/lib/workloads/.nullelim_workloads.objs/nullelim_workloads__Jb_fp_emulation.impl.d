@@ -1,0 +1,1 @@
+lib/workloads/jb_fp_emulation.ml: Array Nullelim_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/jb_huffman.ml: Array Nullelim_ir Workload

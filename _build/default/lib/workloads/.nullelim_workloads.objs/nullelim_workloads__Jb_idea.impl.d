@@ -1,0 +1,1 @@
+lib/workloads/jb_idea.ml: Array Nullelim_ir Workload

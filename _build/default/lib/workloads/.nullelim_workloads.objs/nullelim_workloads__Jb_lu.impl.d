@@ -1,0 +1,1 @@
+lib/workloads/jb_lu.ml: Array Nullelim_ir Workload

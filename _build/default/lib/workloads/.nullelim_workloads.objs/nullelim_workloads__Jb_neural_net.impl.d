@@ -1,0 +1,1 @@
+lib/workloads/jb_neural_net.ml: Array Nullelim_ir Workload

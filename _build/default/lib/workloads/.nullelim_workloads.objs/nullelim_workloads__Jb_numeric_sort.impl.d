@@ -1,0 +1,1 @@
+lib/workloads/jb_numeric_sort.ml: Array Nullelim_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/sp_compress.ml: Array Nullelim_ir Workload

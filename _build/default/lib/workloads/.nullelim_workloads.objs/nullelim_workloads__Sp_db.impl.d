@@ -1,0 +1,1 @@
+lib/workloads/sp_db.ml: Array Nullelim_ir Workload

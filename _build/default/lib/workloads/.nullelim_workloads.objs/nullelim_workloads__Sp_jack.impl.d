@@ -1,0 +1,1 @@
+lib/workloads/sp_jack.ml: Array Nullelim_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/sp_javac.ml: Array Nullelim_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/sp_jess.ml: Array Nullelim_ir Workload

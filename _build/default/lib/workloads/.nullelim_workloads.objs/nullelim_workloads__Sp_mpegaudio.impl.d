@@ -1,0 +1,1 @@
+lib/workloads/sp_mpegaudio.ml: Array Nullelim_ir Workload

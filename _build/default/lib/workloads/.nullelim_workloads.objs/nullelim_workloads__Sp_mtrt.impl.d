@@ -1,0 +1,1 @@
+lib/workloads/sp_mtrt.ml: Array Nullelim_ir Workload

@@ -1,0 +1,79 @@
+(** jBYTEmark "Fourier": numerical integration of Fourier coefficients —
+    dominated by floating-point and transcendental-function work, with
+    almost no memory traffic.  The paper's Table 1 shows this benchmark
+    is flat across every null-check configuration; it is the control of
+    the suite.  [Math.sin]/[Math.cos] are emitted as calls and
+    intrinsified only on architectures that support it. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let coeffs ~scale = 6 * scale
+let steps = 20
+
+let kernel ~nc : Ir.func =
+  let b = B.create ~name:"fourierKernel" ~params:[ "out" ] () in
+  let out = B.param b 0 in
+  let k = B.fresh ~name:"k" b and i = B.fresh ~name:"i" b in
+  let x = B.fresh ~name:"x" b and fx = B.fresh ~name:"fx" b in
+  let acc = B.fresh ~name:"acc" b and kf = B.fresh ~name:"kf" b in
+  let arg = B.fresh ~name:"arg" b and c = B.fresh ~name:"c" b in
+  B.count_do b ~v:k ~from:(ci 0) ~limit:(ci nc) (fun b ->
+      B.emit b (Ir.Move (acc, cf 0.));
+      B.emit b (Ir.Unop (kf, I2f, v k));
+      B.count_do b ~v:i ~from:(ci 1) ~limit:(ci steps) (fun b ->
+          B.emit b (Ir.Unop (x, I2f, v i));
+          B.emit b (Ir.Binop (x, Fmul, v x, cf 0.1));
+          B.emit b (Ir.Binop (arg, Fmul, v kf, v x));
+          B.scall b ~dst:c "Math.cos" [ v arg ];
+          B.emit b (Ir.Binop (fx, Fadd, v x, cf 1.0));
+          B.emit b (Ir.Binop (fx, Fmul, v fx, v c));
+          B.scall b ~dst:c "Math.sin" [ v x ];
+          B.emit b (Ir.Binop (fx, Fadd, v fx, v c));
+          B.emit b (Ir.Binop (acc, Fadd, v acc, v fx)));
+      B.astore b ~kind:Ir.Kfloat ~arr:out (v k) (v acc));
+  let s = B.fresh ~name:"sum" b and q = B.fresh ~name:"q" b in
+  B.emit b (Ir.Move (s, ci 0));
+  B.count_do b ~v:k ~from:(ci 0) ~limit:(ci nc) (fun b ->
+      B.aload b ~kind:Ir.Kfloat ~dst:acc ~arr:out (v k);
+      B.emit b (Ir.Binop (acc, Fmul, v acc, cf 1000.));
+      B.emit b (Ir.Unop (q, F2i, v acc));
+      B.emit b (Ir.Binop (s, Add, v s, v q));
+      B.emit b (Ir.Binop (s, Band, v s, ci 0x3fffffff)));
+  B.terminate b (Ir.Return (Some (v s)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let nc = coeffs ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let out = B.fresh ~name:"out" b in
+  B.emit b (Ir.New_array (out, Ir.Kfloat, ci nc));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "fourierKernel" [ v out ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~nc ]
+
+let expected ~scale =
+  let nc = coeffs ~scale in
+  let s = ref 0 in
+  for k = 0 to nc - 1 do
+    let acc = ref 0. in
+    let kf = float_of_int k in
+    for i = 1 to steps - 1 do
+      let x = float_of_int i *. 0.1 in
+      let fx = ((x +. 1.0) *. cos (kf *. x)) +. sin x in
+      acc := !acc +. fx
+    done;
+    s := (!s + int_of_float (!acc *. 1000.)) land 0x3fffffff
+  done;
+  !s
+
+let workload =
+  {
+    name = "fourier";
+    suite = Jbytemark;
+    description = "Fourier coefficients: FPU/transcendental bound (control)";
+    build;
+    expected;
+  }

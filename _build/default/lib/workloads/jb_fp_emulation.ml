@@ -1,0 +1,96 @@
+(** jBYTEmark "FP Emulation": software floating point over integer
+    arrays — three parallel arrays of mantissas/exponents combined with
+    shift/branch-heavy integer code.  Array checks hoist; bound checks on
+    the induction variable stay. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let size = 50
+let passes ~scale = 12 * scale
+let seed = 2718
+
+let kernel ~p : Ir.func =
+  let b =
+    B.create ~name:"fpKernel" ~params:[ "man1"; "man2"; "expo"; "out" ] ()
+  in
+  let man1 = B.param b 0 and man2 = B.param b 1 in
+  let expo = B.param b 2 and out = B.param b 3 in
+  let pass = B.fresh ~name:"pass" b and i = B.fresh ~name:"i" b in
+  let a = B.fresh ~name:"a" b and c = B.fresh ~name:"c" b in
+  let e = B.fresh ~name:"e" b and r = B.fresh ~name:"r" b in
+  B.count_do b ~v:pass ~from:(ci 0) ~limit:(ci p) (fun b ->
+      B.count_do b ~v:i ~from:(ci 0) ~limit:(ci size) (fun b ->
+          B.aload b ~kind:Ir.Kint ~dst:a ~arr:man1 (v i);
+          B.aload b ~kind:Ir.Kint ~dst:c ~arr:man2 (v i);
+          B.aload b ~kind:Ir.Kint ~dst:e ~arr:expo (v i);
+          B.emit b (Ir.Binop (e, Band, v e, ci 15));
+          B.if_then b (Ir.Gt, v a, v c)
+            ~then_:(fun b ->
+              B.emit b (Ir.Binop (r, Shr, v c, v e));
+              B.emit b (Ir.Binop (r, Add, v r, v a)))
+            ~else_:(fun b ->
+              B.emit b (Ir.Binop (r, Shr, v a, v e));
+              B.emit b (Ir.Binop (r, Add, v r, v c)))
+            ();
+          B.if_then b (Ir.Gt, v r, ci 0x20000000)
+            ~then_:(fun b -> B.emit b (Ir.Binop (r, Shr, v r, ci 1)))
+            ();
+          B.emit b (Ir.Binop (r, Band, v r, ci 0x3fffffff));
+          B.astore b ~kind:Ir.Kint ~arr:out (v i) (v r);
+          B.astore b ~kind:Ir.Kint ~arr:man1 (v i) (v r)));
+  let s = B.fresh ~name:"sum" b in
+  B.emit b (Ir.Move (s, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci size) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:r ~arr:out (v i);
+      B.emit b (Ir.Binop (s, Bxor, v s, v r));
+      B.emit b (Ir.Binop (s, Mul, v s, ci 13));
+      B.emit b (Ir.Binop (s, Band, v s, ci 0x3fffffff)));
+  B.terminate b (Ir.Return (Some (v s)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let p = passes ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let man1 = B.fresh ~name:"man1" b and man2 = B.fresh ~name:"man2" b in
+  let expo = B.fresh ~name:"expo" b and out = B.fresh ~name:"out" b in
+  B.emit b (Ir.New_array (man1, Ir.Kint, ci size));
+  B.emit b (Ir.New_array (man2, Ir.Kint, ci size));
+  B.emit b (Ir.New_array (expo, Ir.Kint, ci size));
+  B.emit b (Ir.New_array (out, Ir.Kint, ci size));
+  ignore (fill_array b ~arr:man1 ~len:(ci size) ~seed0:seed);
+  ignore (fill_array b ~arr:man2 ~len:(ci size) ~seed0:(seed + 7));
+  ignore (fill_array b ~arr:expo ~len:(ci size) ~seed0:(seed + 13));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "fpKernel" [ v man1; v man2; v expo; v out ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~p ]
+
+let expected ~scale =
+  let p = passes ~scale in
+  let man1 = fill_ref size seed in
+  let man2 = fill_ref size (seed + 7) in
+  let expo = fill_ref size (seed + 13) in
+  let out = Array.make size 0 in
+  for _pass = 0 to p - 1 do
+    for i = 0 to size - 1 do
+      let a = man1.(i) and c = man2.(i) in
+      let e = expo.(i) land 15 in
+      let r = if a > c then (c asr e) + a else (a asr e) + c in
+      let r = if r > 0x20000000 then r asr 1 else r in
+      let r = r land 0x3fffffff in
+      out.(i) <- r;
+      man1.(i) <- r
+    done
+  done;
+  Array.fold_left (fun s x -> (s lxor x) * 13 land 0x3fffffff) 0 out
+
+let workload =
+  {
+    name = "fp-emulation";
+    suite = Jbytemark;
+    description = "software floating point over parallel integer arrays";
+    build;
+    expected;
+  }

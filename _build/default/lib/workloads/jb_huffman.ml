@@ -1,0 +1,117 @@
+(** jBYTEmark "Huffman Compression": frequency counting, greedy code
+    assignment and encoded-size computation over small symbol tables.
+    Several cooperating arrays with data-dependent indexing: frequency
+    table accesses are indexed by loaded data, so their bound checks
+    cannot be removed, but all null checks hoist or become implicit. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let symbols = 16
+let data_len ~scale = 300 * scale
+let seed = 86420
+
+let kernel ~n : Ir.func =
+  let b =
+    B.create ~name:"huffKernel"
+      ~params:[ "data"; "freq"; "codelen"; "used" ] ()
+  in
+  let data = B.param b 0 and freq = B.param b 1 in
+  let codelen = B.param b 2 and used = B.param b 3 in
+  let i = B.fresh ~name:"i" b and t = B.fresh ~name:"t" b in
+  let sym = B.fresh ~name:"sym" b in
+  (* frequency count; skew the distribution with a square *)
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:data (v i);
+      B.emit b (Ir.Binop (sym, Rem, v t, ci 97));
+      B.emit b (Ir.Binop (sym, Mul, v sym, v sym));
+      B.emit b (Ir.Binop (sym, Rem, v sym, ci symbols));
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:freq (v sym);
+      B.emit b (Ir.Binop (t, Add, v t, ci 1));
+      B.astore b ~kind:Ir.Kint ~arr:freq (v sym) (v t));
+  (* greedy code assignment: most frequent symbol, shortest code *)
+  let rank = B.fresh ~name:"rank" b and best = B.fresh ~name:"best" b in
+  let bestf = B.fresh ~name:"bestf" b and uf = B.fresh ~name:"uf" b in
+  let fl = B.fresh ~name:"fl" b in
+  B.count_do b ~v:rank ~from:(ci 0) ~limit:(ci symbols) (fun b ->
+      B.emit b (Ir.Move (best, ci 0));
+      B.emit b (Ir.Move (bestf, ci (-1)));
+      B.count_do b ~v:i ~from:(ci 0) ~limit:(ci symbols) (fun b ->
+          B.aload b ~kind:Ir.Kint ~dst:uf ~arr:used (v i);
+          B.if_then b (Ir.Eq, v uf, ci 0)
+            ~then_:(fun b ->
+              B.aload b ~kind:Ir.Kint ~dst:fl ~arr:freq (v i);
+              B.if_then b (Ir.Gt, v fl, v bestf)
+                ~then_:(fun b ->
+                  B.emit b (Ir.Move (bestf, v fl));
+                  B.emit b (Ir.Move (best, v i)))
+                ())
+            ());
+      B.astore b ~kind:Ir.Kint ~arr:used (v best) (ci 1);
+      B.emit b (Ir.Binop (t, Div, v rank, ci 3));
+      B.emit b (Ir.Binop (t, Add, v t, ci 1));
+      B.astore b ~kind:Ir.Kint ~arr:codelen (v best) (v t));
+  (* encoded size *)
+  let bits = B.fresh ~name:"bits" b in
+  B.emit b (Ir.Move (bits, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:data (v i);
+      B.emit b (Ir.Binop (sym, Rem, v t, ci 97));
+      B.emit b (Ir.Binop (sym, Mul, v sym, v sym));
+      B.emit b (Ir.Binop (sym, Rem, v sym, ci symbols));
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:codelen (v sym);
+      B.emit b (Ir.Binop (bits, Add, v bits, v t)));
+  B.emit b (Ir.Binop (bits, Band, v bits, ci 0x3fffffff));
+  B.terminate b (Ir.Return (Some (v bits)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let n = data_len ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let data = B.fresh ~name:"data" b and freq = B.fresh ~name:"freq" b in
+  let codelen = B.fresh ~name:"codelen" b and used = B.fresh ~name:"used" b in
+  B.emit b (Ir.New_array (data, Ir.Kint, ci n));
+  ignore (fill_array b ~arr:data ~len:(ci n) ~seed0:seed);
+  B.emit b (Ir.New_array (freq, Ir.Kint, ci symbols));
+  B.emit b (Ir.New_array (codelen, Ir.Kint, ci symbols));
+  B.emit b (Ir.New_array (used, Ir.Kint, ci symbols));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "huffKernel" [ v data; v freq; v codelen; v used ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~n ]
+
+let expected ~scale =
+  let n = data_len ~scale in
+  let data = fill_ref n seed in
+  let freq = Array.make symbols 0 in
+  let sym_of t =
+    let s = t mod 97 in
+    s * s mod symbols
+  in
+  Array.iter (fun t -> let s = sym_of t in freq.(s) <- freq.(s) + 1) data;
+  let used = Array.make symbols false in
+  let codelen = Array.make symbols 0 in
+  for rank = 0 to symbols - 1 do
+    let best = ref 0 and bestf = ref (-1) in
+    for i = 0 to symbols - 1 do
+      if (not used.(i)) && freq.(i) > !bestf then begin
+        bestf := freq.(i);
+        best := i
+      end
+    done;
+    used.(!best) <- true;
+    codelen.(!best) <- 1 + (rank / 3)
+  done;
+  let bits = ref 0 in
+  Array.iter (fun t -> bits := !bits + codelen.(sym_of t)) data;
+  !bits land 0x3fffffff
+
+let workload =
+  {
+    name = "huffman";
+    suite = Jbytemark;
+    description = "frequency counting and greedy code assignment";
+    build;
+    expected;
+  }

@@ -1,0 +1,114 @@
+(** jBYTEmark "LU Decomposition": Doolittle LU factorization of a dense
+    matrix stored as an array of float rows.  Like Assignment and Neural
+    Net, the k-row and i-row accesses are invariant in the innermost [j]
+    loop, so the iterated phase-1 pipeline strips the inner loop down to
+    pure float arithmetic. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let dim ~scale = 6 + (2 * scale)
+let seed = 999
+
+let kernel ~n : Ir.func =
+  let b = B.create ~name:"luKernel" ~params:[ "mat" ] () in
+  let mat = B.param b 0 in
+  (* LU: for k; for i>k: m = a[i][k]/a[k][k]; a[i][k..] -= m*a[k][k..] *)
+  let k = B.fresh ~name:"k" b and i = B.fresh ~name:"i" b in
+  let j = B.fresh ~name:"j" b in
+  let rowk = B.fresh ~name:"rowk" b and rowi = B.fresh ~name:"rowi" b in
+  let piv = B.fresh ~name:"piv" b and m = B.fresh ~name:"m" b in
+  let a = B.fresh ~name:"a" b and bb = B.fresh ~name:"bb" b in
+  let k1 = B.fresh ~name:"k1" b in
+  B.count_do b ~v:k ~from:(ci 0) ~limit:(ci (n - 1)) (fun b ->
+      B.aload b ~kind:Ir.Kref ~dst:rowk ~arr:mat (v k);
+      B.aload b ~kind:Ir.Kfloat ~dst:piv ~arr:rowk (v k);
+      B.emit b (Ir.Binop (k1, Add, v k, ci 1));
+      B.count_do b ~v:i ~from:(v k1) ~limit:(ci n) (fun b ->
+          B.aload b ~kind:Ir.Kref ~dst:rowi ~arr:mat (v i);
+          B.aload b ~kind:Ir.Kfloat ~dst:m ~arr:rowi (v k);
+          B.emit b (Ir.Binop (m, Fdiv, v m, v piv));
+          B.astore b ~kind:Ir.Kfloat ~arr:rowi (v k) (v m);
+          B.count_do b ~v:j ~from:(v k1) ~limit:(ci n) (fun b ->
+              B.aload b ~kind:Ir.Kfloat ~dst:a ~arr:rowk (v j);
+              B.aload b ~kind:Ir.Kfloat ~dst:bb ~arr:rowi (v j);
+              B.emit b (Ir.Binop (a, Fmul, v a, v m));
+              B.emit b (Ir.Binop (bb, Fsub, v bb, v a));
+              B.astore b ~kind:Ir.Kfloat ~arr:rowi (v j) (v bb))));
+  (* checksum over the diagonal *)
+  let sum = B.fresh ~name:"sum" b and q = B.fresh ~name:"q" b in
+  B.emit b (Ir.Move (sum, ci 0));
+  B.count_do b ~v:k ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kref ~dst:rowk ~arr:mat (v k);
+      B.aload b ~kind:Ir.Kfloat ~dst:a ~arr:rowk (v k);
+      B.emit b (Ir.Binop (a, Fmul, v a, cf 1000.));
+      B.emit b (Ir.Unop (q, F2i, v a));
+      B.emit b (Ir.Binop (sum, Add, v sum, v q));
+      B.emit b (Ir.Binop (sum, Band, v sum, ci 0x3fffffff)));
+  B.terminate b (Ir.Return (Some (v sum)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let n = dim ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let mat = B.fresh ~name:"mat" b in
+  let r = B.fresh ~name:"r" b and c = B.fresh ~name:"c" b in
+  let row = B.fresh ~name:"row" b and s = B.fresh ~name:"seed" b in
+  let tf = B.fresh ~name:"tf" b in
+  (* allocate and fill with a diagonally dominant matrix *)
+  B.emit b (Ir.New_array (mat, Ir.Kref, ci n));
+  B.emit b (Ir.Move (s, ci seed));
+  B.count_do b ~v:r ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.emit b (Ir.New_array (row, Ir.Kfloat, ci n));
+      B.astore b ~kind:Ir.Kref ~arr:mat (v r) (v row);
+      B.count_do b ~v:c ~from:(ci 0) ~limit:(ci n) (fun b ->
+          lcg_step b ~dst:s;
+          let m = B.fresh b in
+          B.emit b (Ir.Binop (m, Rem, v s, ci 100));
+          B.emit b (Ir.Unop (tf, I2f, v m));
+          B.emit b (Ir.Binop (tf, Fmul, v tf, cf 0.01));
+          B.if_then b (Ir.Eq, v r, v c)
+            ~then_:(fun b ->
+              B.emit b (Ir.Binop (tf, Fadd, v tf, cf (float_of_int n))))
+            ();
+          B.astore b ~kind:Ir.Kfloat ~arr:row (v c) (v tf)));
+  let res = B.fresh ~name:"res" b in
+  B.scall b ~dst:res "luKernel" [ v mat ];
+  B.terminate b (Ir.Return (Some (v res)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~n ]
+
+let expected ~scale =
+  let n = dim ~scale in
+  let s = ref seed in
+  let mat =
+    Array.init n (fun r ->
+        Array.init n (fun c ->
+            s := lcg_ref !s;
+            let x = float_of_int (!s mod 100) *. 0.01 in
+            if r = c then x +. float_of_int n else x))
+  in
+  for k = 0 to n - 2 do
+    let piv = mat.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let m = mat.(i).(k) /. piv in
+      mat.(i).(k) <- m;
+      for j = k + 1 to n - 1 do
+        mat.(i).(j) <- mat.(i).(j) -. (mat.(k).(j) *. m)
+      done
+    done
+  done;
+  let sum = ref 0 in
+  for k = 0 to n - 1 do
+    sum := (!sum + int_of_float (mat.(k).(k) *. 1000.)) land 0x3fffffff
+  done;
+  !sum
+
+let workload =
+  {
+    name = "lu-decomposition";
+    suite = Jbytemark;
+    description = "dense LU factorization over an array of float rows";
+    build;
+    expected;
+  }

@@ -1,0 +1,161 @@
+(** jBYTEmark "Neural Net": a two-layer perceptron.
+
+    Structure chosen to reproduce the paper's observations:
+    - the forward pass runs inner products over 2-D weight matrices
+      (array of float rows) — the multidimensional-array shape that the
+      iterated phase-1 pipeline optimizes heavily on every platform;
+    - the activation uses [Math.exp], an inlined instruction on IA32 but
+      an out-of-line call on the PowerPC 604e, where it blocks scalar
+      replacement in the neuron loop (Section 5.4's explanation of the
+      limited AIX improvement);
+    - the weight-update pass has the Figure 6 shape — a read-modify-write
+      of a statistics counter precedes the array reads, so those reads'
+      null checks cannot move backward, and only AIX {e speculation} can
+      hoist the loads ("four instructions moved out of the innermost
+      loop"). *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let n_in = 6
+let n_hid = 5
+let epochs ~scale = 10 * scale
+let seed = 31415
+
+let stats_cls = node_cls "Stats"
+
+let kernel ~epochs_n : Ir.func =
+  let b =
+    B.create ~name:"nnKernel" ~params:[ "w"; "input"; "hid"; "stats" ] ()
+  in
+  let w = B.param b 0 and input = B.param b 1 in
+  let hid = B.param b 2 and stats = B.param b 3 in
+  let i = B.fresh ~name:"i" b and j = B.fresh ~name:"j" b in
+  let row = B.fresh ~name:"row" b and t = B.fresh ~name:"t" b in
+  let acc = B.fresh ~name:"acc" b and tf = B.fresh ~name:"tf" b in
+  let e = B.fresh ~name:"e" b in
+  let wv = B.fresh ~name:"wv" b and xv = B.fresh ~name:"xv" b in
+  let act = B.fresh ~name:"act" b in
+  B.count_do b ~v:e ~from:(ci 0) ~limit:(ci epochs_n) (fun b ->
+      (* forward pass *)
+      B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n_hid) (fun b ->
+          B.aload b ~kind:Ir.Kref ~dst:row ~arr:w (v i);
+          B.emit b (Ir.Move (acc, cf 0.));
+          B.count_do b ~v:j ~from:(ci 0) ~limit:(ci n_in) (fun b ->
+              B.aload b ~kind:Ir.Kfloat ~dst:wv ~arr:row (v j);
+              B.aload b ~kind:Ir.Kfloat ~dst:xv ~arr:input (v j);
+              B.emit b (Ir.Binop (wv, Fmul, v wv, v xv));
+              B.emit b (Ir.Binop (acc, Fadd, v acc, v wv)));
+          (* sigmoid-ish activation: 1 / (1 + exp(-acc)) *)
+          B.emit b (Ir.Unop (act, Fneg, v acc));
+          B.scall b ~dst:act "Math.exp" [ v act ];
+          B.emit b (Ir.Binop (act, Fadd, v act, cf 1.0));
+          B.emit b (Ir.Binop (act, Fdiv, cf 1.0, v act));
+          B.astore b ~kind:Ir.Kfloat ~arr:hid (v i) (v act));
+      (* update pass, Figure 6 shape: stats.count++ then array reads *)
+      B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n_hid) (fun b ->
+          B.aload b ~kind:Ir.Kref ~dst:row ~arr:w (v i);
+          B.count_do b ~v:j ~from:(ci 0) ~limit:(ci n_in) (fun b ->
+              (* read-modify-write: the store is a code-motion barrier *)
+              B.getfield b ~dst:t ~obj:stats fld_count;
+              B.emit b (Ir.Binop (t, Add, v t, ci 1));
+              B.putfield b ~obj:stats fld_count (v t);
+              (* these reads sit after the barrier: only speculation
+                 hoists them on AIX *)
+              B.aload b ~kind:Ir.Kfloat ~dst:wv ~arr:row (v j);
+              B.aload b ~kind:Ir.Kfloat ~dst:xv ~arr:hid (v i);
+              B.emit b (Ir.Binop (xv, Fmul, v xv, cf 0.001));
+              B.emit b (Ir.Binop (wv, Fadd, v wv, v xv));
+              B.astore b ~kind:Ir.Kfloat ~arr:row (v j) (v wv))));
+  (* checksum: quantized hidden outputs + stats counter *)
+  let sum = B.fresh ~name:"sum" b and q = B.fresh ~name:"q" b in
+  B.emit b (Ir.Move (sum, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n_hid) (fun b ->
+      B.aload b ~kind:Ir.Kfloat ~dst:tf ~arr:hid (v i);
+      B.emit b (Ir.Binop (tf, Fmul, v tf, cf 10000.));
+      B.emit b (Ir.Unop (q, F2i, v tf));
+      B.emit b (Ir.Binop (sum, Add, v sum, v q));
+      B.emit b (Ir.Binop (sum, Band, v sum, ci 0x3fffffff)));
+  B.getfield b ~dst:t ~obj:stats fld_count;
+  B.emit b (Ir.Binop (sum, Add, v sum, v t));
+  B.emit b (Ir.Binop (sum, Band, v sum, ci 0x3fffffff));
+  B.terminate b (Ir.Return (Some (v sum)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let b = B.create ~name:"main" ~params:[] () in
+  let w = B.fresh ~name:"w" b and input = B.fresh ~name:"input" b in
+  let hid = B.fresh ~name:"hid" b in
+  let stats = B.fresh ~name:"stats" b in
+  let i = B.fresh ~name:"i" b and j = B.fresh ~name:"j" b in
+  let row = B.fresh ~name:"row" b and s = B.fresh ~name:"seed" b in
+  let tf = B.fresh ~name:"tf" b in
+  let t = B.fresh ~name:"t" b in
+  (* allocate weights (n_hid rows of n_in floats), input, hidden *)
+  B.emit b (Ir.New_array (w, Ir.Kref, ci n_hid));
+  B.emit b (Ir.Move (s, ci seed));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n_hid) (fun b ->
+      B.emit b (Ir.New_array (row, Ir.Kfloat, ci n_in));
+      B.astore b ~kind:Ir.Kref ~arr:w (v i) (v row);
+      B.count_do b ~v:j ~from:(ci 0) ~limit:(ci n_in) (fun b ->
+          lcg_step b ~dst:s;
+          B.emit b (Ir.Binop (t, Rem, v s, ci 200));
+          B.emit b (Ir.Binop (t, Sub, v t, ci 100));
+          B.emit b (Ir.Unop (tf, I2f, v t));
+          B.emit b (Ir.Binop (tf, Fmul, v tf, cf 0.01));
+          B.astore b ~kind:Ir.Kfloat ~arr:row (v j) (v tf)));
+  B.emit b (Ir.New_array (input, Ir.Kfloat, ci n_in));
+  B.count_do b ~v:j ~from:(ci 0) ~limit:(ci n_in) (fun b ->
+      B.emit b (Ir.Unop (tf, I2f, v j));
+      B.emit b (Ir.Binop (tf, Fmul, v tf, cf 0.125));
+      B.astore b ~kind:Ir.Kfloat ~arr:input (v j) (v tf));
+  B.emit b (Ir.New_array (hid, Ir.Kfloat, ci n_hid));
+  B.emit b (Ir.New_object (stats, "Stats"));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "nnKernel" [ v w; v input; v hid; v stats ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[ stats_cls ] ~main:"main"
+    [ B.finish b; kernel ~epochs_n:(epochs ~scale) ]
+
+let expected ~scale =
+  let s = ref seed in
+  let w =
+    Array.init n_hid (fun _ ->
+        Array.init n_in (fun _ ->
+            s := lcg_ref !s;
+            float_of_int ((!s mod 200) - 100) *. 0.01))
+  in
+  let input = Array.init n_in (fun j -> float_of_int j *. 0.125) in
+  let hid = Array.make n_hid 0. in
+  let count = ref 0 in
+  for _e = 0 to epochs ~scale - 1 do
+    for i = 0 to n_hid - 1 do
+      let acc = ref 0. in
+      for j = 0 to n_in - 1 do
+        acc := !acc +. (w.(i).(j) *. input.(j))
+      done;
+      hid.(i) <- 1.0 /. (1.0 +. exp (-. !acc))
+    done;
+    for i = 0 to n_hid - 1 do
+      for j = 0 to n_in - 1 do
+        incr count;
+        w.(i).(j) <- w.(i).(j) +. (hid.(i) *. 0.001)
+      done
+    done
+  done;
+  let sum = ref 0 in
+  for i = 0 to n_hid - 1 do
+    sum := (!sum + int_of_float (hid.(i) *. 10000.)) land 0x3fffffff
+  done;
+  (!sum + !count) land 0x3fffffff
+
+let workload =
+  {
+    name = "neural-net";
+    suite = Jbytemark;
+    description =
+      "two-layer perceptron: multidim arrays, exp activation, fig-6 update";
+    build;
+    expected;
+  }

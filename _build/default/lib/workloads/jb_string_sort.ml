@@ -1,0 +1,164 @@
+(** jBYTEmark "String Sort": selection sort of an array of "strings"
+    (int arrays) compared lexicographically.  Two-level array accesses in
+    the comparison loop: the two string rows are invariant inside the
+    character loop, giving phase 1 + scalar replacement hoisting
+    opportunities, like Assignment but with data-dependent loop bounds. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let count ~scale = 14 + (4 * scale)
+let max_len = 9
+let seed = 5151
+
+let kernel ~n : Ir.func =
+  let b = B.create ~name:"strSortKernel" ~params:[ "strs" ] () in
+  let strs = B.param b 0 in
+  let i = B.fresh ~name:"i" b and j = B.fresh ~name:"j" b in
+  let row = B.fresh ~name:"row" b and len = B.fresh ~name:"len" b in
+  let t = B.fresh ~name:"t" b in
+  let si = B.fresh ~name:"si" b and sj = B.fresh ~name:"sj" b in
+  let leni = B.fresh ~name:"leni" b and lenj = B.fresh ~name:"lenj" b in
+  let minlen = B.fresh ~name:"minlen" b and k = B.fresh ~name:"k" b in
+  let a = B.fresh ~name:"a" b and c = B.fresh ~name:"c" b in
+  let less = B.fresh ~name:"less" b and decided = B.fresh ~name:"dec" b in
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci (n - 1)) (fun b ->
+      let i1 = B.fresh b in
+      B.emit b (Ir.Binop (i1, Add, v i, ci 1));
+      B.count_do b ~v:j ~from:(v i1) ~limit:(ci n) (fun b ->
+          B.aload b ~kind:Ir.Kref ~dst:si ~arr:strs (v i);
+          B.aload b ~kind:Ir.Kref ~dst:sj ~arr:strs (v j);
+          B.alen b ~dst:leni ~arr:si;
+          B.alen b ~dst:lenj ~arr:sj;
+          B.emit b (Ir.Move (minlen, v leni));
+          B.if_then b (Ir.Lt, v lenj, v minlen)
+            ~then_:(fun b -> B.emit b (Ir.Move (minlen, v lenj)))
+            ();
+          B.emit b (Ir.Move (less, ci 0));
+          B.emit b (Ir.Move (decided, ci 0));
+          B.emit b (Ir.Move (k, ci 0));
+          B.while_ b
+            ~cond:(fun b ->
+              let go = B.fresh b in
+              B.emit b (Ir.Move (go, ci 0));
+              B.if_then b (Ir.Lt, v k, v minlen)
+                ~then_:(fun b ->
+                  B.if_then b (Ir.Eq, v decided, ci 0)
+                    ~then_:(fun b -> B.emit b (Ir.Move (go, ci 1)))
+                    ())
+                ();
+              (Ir.Ne, v go, ci 0))
+            ~body:(fun b ->
+              B.aload b ~kind:Ir.Kint ~dst:a ~arr:si (v k);
+              B.aload b ~kind:Ir.Kint ~dst:c ~arr:sj (v k);
+              B.if_then b (Ir.Lt, v c, v a)
+                ~then_:(fun b ->
+                  B.emit b (Ir.Move (less, ci 1));
+                  B.emit b (Ir.Move (decided, ci 1)))
+                ~else_:(fun b ->
+                  B.if_then b (Ir.Lt, v a, v c)
+                    ~then_:(fun b -> B.emit b (Ir.Move (decided, ci 1)))
+                    ())
+                ();
+              B.emit b (Ir.Binop (k, Add, v k, ci 1)))
+            ();
+          B.if_then b (Ir.Eq, v decided, ci 0)
+            ~then_:(fun b ->
+              B.if_then b (Ir.Lt, v lenj, v leni)
+                ~then_:(fun b -> B.emit b (Ir.Move (less, ci 1)))
+                ())
+            ();
+          B.if_then b (Ir.Ne, v less, ci 0)
+            ~then_:(fun b ->
+              B.astore b ~kind:Ir.Kref ~arr:strs (v i) (v sj);
+              B.astore b ~kind:Ir.Kref ~arr:strs (v j) (v si))
+            ()));
+  (* checksum: hash of all characters in order *)
+  let sum = B.fresh ~name:"sum" b in
+  B.emit b (Ir.Move (sum, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kref ~dst:row ~arr:strs (v i);
+      B.alen b ~dst:len ~arr:row;
+      B.count_do b ~v:j ~from:(ci 0) ~limit:(v len) (fun b ->
+          B.aload b ~kind:Ir.Kint ~dst:t ~arr:row (v j);
+          B.emit b (Ir.Binop (sum, Mul, v sum, ci 31));
+          B.emit b (Ir.Binop (sum, Add, v sum, v t));
+          B.emit b (Ir.Binop (sum, Band, v sum, ci 0x3fffffff))));
+  B.terminate b (Ir.Return (Some (v sum)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let n = count ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let strs = B.fresh ~name:"strs" b in
+  let i = B.fresh ~name:"i" b and j = B.fresh ~name:"j" b in
+  let s = B.fresh ~name:"seed" b and row = B.fresh ~name:"row" b in
+  let len = B.fresh ~name:"len" b and t = B.fresh ~name:"t" b in
+  B.emit b (Ir.New_array (strs, Ir.Kref, ci n));
+  B.emit b (Ir.Move (s, ci seed));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      lcg_step b ~dst:s;
+      B.emit b (Ir.Binop (len, Rem, v s, ci (max_len - 1)));
+      B.emit b (Ir.Binop (len, Add, v len, ci 1));
+      B.emit b (Ir.New_array (row, Ir.Kint, v len));
+      B.astore b ~kind:Ir.Kref ~arr:strs (v i) (v row);
+      B.count_do b ~v:j ~from:(ci 0) ~limit:(v len) (fun b ->
+          lcg_step b ~dst:s;
+          B.emit b (Ir.Binop (t, Rem, v s, ci 26));
+          B.astore b ~kind:Ir.Kint ~arr:row (v j) (v t)));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "strSortKernel" [ v strs ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~n ]
+
+let expected ~scale =
+  let n = count ~scale in
+  let s = ref seed in
+  let strs =
+    Array.init n (fun _ ->
+        s := lcg_ref !s;
+        let len = (!s mod (max_len - 1)) + 1 in
+        Array.init len (fun _ ->
+            s := lcg_ref !s;
+            !s mod 26))
+  in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let si = strs.(i) and sj = strs.(j) in
+      let leni = Array.length si and lenj = Array.length sj in
+      let minlen = min leni lenj in
+      let less = ref false and decided = ref false in
+      let k = ref 0 in
+      while !k < minlen && not !decided do
+        if sj.(!k) < si.(!k) then begin
+          less := true;
+          decided := true
+        end
+        else if si.(!k) < sj.(!k) then decided := true;
+        incr k
+      done;
+      if (not !decided) && lenj < leni then less := true;
+      if !less then begin
+        strs.(i) <- sj;
+        strs.(j) <- si
+      end
+    done
+  done;
+  let sum = ref 0 in
+  Array.iter
+    (fun str ->
+      Array.iter
+        (fun ch -> sum := ((!sum * 31) + ch) land 0x3fffffff)
+        str)
+    strs;
+  !sum
+
+let workload =
+  {
+    name = "string-sort";
+    suite = Jbytemark;
+    description = "lexicographic selection sort of int-array strings";
+    build;
+    expected;
+  }

@@ -1,0 +1,33 @@
+(** Registration of all workloads.  Referencing this module (e.g. by
+    calling {!all}) forces every benchmark module and populates
+    {!Workload.registry}. *)
+
+let all_workloads : Workload.t list =
+  [
+    (* jBYTEmark v0.9 *)
+    Jb_numeric_sort.workload;
+    Jb_string_sort.workload;
+    Jb_bitfield.workload;
+    Jb_fp_emulation.workload;
+    Jb_fourier.workload;
+    Jb_assignment.workload;
+    Jb_idea.workload;
+    Jb_huffman.workload;
+    Jb_neural_net.workload;
+    Jb_lu.workload;
+    (* SPECjvm98 *)
+    Sp_mtrt.workload;
+    Sp_jess.workload;
+    Sp_compress.workload;
+    Sp_db.workload;
+    Sp_mpegaudio.workload;
+    Sp_jack.workload;
+    Sp_javac.workload;
+  ]
+
+let () = List.iter Workload.register all_workloads
+
+let all () = Workload.all ()
+let find = Workload.find
+let jbytemark () = Workload.of_suite Workload.Jbytemark
+let specjvm () = Workload.of_suite Workload.Specjvm

@@ -1,0 +1,87 @@
+(** SPECjvm98 "compress" model: LZW-flavoured hashing over a byte array
+    with a hash table in two parallel arrays.  Tight single-array loops
+    whose checks are adjacent to their accesses: the hardware trap alone
+    removes nearly all check cost, so the null-check optimizations add
+    little — matching the small compress deltas in Table 2. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let table_size = 256
+let input_len ~scale = 500 * scale
+let seed = 36912
+
+let kernel ~n : Ir.func =
+  let b = B.create ~name:"lzwKernel" ~params:[ "data"; "keys"; "vals" ] () in
+  let data = B.param b 0 and keys = B.param b 1 and vals = B.param b 2 in
+  let i = B.fresh ~name:"i" b and t = B.fresh ~name:"t" b in
+  let h = B.fresh ~name:"h" b and k = B.fresh ~name:"k" b in
+  let code = B.fresh ~name:"code" b and out = B.fresh ~name:"out" b in
+  B.emit b (Ir.Move (code, ci 1));
+  B.emit b (Ir.Move (out, ci 0));
+  B.emit b (Ir.Move (h, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:data (v i);
+      B.emit b (Ir.Binop (t, Band, v t, ci 255));
+      B.emit b (Ir.Binop (h, Mul, v h, ci 31));
+      B.emit b (Ir.Binop (h, Add, v h, v t));
+      B.emit b (Ir.Binop (h, Band, v h, ci (table_size - 1)));
+      B.aload b ~kind:Ir.Kint ~dst:k ~arr:keys (v h);
+      B.if_then b (Ir.Eq, v k, v t)
+        ~then_:(fun b ->
+          B.aload b ~kind:Ir.Kint ~dst:k ~arr:vals (v h);
+          B.emit b (Ir.Binop (out, Add, v out, v k)))
+        ~else_:(fun b ->
+          B.astore b ~kind:Ir.Kint ~arr:keys (v h) (v t);
+          B.astore b ~kind:Ir.Kint ~arr:vals (v h) (v code);
+          B.emit b (Ir.Binop (code, Add, v code, ci 1));
+          B.emit b (Ir.Binop (out, Add, v out, v t)))
+        ();
+      B.emit b (Ir.Binop (out, Band, v out, ci 0x3fffffff)));
+  B.emit b (Ir.Binop (out, Add, v out, v code));
+  B.emit b (Ir.Binop (out, Band, v out, ci 0x3fffffff));
+  B.terminate b (Ir.Return (Some (v out)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let n = input_len ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let data = B.fresh ~name:"data" b in
+  let keys = B.fresh ~name:"keys" b and vals = B.fresh ~name:"vals" b in
+  B.emit b (Ir.New_array (data, Ir.Kint, ci n));
+  ignore (fill_array b ~arr:data ~len:(ci n) ~seed0:seed);
+  B.emit b (Ir.New_array (keys, Ir.Kint, ci table_size));
+  B.emit b (Ir.New_array (vals, Ir.Kint, ci table_size));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "lzwKernel" [ v data; v keys; v vals ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~n ]
+
+let expected ~scale =
+  let n = input_len ~scale in
+  let data = fill_ref n seed in
+  let keys = Array.make table_size 0 and vals = Array.make table_size 0 in
+  let code = ref 1 and out = ref 0 and h = ref 0 in
+  for i = 0 to n - 1 do
+    let t = data.(i) land 255 in
+    h := ((!h * 31) + t) land (table_size - 1);
+    if keys.(!h) = t then out := !out + vals.(!h)
+    else begin
+      keys.(!h) <- t;
+      vals.(!h) <- !code;
+      incr code;
+      out := !out + t
+    end;
+    out := !out land 0x3fffffff
+  done;
+  (!out + !code) land 0x3fffffff
+
+let workload =
+  {
+    name = "compress";
+    suite = Specjvm;
+    description = "LZW-flavoured hashing over byte arrays";
+    build;
+    expected;
+  }

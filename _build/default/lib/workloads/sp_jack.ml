@@ -1,0 +1,105 @@
+(** SPECjvm98 "jack" model: a scanner that uses exceptions for
+    end-of-token control flow, as the real parser generator famously
+    does.  Almost everything happens inside try regions, where local
+    writes are code-motion barriers, so null-check motion is mostly
+    disabled and the benchmark gains only from implicit conversion —
+    jack's small deltas in Table 2. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let line_len = 40
+let passes ~scale = 14 * scale
+let seed = 60606
+
+let rec build ~scale : Ir.program =
+  let np = passes ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let buf = B.fresh ~name:"buf" b in
+  let i = B.fresh ~name:"i" b and t = B.fresh ~name:"t" b in
+  B.emit b (Ir.New_array (buf, Ir.Kint, ci line_len));
+  ignore (fill_array b ~arr:buf ~len:(ci line_len) ~seed0:seed);
+  (* map to "characters": 0 = delimiter, 1..9 letters *)
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci line_len) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:buf (v i);
+      B.emit b (Ir.Binop (t, Rem, v t, ci 10));
+      B.astore b ~kind:Ir.Kint ~arr:buf (v i) (v t));
+  let res = B.fresh ~name:"res" b in
+  B.scall b ~dst:res "scanKernel" [ v buf ];
+  B.terminate b (Ir.Return (Some (v res)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~np ]
+
+and kernel ~np : Ir.func =
+  let b = B.create ~name:"scanKernel" ~params:[ "buf" ] () in
+  let buf = B.param b 0 in
+  let t = B.fresh ~name:"t" b in
+  let pass = B.fresh ~name:"pass" b and pos = B.fresh ~name:"pos" b in
+  let tokens = B.fresh ~name:"tokens" b and hash = B.fresh ~name:"hash" b in
+  let acc = B.fresh ~name:"acc" b in
+  B.emit b (Ir.Move (acc, ci 0));
+  B.count_do b ~v:pass ~from:(ci 0) ~limit:(ci np) (fun b ->
+      B.emit b (Ir.Move (tokens, ci 0));
+      B.emit b (Ir.Move (pos, ci 0));
+      (* scan tokens until the position runs off the line; each delimiter
+         aborts the current token via an exception *)
+      B.while_ b
+        ~cond:(fun _ -> (Ir.Lt, v pos, ci line_len))
+        ~body:(fun b ->
+          B.emit b (Ir.Move (hash, ci 0));
+          B.with_try b
+            ~handler:(fun b ->
+              (* delimiter: token finished *)
+              B.emit b (Ir.Binop (tokens, Add, v tokens, ci 1)))
+            (fun b ->
+              B.while_ b
+                ~cond:(fun _ -> (Ir.Lt, v pos, ci line_len))
+                ~body:(fun b ->
+                  B.aload b ~kind:Ir.Kint ~dst:t ~arr:buf (v pos);
+                  B.emit b (Ir.Binop (pos, Add, v pos, ci 1));
+                  B.if_then b (Ir.Eq, v t, ci 0)
+                    ~then_:(fun b -> B.terminate b (Ir.Throw "eot"))
+                    ();
+                  B.emit b (Ir.Binop (hash, Mul, v hash, ci 31));
+                  B.emit b (Ir.Binop (hash, Add, v hash, v t));
+                  B.emit b (Ir.Binop (hash, Band, v hash, ci 0xffff)))
+                ());
+          B.emit b (Ir.Binop (acc, Add, v acc, v hash));
+          B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff)))
+        ();
+      B.emit b (Ir.Binop (acc, Add, v acc, v tokens));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff)));
+  B.terminate b (Ir.Return (Some (v acc)));
+  B.finish b
+
+let expected ~scale =
+  let np = passes ~scale in
+  let buf = Array.map (fun x -> x mod 10) (fill_ref line_len seed) in
+  let acc = ref 0 in
+  for _pass = 0 to np - 1 do
+    let tokens = ref 0 in
+    let pos = ref 0 in
+    while !pos < line_len do
+      let hash = ref 0 in
+      (try
+         while !pos < line_len do
+           let t = buf.(!pos) in
+           incr pos;
+           if t = 0 then raise Exit;
+           hash := (((!hash * 31) + t) land 0xffff)
+         done
+       with Exit -> incr tokens);
+      acc := (!acc + !hash) land 0x3fffffff
+    done;
+    acc := (!acc + !tokens) land 0x3fffffff
+  done;
+  !acc
+
+let workload =
+  {
+    name = "jack";
+    suite = Specjvm;
+    description = "exception-driven token scanning (try-region heavy)";
+    build;
+    expected;
+  }

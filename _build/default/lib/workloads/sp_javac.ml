@@ -1,0 +1,209 @@
+(** SPECjvm98 "javac" model: a miniature compiler front end — lexing a
+    synthetic source buffer, "parsing" with a precedence fold, a
+    symbol-table of objects, and a constant-folding pass — spread over
+    several functions, some of them inlinable.  This is the largest
+    program of the suite; in the paper javac dominates JIT compilation
+    time (Table 3), which this model reproduces simply by having the most
+    code. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let src_len = 160
+let passes ~scale = 6 * scale
+let seed = 13579
+
+let sym_cls = node_cls "Sym"
+
+(* lex: classify each "character" into a token code *)
+let fn_lex () =
+  let b = B.create ~name:"lex" ~params:[ "src"; "toks" ] () in
+  let src = B.param b 0 and toks = B.param b 1 in
+  let i = B.fresh ~name:"i" b and c = B.fresh ~name:"c" b in
+  let tk = B.fresh ~name:"tk" b and n = B.fresh ~name:"n" b in
+  B.alen b ~dst:n ~arr:src;
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(v n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:c ~arr:src (v i);
+      B.emit b (Ir.Binop (c, Rem, v c, ci 100));
+      B.if_then b (Ir.Lt, v c, ci 60)
+        ~then_:(fun b ->
+          (* literal: value token *)
+          B.emit b (Ir.Binop (tk, Add, v c, ci 1000)))
+        ~else_:(fun b ->
+          B.if_then b (Ir.Lt, v c, ci 80)
+            ~then_:(fun b -> B.emit b (Ir.Move (tk, ci 1))) (* plus *)
+            ~else_:(fun b -> B.emit b (Ir.Move (tk, ci 2))) (* times *)
+            ())
+        ();
+      B.astore b ~kind:Ir.Kint ~arr:toks (v i) (v tk));
+  B.terminate b (Ir.Return None);
+  B.finish b
+
+(* small helper, inlinable: saturating add *)
+let fn_sat_add () =
+  let b = B.create ~name:"satAdd" ~params:[ "a"; "b" ] () in
+  let r = B.fresh ~name:"r" b in
+  B.emit b (Ir.Binop (r, Add, v (B.param b 0), v (B.param b 1)));
+  B.emit b (Ir.Binop (r, Band, v r, ci 0xfffff));
+  B.terminate b (Ir.Return (Some (v r)));
+  B.finish b
+
+(* parse/fold: evaluate the token stream left to right with "precedence"
+   (times binds into a pending product) *)
+let fn_parse () =
+  let b = B.create ~name:"parse" ~params:[ "toks" ] () in
+  let toks = B.param b 0 in
+  let i = B.fresh ~name:"i" b and tk = B.fresh ~name:"tk" b in
+  let n = B.fresh ~name:"n" b in
+  let acc = B.fresh ~name:"acc" b and prod = B.fresh ~name:"prod" b in
+  let pending = B.fresh ~name:"pending" b in
+  B.alen b ~dst:n ~arr:toks;
+  B.emit b (Ir.Move (acc, ci 0));
+  B.emit b (Ir.Move (prod, ci 1));
+  B.emit b (Ir.Move (pending, ci 1)) (* 1 = plus, 2 = times *);
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(v n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:tk ~arr:toks (v i);
+      B.if_then b (Ir.Ge, v tk, ci 1000)
+        ~then_:(fun b ->
+          let value = B.fresh b in
+          B.emit b (Ir.Binop (value, Sub, v tk, ci 1000));
+          B.if_then b (Ir.Eq, v pending, ci 2)
+            ~then_:(fun b ->
+              B.emit b (Ir.Binop (prod, Mul, v prod, v value));
+              B.emit b (Ir.Binop (prod, Band, v prod, ci 0xfffff)))
+            ~else_:(fun b ->
+              B.scall b ~dst:acc "satAdd" [ v acc; v prod ];
+              B.emit b (Ir.Move (prod, v value)))
+            ())
+        ~else_:(fun b -> B.emit b (Ir.Move (pending, v tk)))
+        ());
+  B.scall b ~dst:acc "satAdd" [ v acc; v prod ];
+  B.terminate b (Ir.Return (Some (v acc)));
+  B.finish b
+
+(* symbol table: intern values into a linked list of Sym objects,
+   returning the hit count *)
+let fn_intern () =
+  let b = B.create ~name:"intern" ~params:[ "head"; "value" ] () in
+  let head = B.param b 0 and value = B.param b 1 in
+  let cur = B.fresh ~name:"cur" b and x = B.fresh ~name:"x" b in
+  let hit = B.fresh ~name:"hit" b in
+  B.emit b (Ir.Move (hit, ci 0));
+  B.emit b (Ir.Move (cur, v head));
+  B.while_ b
+    ~cond:(fun _ -> (Ir.Ne, v cur, Ir.Cnull))
+    ~body:(fun b ->
+      B.getfield b ~dst:x ~obj:cur fld_x;
+      B.if_then b (Ir.Eq, v x, v value)
+        ~then_:(fun b ->
+          B.emit b (Ir.Binop (hit, Add, v hit, ci 1));
+          B.getfield b ~dst:x ~obj:cur fld_count;
+          B.emit b (Ir.Binop (x, Add, v x, ci 1));
+          B.putfield b ~obj:cur fld_count (v x))
+        ();
+      B.getfield b ~dst:cur ~obj:cur fld_next)
+    ();
+  B.terminate b (Ir.Return (Some (v hit)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let np = passes ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let src = B.fresh ~name:"src" b and toks = B.fresh ~name:"toks" b in
+  let i = B.fresh ~name:"i" b and t = B.fresh ~name:"t" b in
+  B.emit b (Ir.New_array (src, Ir.Kint, ci src_len));
+  ignore (fill_array b ~arr:src ~len:(ci src_len) ~seed0:seed);
+  B.emit b (Ir.New_array (toks, Ir.Kint, ci src_len));
+  (* symbol table of 8 entries with x = 0..7 *)
+  let head = B.fresh ~name:"head" b and o = B.fresh ~name:"o" b in
+  B.emit b (Ir.Move (head, Ir.Cnull));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci 8) (fun b ->
+      B.emit b (Ir.New_object (o, "Sym"));
+      B.putfield b ~obj:o fld_x (v i);
+      B.putfield b ~obj:o fld_next (v head);
+      B.emit b (Ir.Move (head, v o)));
+  let pass = B.fresh ~name:"pass" b and acc = B.fresh ~name:"acc" b in
+  let r = B.fresh ~name:"r" b in
+  B.emit b (Ir.Move (acc, ci 0));
+  B.count_do b ~v:pass ~from:(ci 0) ~limit:(ci np) (fun b ->
+      B.scall b "lex" [ v src; v toks ];
+      B.scall b ~dst:r "parse" [ v toks ];
+      B.emit b (Ir.Binop (acc, Add, v acc, v r));
+      B.emit b (Ir.Binop (t, Band, v r, ci 7));
+      B.scall b ~dst:r "intern" [ v head; v t ];
+      B.emit b (Ir.Binop (acc, Add, v acc, v r));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff));
+      (* mutate the source so each pass differs *)
+      B.count_do b ~v:i ~from:(ci 0) ~limit:(ci src_len) (fun b ->
+          B.aload b ~kind:Ir.Kint ~dst:t ~arr:src (v i);
+          B.emit b (Ir.Binop (t, Add, v t, v pass));
+          B.emit b (Ir.Binop (t, Band, v t, ci 0x3fffffff));
+          B.astore b ~kind:Ir.Kint ~arr:src (v i) (v t)));
+  (* fold the symbol counters in *)
+  let cur = B.fresh ~name:"cur" b in
+  B.emit b (Ir.Move (cur, v head));
+  B.while_ b
+    ~cond:(fun _ -> (Ir.Ne, v cur, Ir.Cnull))
+    ~body:(fun b ->
+      B.getfield b ~dst:t ~obj:cur fld_count;
+      B.emit b (Ir.Binop (acc, Mul, v acc, ci 13));
+      B.emit b (Ir.Binop (acc, Add, v acc, v t));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff));
+      B.getfield b ~dst:cur ~obj:cur fld_next)
+    ();
+  B.terminate b (Ir.Return (Some (v acc)));
+  B.program ~classes:[ sym_cls ] ~main:"main"
+    [ B.finish b; fn_lex (); fn_parse (); fn_intern (); fn_sat_add () ]
+
+let expected ~scale =
+  let np = passes ~scale in
+  let src = fill_ref src_len seed in
+  let counts = Array.make 8 0 in
+  let acc = ref 0 in
+  let sat_add a b = (a + b) land 0xfffff in
+  for pass = 0 to np - 1 do
+    (* lex + parse *)
+    let toks =
+      Array.map
+        (fun cv ->
+          let c = cv mod 100 in
+          if c < 60 then c + 1000 else if c < 80 then 1 else 2)
+        src
+    in
+    let a = ref 0 and prod = ref 1 and pending = ref 1 in
+    Array.iter
+      (fun tk ->
+        if tk >= 1000 then begin
+          let value = tk - 1000 in
+          if !pending = 2 then prod := !prod * value land 0xfffff
+          else begin
+            a := sat_add !a !prod;
+            prod := value
+          end
+        end
+        else pending := tk)
+      toks;
+    a := sat_add !a !prod;
+    acc := !acc + !a;
+    (* intern: symbol x = r land 7; list order irrelevant (unique x) *)
+    let key = !a land 7 in
+    counts.(key) <- counts.(key) + 1;
+    acc := (!acc + 1) land 0x3fffffff;
+    (* source mutation *)
+    Array.iteri (fun i x -> src.(i) <- (x + pass) land 0x3fffffff) src
+  done;
+  (* list order: prepend => head has x = 7 *)
+  for k = 7 downto 0 do
+    acc := ((!acc * 13) + counts.(k)) land 0x3fffffff
+  done;
+  !acc
+
+let workload =
+  {
+    name = "javac";
+    suite = Specjvm;
+    description = "compiler front-end model: lexer, parser, symbol table";
+    build;
+    expected;
+  }

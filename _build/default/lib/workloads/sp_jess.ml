@@ -1,0 +1,127 @@
+(** SPECjvm98 "jess" model: a rule-matching engine over a linked list of
+    fact objects.  Pointer chasing ([next] fields) defeats check hoisting
+    — the chased variable is redefined each step — so gains come mostly
+    from implicit conversion; a try region around each match pass models
+    jess's exception-based conflict handling, and the
+    local-write-in-try barrier keeps motion local, as in the paper's
+    modest jess numbers. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let facts = 24
+let rules ~scale = 25 * scale
+let seed = 2468
+
+let fact_cls = node_cls "Fact"
+
+let rec build ~scale : Ir.program =
+  let nrules = rules ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let head = B.fresh ~name:"head" b and o = B.fresh ~name:"o" b in
+  let i = B.fresh ~name:"i" b and s = B.fresh ~name:"seed" b in
+  let t = B.fresh ~name:"t" b in
+  (* build the fact list (prepend) *)
+  B.emit b (Ir.Move (head, Ir.Cnull));
+  B.emit b (Ir.Move (s, ci seed));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci facts) (fun b ->
+      B.emit b (Ir.New_object (o, "Fact"));
+      lcg_step b ~dst:s;
+      B.emit b (Ir.Binop (t, Rem, v s, ci 50));
+      B.putfield b ~obj:o fld_x (v t);
+      B.putfield b ~obj:o fld_next (v head);
+      B.emit b (Ir.Move (head, v o)));
+  let res = B.fresh ~name:"res" b in
+  B.scall b ~dst:res "runRules" [ v head ];
+  B.terminate b (Ir.Return (Some (v res)));
+  let rules_fn = rules_func ~nrules in
+  B.program ~classes:[ fact_cls ] ~main:"main" [ B.finish b; rules_fn ]
+
+and rules_func ~nrules : Ir.func =
+  let b = B.create ~name:"runRules" ~params:[ "head" ] () in
+  let head = B.param b 0 in
+  (* rule passes *)
+  let r = B.fresh ~name:"r" b and cur = B.fresh ~name:"cur" b in
+  let matches = B.fresh ~name:"matches" b and thr = B.fresh ~name:"thr" b in
+  let acc = B.fresh ~name:"acc" b and x = B.fresh ~name:"x" b in
+  let y = B.fresh ~name:"y" b in
+  B.emit b (Ir.Move (acc, ci 0));
+  B.count_do b ~v:r ~from:(ci 0) ~limit:(ci nrules) (fun b ->
+      B.emit b (Ir.Move (matches, ci 0));
+      B.emit b (Ir.Binop (thr, Rem, v r, ci 50));
+      B.with_try b
+        ~handler:(fun b -> B.emit b (Ir.Binop (acc, Add, v acc, ci 1000)))
+        (fun b ->
+          B.emit b (Ir.Move (cur, v head));
+          B.while_ b
+            ~cond:(fun _ -> (Ir.Ne, v cur, Ir.Cnull))
+            ~body:(fun b ->
+              B.getfield b ~dst:x ~obj:cur fld_x;
+              B.if_then b (Ir.Eq, v x, v thr)
+                ~then_:(fun b -> B.terminate b (Ir.Throw "conflict"))
+                ();
+              B.if_then b (Ir.Gt, v x, v thr)
+                ~then_:(fun b ->
+                  B.emit b (Ir.Binop (matches, Add, v matches, ci 1));
+                  B.getfield b ~dst:y ~obj:cur fld_y;
+                  B.emit b (Ir.Binop (y, Add, v y, ci 1));
+                  B.putfield b ~obj:cur fld_y (v y))
+                ();
+              B.getfield b ~dst:cur ~obj:cur fld_next)
+            ());
+      B.emit b (Ir.Binop (acc, Add, v acc, v matches));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff)));
+  (* fold the mutated y fields into the checksum *)
+  B.emit b (Ir.Move (cur, v head));
+  B.while_ b
+    ~cond:(fun _ -> (Ir.Ne, v cur, Ir.Cnull))
+    ~body:(fun b ->
+      B.getfield b ~dst:y ~obj:cur fld_y;
+      B.emit b (Ir.Binop (acc, Mul, v acc, ci 7));
+      B.emit b (Ir.Binop (acc, Add, v acc, v y));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff));
+      B.getfield b ~dst:cur ~obj:cur fld_next)
+    ();
+  B.terminate b (Ir.Return (Some (v acc)));
+  B.finish b
+
+let expected ~scale =
+  let nrules = rules ~scale in
+  let s = ref seed in
+  (* creation order i = 0..facts-1; list order is reversed (prepend) *)
+  let xs_created =
+    Array.init facts (fun _ ->
+        s := lcg_ref !s;
+        !s mod 50)
+  in
+  let xs = Array.init facts (fun k -> xs_created.(facts - 1 - k)) in
+  let ys = Array.make facts 0 in
+  let acc = ref 0 in
+  for r = 0 to nrules - 1 do
+    let matches = ref 0 in
+    let thr = r mod 50 in
+    (try
+       for k = 0 to facts - 1 do
+         if xs.(k) = thr then raise Exit;
+         if xs.(k) > thr then begin
+           incr matches;
+           ys.(k) <- ys.(k) + 1
+         end
+       done
+     with Exit -> acc := !acc + 1000);
+    acc := (!acc + !matches) land 0x3fffffff
+  done;
+  for k = 0 to facts - 1 do
+    acc := ((!acc * 7) + ys.(k)) land 0x3fffffff
+  done;
+  !acc
+
+let workload =
+  {
+    name = "jess";
+    suite = Specjvm;
+    description = "rule engine over a linked fact list with try regions";
+    build;
+    expected;
+  }

@@ -1,0 +1,82 @@
+(** SPECjvm98 "mpegaudio" model: fixed-point subband synthesis — FIR
+    filtering of a signal array against an invariant coefficient array.
+    The coefficient array's checks hoist; the window loop is
+    arithmetic-dominated, so deltas are small (Table 2 shows mpegaudio
+    barely moves except for losing explicit checks). *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let taps = 16
+let samples ~scale = 260 * scale
+let seed = 1618
+
+let kernel ~n : Ir.func =
+  let b = B.create ~name:"firKernel" ~params:[ "coeff"; "sig"; "out" ] () in
+  let coeff = B.param b 0 and sig_ = B.param b 1 and out = B.param b 2 in
+  let i = B.fresh ~name:"i" b and k = B.fresh ~name:"k" b in
+  let acc = B.fresh ~name:"acc" b and t = B.fresh ~name:"t" b in
+  let c = B.fresh ~name:"c" b and pos = B.fresh ~name:"pos" b in
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.emit b (Ir.Move (acc, ci 0));
+      B.count_do b ~v:k ~from:(ci 0) ~limit:(ci taps) (fun b ->
+          B.emit b (Ir.Binop (pos, Add, v i, v k));
+          B.aload b ~kind:Ir.Kint ~dst:t ~arr:sig_ (v pos);
+          B.aload b ~kind:Ir.Kint ~dst:c ~arr:coeff (v k);
+          B.emit b (Ir.Binop (t, Band, v t, ci 0xffff));
+          B.emit b (Ir.Binop (c, Band, v c, ci 0xff));
+          B.emit b (Ir.Binop (t, Mul, v t, v c));
+          B.emit b (Ir.Binop (t, Shr, v t, ci 8));
+          B.emit b (Ir.Binop (acc, Add, v acc, v t)));
+      B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff));
+      B.astore b ~kind:Ir.Kint ~arr:out (v i) (v acc));
+  let s = B.fresh ~name:"sum" b in
+  B.emit b (Ir.Move (s, ci 0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n) (fun b ->
+      B.aload b ~kind:Ir.Kint ~dst:t ~arr:out (v i);
+      B.emit b (Ir.Binop (s, Bxor, v s, v t));
+      B.emit b (Ir.Binop (s, Mul, v s, ci 5));
+      B.emit b (Ir.Binop (s, Band, v s, ci 0x3fffffff)));
+  B.terminate b (Ir.Return (Some (v s)));
+  B.finish b
+
+let build ~scale : Ir.program =
+  let n = samples ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let coeff = B.fresh ~name:"coeff" b and sig_ = B.fresh ~name:"sig" b in
+  let out = B.fresh ~name:"out" b in
+  B.emit b (Ir.New_array (coeff, Ir.Kint, ci taps));
+  ignore (fill_array b ~arr:coeff ~len:(ci taps) ~seed0:seed);
+  B.emit b (Ir.New_array (sig_, Ir.Kint, ci (n + taps)));
+  ignore (fill_array b ~arr:sig_ ~len:(ci (n + taps)) ~seed0:(seed + 3));
+  B.emit b (Ir.New_array (out, Ir.Kint, ci n));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "firKernel" [ v coeff; v sig_; v out ];
+  B.terminate b (Ir.Return (Some (v r)));
+  B.program ~classes:[] ~main:"main" [ B.finish b; kernel ~n ]
+
+let expected ~scale =
+  let n = samples ~scale in
+  let coeff = fill_ref taps seed in
+  let signal = fill_ref (n + taps) (seed + 3) in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let acc = ref 0 in
+    for k = 0 to taps - 1 do
+      let t = signal.(i + k) land 0xffff in
+      let c = coeff.(k) land 0xff in
+      acc := !acc + ((t * c) asr 8)
+    done;
+    out.(i) <- !acc land 0x3fffffff
+  done;
+  Array.fold_left (fun s x -> (s lxor x) * 5 land 0x3fffffff) 0 out
+
+let workload =
+  {
+    name = "mpegaudio";
+    suite = Specjvm;
+    description = "fixed-point FIR filtering with invariant coefficients";
+    build;
+    expected;
+  }

@@ -1,0 +1,148 @@
+(** SPECjvm98 "mtrt" model: a miniature ray-caster.
+
+    The defining property the paper reports — "mtrt has small methods (to
+    access data in a class) which are called frequently and many explicit
+    null checks associated with these calls can be eliminated only after
+    they are inlined" — is reproduced with Figure-1-style accessor
+    methods: each has a branch along which the receiver is never
+    dereferenced, so after devirtualization + inlining the receiver check
+    must stay explicit, and only the architecture-dependent phase 2 can
+    sink it into the dereferencing branch and convert it to a hardware
+    trap. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+open Workload
+
+let n_spheres = 12
+let n_rays ~scale = 40 * scale
+let seed = 1357
+
+(* method: int clampX(this, lo) = if lo > this.x then lo else this.x
+   — the Figure 1 shape: the then-path never touches [this]. *)
+let accessor name fld =
+  let b = B.create ~name:("Sphere." ^ name) ~is_method:true
+      ~params:[ "this"; "lo" ] () in
+  let this = B.param b 0 and lo = B.param b 1 in
+  let r = B.fresh ~name:"r" b in
+  let t = B.fresh ~name:"t" b in
+  B.getfield b ~dst:t ~obj:this fld;
+  B.if_then b (Ir.Gt, v lo, v t)
+    ~then_:(fun b -> B.emit b (Ir.Move (r, v lo)))
+    ~else_:(fun b -> B.emit b (Ir.Move (r, v t)))
+    ();
+  B.terminate b (Ir.Return (Some (v r)));
+  B.finish b
+
+(* the Figure-1 variant where the receiver is only dereferenced on one
+   branch of the argument test *)
+let biased_accessor name fld =
+  let b = B.create ~name:("Sphere." ^ name) ~is_method:true
+      ~params:[ "this"; "s1" ] () in
+  let this = B.param b 0 and s1 = B.param b 1 in
+  let r = B.fresh ~name:"r" b in
+  B.if_then b (Ir.Lt, v s1, ci 0)
+    ~then_:(fun b -> B.emit b (Ir.Move (r, v s1)))
+    ~else_:(fun b -> B.getfield b ~dst:r ~obj:this fld)
+    ();
+  B.terminate b (Ir.Return (Some (v r)));
+  B.finish b
+
+let sphere_cls =
+  {
+    Ir.cname = "Sphere";
+    csuper = None;
+    cfields = [ fld_x; fld_y; fld_z; fld_fx; fld_fy; fld_next; fld_data; fld_count ];
+    cmethods =
+      [ ("clampX", "Sphere.clampX"); ("clampY", "Sphere.clampY");
+        ("pick", "Sphere.pick") ];
+  }
+
+let build ~scale : Ir.program =
+  let rays = n_rays ~scale in
+  let b = B.create ~name:"main" ~params:[] () in
+  let scene = B.fresh ~name:"scene" b in
+  let i = B.fresh ~name:"i" b and s = B.fresh ~name:"seed" b in
+  let o = B.fresh ~name:"o" b and t = B.fresh ~name:"t" b in
+  (* build the scene *)
+  B.emit b (Ir.New_array (scene, Ir.Kref, ci n_spheres));
+  B.emit b (Ir.Move (s, ci seed));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:(ci n_spheres) (fun b ->
+      B.emit b (Ir.New_object (o, "Sphere"));
+      lcg_step b ~dst:s;
+      B.emit b (Ir.Binop (t, Rem, v s, ci 200));
+      B.putfield b ~obj:o fld_x (v t);
+      lcg_step b ~dst:s;
+      B.emit b (Ir.Binop (t, Rem, v s, ci 200));
+      B.putfield b ~obj:o fld_y (v t);
+      B.astore b ~kind:Ir.Kref ~arr:scene (v i) (v o));
+  let r = B.fresh ~name:"r" b in
+  B.scall b ~dst:r "render" [ v scene ];
+  B.terminate b (Ir.Return (Some (v r)));
+  (* the ray-casting loop, compiled as its own method *)
+  let render =
+    let b = B.create ~name:"render" ~params:[ "scene" ] () in
+    let scene = B.param b 0 in
+    let o = B.fresh ~name:"o" b in
+    let ray = B.fresh ~name:"ray" b and acc = B.fresh ~name:"acc" b in
+    let j = B.fresh ~name:"j" b and lo = B.fresh ~name:"lo" b in
+    let hx = B.fresh ~name:"hx" b and hy = B.fresh ~name:"hy" b in
+    let pk = B.fresh ~name:"pk" b in
+    B.emit b (Ir.Move (acc, ci 0));
+    B.count_do b ~v:ray ~from:(ci 0) ~limit:(ci rays) (fun b ->
+        B.emit b (Ir.Binop (lo, Rem, v ray, ci 100));
+        B.emit b (Ir.Binop (lo, Sub, v lo, ci 20));
+        B.count_do b ~v:j ~from:(ci 0) ~limit:(ci n_spheres) (fun b ->
+            B.aload b ~kind:Ir.Kref ~dst:o ~arr:scene (v j);
+            (* the branchy (Figure 1) accessor comes first: its receiver
+               check cannot be subsumed by an unconditional dereference,
+               which is precisely the case only phase 2 optimizes *)
+            B.vcall b ~dst:pk ~recv:o "pick" [ v lo ];
+            B.vcall b ~dst:hx ~recv:o "clampX" [ v lo ];
+            B.vcall b ~dst:hy ~recv:o "clampY" [ v lo ];
+            B.emit b (Ir.Binop (hx, Add, v hx, v hy));
+            B.emit b (Ir.Binop (hx, Add, v hx, v pk));
+            B.emit b (Ir.Binop (acc, Add, v acc, v hx));
+            B.emit b (Ir.Binop (acc, Band, v acc, ci 0x3fffffff))));
+    B.terminate b (Ir.Return (Some (v acc)));
+    B.finish b
+  in
+  B.program ~classes:[ sphere_cls ] ~main:"main"
+    [
+      B.finish b;
+      render;
+      accessor "clampX" fld_x;
+      accessor "clampY" fld_y;
+      biased_accessor "pick" fld_y;
+    ]
+
+let expected ~scale =
+  let rays = n_rays ~scale in
+  let s = ref seed in
+  let xs = Array.make n_spheres 0 and ys = Array.make n_spheres 0 in
+  for i = 0 to n_spheres - 1 do
+    s := lcg_ref !s;
+    xs.(i) <- !s mod 200;
+    s := lcg_ref !s;
+    ys.(i) <- !s mod 200
+  done;
+  let acc = ref 0 in
+  for ray = 0 to rays - 1 do
+    let lo = (ray mod 100) - 20 in
+    for j = 0 to n_spheres - 1 do
+      let hx = if lo > xs.(j) then lo else xs.(j) in
+      let hy = if lo > ys.(j) then lo else ys.(j) in
+      let pk = if lo < 0 then lo else ys.(j) in
+      acc := (!acc + hx + hy + pk) land 0x3fffffff
+    done
+  done;
+  !acc
+
+let workload =
+  {
+    name = "mtrt";
+    suite = Specjvm;
+    description = "ray-caster model: hot accessor methods, figure-1 shape";
+    build;
+    expected;
+  }

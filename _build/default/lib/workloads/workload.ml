@@ -1,0 +1,92 @@
+(** Workload plumbing shared by the benchmark models.
+
+    A workload is a self-contained IR program: its [main] takes no
+    arguments, allocates its own data, runs the kernel and returns an
+    integer checksum.  [expected] is that checksum, verified by the
+    differential tests under every configuration and architecture.
+
+    [scale] multiplies the iteration counts: the test suite runs the
+    small versions, the benchmark harness larger ones. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+
+type suite = Jbytemark | Specjvm
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  build : scale:int -> Ir.program;
+  expected : scale:int -> int;
+      (** checksum [main] must return, computed by a reference OCaml
+          implementation *)
+}
+
+(* --- common classes ------------------------------------------------ *)
+
+let fld_x = { Ir.fname = "x"; foffset = 16; fkind = Ir.Kint }
+let fld_y = { Ir.fname = "y"; foffset = 24; fkind = Ir.Kint }
+let fld_z = { Ir.fname = "z"; foffset = 32; fkind = Ir.Kint }
+let fld_fx = { Ir.fname = "fx"; foffset = 40; fkind = Ir.Kfloat }
+let fld_fy = { Ir.fname = "fy"; foffset = 48; fkind = Ir.Kfloat }
+let fld_next = { Ir.fname = "next"; foffset = 56; fkind = Ir.Kref }
+let fld_data = { Ir.fname = "data"; foffset = 64; fkind = Ir.Kref }
+let fld_count = { Ir.fname = "count"; foffset = 72; fkind = Ir.Kint }
+
+let node_cls ?(methods = []) name =
+  {
+    Ir.cname = name;
+    csuper = None;
+    cfields =
+      [ fld_x; fld_y; fld_z; fld_fx; fld_fy; fld_next; fld_data; fld_count ];
+    cmethods = methods;
+  }
+
+(* --- small DSL additions ------------------------------------------- *)
+
+(** [iconst b n] materializes an int constant operand. *)
+let ci n = Ir.Cint n
+let cf x = Ir.Cfloat x
+let v x = Ir.Var x
+
+(** Emit [dst = dst * a + b (mod m)] — the LCG used to fill inputs
+    deterministically inside the workloads themselves. *)
+let lcg_step b ~dst =
+  B.emit b (Ir.Binop (dst, Mul, v dst, ci 1103515245));
+  B.emit b (Ir.Binop (dst, Add, v dst, ci 12345));
+  B.emit b (Ir.Binop (dst, Band, v dst, ci 0x3fffffff))
+
+(** Reference OCaml implementation of the same LCG. *)
+let lcg_ref s = ((s * 1103515245) + 12345) land 0x3fffffff
+
+(** Fill an int array with LCG values; returns the seed variable used. *)
+let fill_array b ~arr ~len ~seed0 =
+  let i = B.fresh ~name:"fi" b and s = B.fresh ~name:"seed" b in
+  B.emit b (Ir.Move (s, ci seed0));
+  B.count_do b ~v:i ~from:(ci 0) ~limit:len (fun b ->
+      lcg_step b ~dst:s;
+      B.astore b ~kind:Ir.Kint ~arr (v i) (v s));
+  s
+
+let fill_ref len seed0 =
+  let a = Array.make len 0 in
+  let s = ref seed0 in
+  for i = 0 to len - 1 do
+    s := lcg_ref !s;
+    a.(i) <- !s
+  done;
+  a
+
+(** Registry of all workloads (populated by {!Registry}). *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register w = Hashtbl.replace registry w.name w
+
+let find name = Hashtbl.find_opt registry name
+
+let all () =
+  Hashtbl.fold (fun _ w acc -> w :: acc) registry []
+  |> List.sort (fun a b -> compare (a.suite, a.name) (b.suite, b.name))
+
+let of_suite s = List.filter (fun w -> w.suite = s) (all ())

@@ -1,0 +1,47 @@
+(** Workload plumbing: a workload is a self-contained IR program whose
+    [main] allocates its data (the hot kernels receive it as function
+    parameters, like real benchmark methods), runs, and returns an
+    integer checksum that must match the OCaml reference
+    implementation in [expected]. *)
+
+module Ir = Nullelim_ir.Ir
+module B = Nullelim_ir.Ir_builder
+
+type suite = Jbytemark | Specjvm
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  build : scale:int -> Ir.program;
+  expected : scale:int -> int;
+}
+
+(* shared fields and classes *)
+val fld_x : Ir.field
+val fld_y : Ir.field
+val fld_z : Ir.field
+val fld_fx : Ir.field
+val fld_fy : Ir.field
+val fld_next : Ir.field
+val fld_data : Ir.field
+val fld_count : Ir.field
+val node_cls : ?methods:(string * string) list -> string -> Ir.cls
+
+(* builder shorthands *)
+val ci : int -> Ir.operand
+val cf : float -> Ir.operand
+val v : Ir.var -> Ir.operand
+
+(* the deterministic input generator (LCG), emitted and mirrored *)
+val lcg_step : B.t -> dst:Ir.var -> unit
+val lcg_ref : int -> int
+val fill_array : B.t -> arr:Ir.var -> len:Ir.operand -> seed0:int -> Ir.var
+val fill_ref : int -> int -> int array
+
+(* registry *)
+val registry : (string, t) Hashtbl.t
+val register : t -> unit
+val find : string -> t option
+val all : unit -> t list
+val of_suite : suite -> t list

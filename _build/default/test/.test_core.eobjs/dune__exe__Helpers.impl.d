@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Arch Array Builder Cfg Compiler Config Dominance Fmt Hashtbl Interp Ir Ir_validate List Loops Nullelim String Value Verify

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Arch Compiler Config Lazy List Nullelim Nullelim_experiments Nullelim_workloads Option Printf Verify

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Bitset Builder Cfg Dominance Hashtbl Helpers Interp Ir Ir_validate List Loops Nullelim Opt_util Solver Value

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arch Builder Helpers Inline Interp Ir Ir_validate List Nullelim Value

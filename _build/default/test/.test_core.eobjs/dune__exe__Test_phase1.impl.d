@@ -1,0 +1,1 @@
+test/test_phase1.ml: Alcotest Array Builder Fmt Helpers Interp Ir Ir_pp List Nullelim Phase1 Value

@@ -1,0 +1,1 @@
+test/test_phase2.ml: Alcotest Arch Array Builder Helpers Interp Ir List Nullelim Phase2 Value Verify

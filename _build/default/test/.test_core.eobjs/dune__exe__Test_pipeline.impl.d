@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Arch Array Builder Compiler Config Helpers Interp Ir Ir_validate List Nullelim Printf Value Verify

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arch Compiler Config Fmt Interp Ir_validate List Nullelim Nullelim_workloads Printf String Value Verify

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "nullelim"
+    [ ("placeholder", [ Alcotest.test_case "builds" `Quick (fun () -> ()) ]) ]

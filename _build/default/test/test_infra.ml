@@ -1,0 +1,259 @@
+(** Unit tests for the infrastructure: builder, validator, CFG queries,
+    dominators, loop detection, preheaders and the data-flow solver. *)
+
+open Nullelim
+module H = Helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Builder and validator                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_shapes () =
+  let open Builder in
+  let b = create ~name:"f" ~params:[ "x" ] () in
+  let r = fresh b in
+  emit b (Move (r, Cint 0));
+  if_then b (Ir.Lt, Var (param b 0), Cint 10)
+    ~then_:(fun b -> emit b (Move (r, Cint 1)))
+    ~else_:(fun b -> emit b (Move (r, Cint 2)))
+    ();
+  let i = fresh b in
+  count_do b ~v:i ~from:(Cint 0) ~limit:(Cint 3) (fun b ->
+      emit b (Binop (r, Add, Var r, Var i)));
+  while_ b
+    ~cond:(fun _ -> (Ir.Gt, Ir.Var r, Ir.Cint 100))
+    ~body:(fun b -> emit b (Binop (r, Sub, Var r, Cint 1)))
+    ();
+  terminate b (Return (Some (Var r)));
+  let f = finish b in
+  let p = H.program_of [ f ] "f" in
+  Alcotest.(check (list string)) "validates" [] (Ir_validate.validate_program p);
+  (* zero-trip while: body may never run *)
+  let r = H.run p [ H.vint 5 ] in
+  match r.Interp.outcome with
+  | Interp.Returned (Some (Value.Vint 4)) -> () (* 1 + 0+1+2 = 4, <= 100 *)
+  | o -> Alcotest.failf "unexpected %a" Interp.pp_outcome o
+
+let test_validator_catches () =
+  (* bad label *)
+  let f : Ir.func =
+    {
+      fn_name = "bad";
+      fn_nparams = 0;
+      fn_is_method = false;
+      fn_nvars = 1;
+      fn_blocks = [| { instrs = [||]; term = Goto 7; breg = 0 } |];
+      fn_handlers = [];
+      fn_var_names = Hashtbl.create 1;
+    }
+  in
+  check_bool "bad label flagged" true (Ir_validate.validate_func None f <> []);
+  (* bad variable *)
+  let f2 =
+    { f with
+      fn_blocks =
+        [| { Ir.instrs = [| Ir.Move (5, Cint 0) |]; term = Return None; breg = 0 } |]
+    }
+  in
+  check_bool "bad var flagged" true (Ir_validate.validate_func None f2 <> []);
+  (* missing handler *)
+  let f3 =
+    { f with
+      fn_blocks = [| { Ir.instrs = [||]; term = Return None; breg = 3 } |] }
+  in
+  check_bool "missing handler flagged" true
+    (Ir_validate.validate_func None f3 <> [])
+
+(* ------------------------------------------------------------------ *)
+(* CFG, dominators, loops                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* a diamond with a loop on one arm *)
+let shape () =
+  let open Builder in
+  let b = create ~name:"g" ~params:[ "n" ] () in
+  let r = fresh b in
+  emit b (Move (r, Cint 0));
+  if_then b (Ir.Lt, Var (param b 0), Cint 0)
+    ~then_:(fun b -> emit b (Move (r, Cint (-1))))
+    ~else_:(fun b ->
+      let i = fresh b in
+      count_do b ~v:i ~from:(Cint 0) ~limit:(Var (param b 0)) (fun b ->
+          emit b (Binop (r, Add, Var r, Var i))))
+    ();
+  terminate b (Return (Some (Var r)));
+  finish b
+
+let test_cfg_edges () =
+  let f = shape () in
+  let cfg = Cfg.make f in
+  (* entry has two successors, each with entry as predecessor *)
+  let succs0 = Cfg.succs cfg 0 in
+  check_int "entry successors" 2 (List.length succs0);
+  List.iter
+    (fun s -> check_bool "pred link" true (List.mem 0 (Cfg.preds cfg s)))
+    succs0;
+  (* every reachable block appears exactly once in RPO *)
+  let rpo = Cfg.reverse_postorder cfg in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun l ->
+      check_bool "no duplicates in RPO" false (Hashtbl.mem seen l);
+      Hashtbl.replace seen l ())
+    rpo;
+  check_int "entry first in RPO" 0 rpo.(0)
+
+let test_dominators () =
+  let f = shape () in
+  let cfg = Cfg.make f in
+  let dom = Dominance.compute cfg in
+  for l = 0 to Ir.nblocks f - 1 do
+    if Cfg.is_reachable cfg l then begin
+      check_bool "entry dominates" true (Dominance.dominates dom 0 l);
+      check_bool "self-domination" true (Dominance.dominates dom l l)
+    end
+  done;
+  (* idom of entry is entry *)
+  check_int "idom(entry)" 0 (Dominance.idom dom 0)
+
+let test_loops () =
+  let f = shape () in
+  let cfg = Cfg.make f in
+  let dom = Dominance.compute cfg in
+  let loops = Loops.detect cfg dom in
+  check_int "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  check_bool "header in body" true (Loops.in_loop l l.Loops.header);
+  check_bool "has a latch" true (l.Loops.latches <> []);
+  List.iter
+    (fun latch ->
+      check_bool "latch in body" true (Loops.in_loop l latch);
+      check_bool "header dominates latch" true
+        (Dominance.dominates dom l.Loops.header latch))
+    l.Loops.latches
+
+let test_preheader () =
+  let f = shape () in
+  let cfg = Cfg.make f in
+  let dom = Dominance.compute cfg in
+  let loops = Loops.detect cfg dom in
+  let l = List.hd loops in
+  let ph = Loops.ensure_preheader f cfg l in
+  (* rebuild and verify: the preheader's only successor is the header,
+     and it is the only out-of-loop predecessor *)
+  let cfg2 = Cfg.make f in
+  (match (Ir.block f ph).term with
+  | Ir.Goto h -> check_int "preheader jumps to header" l.Loops.header h
+  | _ -> Alcotest.fail "preheader terminator");
+  let outside =
+    List.filter (fun p -> not (Loops.in_loop l p)) (Cfg.preds cfg2 l.Loops.header)
+  in
+  check_int "single outside pred" 1 (List.length outside);
+  check_int "which is the preheader" ph (List.hd outside);
+  (* idempotent *)
+  let ph2 = Loops.ensure_preheader f cfg2 l in
+  check_int "stable" ph ph2
+
+(* ------------------------------------------------------------------ *)
+(* Data-flow solver on a textbook problem                              *)
+(* ------------------------------------------------------------------ *)
+
+(* reaching "definitely assigned" analysis: a variable is definitely
+   assigned at exit if assigned on every path — a forward must problem,
+   checked against manual expectations on the diamond *)
+let test_solver_must () =
+  let open Builder in
+  let b = create ~name:"h" ~params:[ "c" ] () in
+  let x = fresh b and y = fresh b in
+  if_then b (Ir.Ne, Var (param b 0), Cint 0)
+    ~then_:(fun b ->
+      emit b (Move (x, Cint 1));
+      emit b (Move (y, Cint 1)))
+    ~else_:(fun b -> emit b (Move (x, Cint 2)))
+    ();
+  emit b (Binop (x, Add, Var x, Cint 0));
+  terminate b (Return (Some (Var x)));
+  let f = finish b in
+  let cfg = Cfg.make f in
+  let nv = f.fn_nvars in
+  let r =
+    Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~transfer:(fun l s ->
+        let s = Bitset.copy s in
+        Array.iter
+          (fun i ->
+            match Ir.def_of_instr i with
+            | Some d -> Bitset.add_mut s d
+            | None -> ())
+          (Ir.block f l).instrs;
+        s)
+      ()
+  in
+  (* find the join block: the one ending in Return *)
+  let join = ref (-1) in
+  Array.iteri
+    (fun l (blk : Ir.block) ->
+      match blk.term with Ir.Return _ -> join := l | _ -> ())
+    f.fn_blocks;
+  let at_join = r.Solver.inb.(!join) in
+  check_bool "x assigned on both paths" true (Bitset.mem x at_join);
+  check_bool "y only on one path" false (Bitset.mem y at_join)
+
+let test_solver_loop_fixpoint () =
+  (* on the loop shape, a must-fact generated before the loop survives
+     around the back edge *)
+  let f = shape () in
+  let cfg = Cfg.make f in
+  let nv = f.fn_nvars in
+  let gen_entry = Bitset.of_list nv [ 1 ] (* r := defined at entry *) in
+  let r =
+    Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~transfer:(fun l s -> if l = 0 then Bitset.union s gen_entry else s)
+      ()
+  in
+  Array.iteri
+    (fun l (_ : Ir.block) ->
+      if Cfg.is_reachable cfg l && l <> 0 then
+        check_bool "fact reaches everywhere" true
+          (Bitset.mem 1 r.Solver.inb.(l)))
+    f.fn_blocks
+
+let test_remove_unreachable () =
+  let open Builder in
+  let b = create ~name:"u" ~params:[] () in
+  terminate b (Return (Some (Cint 1)));
+  let dead = new_block b in
+  switch_to b dead;
+  terminate b (Return (Some (Cint 2)));
+  let f = finish b in
+  check_int "two blocks" 2 (Ir.nblocks f);
+  Opt_util.remove_unreachable f;
+  check_int "one block" 1 (Ir.nblocks f)
+
+let () =
+  Alcotest.run "infra"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "structured shapes" `Quick test_builder_shapes;
+          Alcotest.test_case "validator catches" `Quick test_validator_catches;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "edges and rpo" `Quick test_cfg_edges;
+          Alcotest.test_case "dominators" `Quick test_dominators;
+          Alcotest.test_case "loops" `Quick test_loops;
+          Alcotest.test_case "preheader" `Quick test_preheader;
+          Alcotest.test_case "remove unreachable" `Quick test_remove_unreachable;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "must problem on diamond" `Quick test_solver_must;
+          Alcotest.test_case "loop fixpoint" `Quick test_solver_loop_fixpoint;
+        ] );
+    ]

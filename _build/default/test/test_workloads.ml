@@ -1,0 +1,82 @@
+(** Differential correctness of every benchmark workload: the raw
+    program must return its reference checksum, and every configuration
+    on every architecture must preserve it (except the deliberately
+    unsound Illegal Implicit, which is verified separately in
+    test_pipeline/test_phase2). *)
+
+open Nullelim
+module W = Nullelim_workloads.Workload
+module Registry = Nullelim_workloads.Registry
+
+let scale = 1
+
+let archs = [ Arch.ia32_windows; Arch.ppc_aix; Arch.sparc; Arch.no_trap ]
+
+let run_checked ~arch prog =
+  let r = Interp.run ~fuel:100_000_000 ~arch prog [] in
+  match r.Interp.outcome with
+  | Interp.Returned (Some (Value.Vint n)) -> (n, r)
+  | o -> Alcotest.failf "unexpected outcome: %a" Interp.pp_outcome o
+
+let test_raw (w : W.t) () =
+  let prog = w.W.build ~scale in
+  (match Ir_validate.validate_program prog with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid: %s" (String.concat "; " errs));
+  let got, _ = run_checked ~arch:Arch.ia32_windows prog in
+  Alcotest.(check int) "checksum" (w.W.expected ~scale) got
+
+let test_all_configs (w : W.t) () =
+  let prog = w.W.build ~scale in
+  let expected = w.W.expected ~scale in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (cfg : Config.t) ->
+          let c = Compiler.compile cfg ~arch prog in
+          (match Ir_validate.validate_program c.Compiler.program with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "%s/%s invalid: %s" arch.Arch.name cfg.Config.name
+              (String.concat "; " errs));
+          (if cfg.Config.phase2_arch_override = None then
+           match Verify.verify_program ~arch c.Compiler.program with
+           | [] -> ()
+           | vs ->
+             Alcotest.failf "%s/%s: %d implicit-check violations (%a)"
+               arch.Arch.name cfg.Config.name (List.length vs)
+               Fmt.(list ~sep:comma Verify.pp_violation)
+               vs);
+          let got, _ = run_checked ~arch c.Compiler.program in
+          if got <> expected then
+            Alcotest.failf "%s/%s: checksum %d, expected %d" arch.Arch.name
+              cfg.Config.name got expected)
+        (Config.windows_suite @ Config.aix_suite))
+    archs
+
+(* The optimizer should never increase the executed explicit checks. *)
+let test_no_regression (w : W.t) () =
+  let prog = w.W.build ~scale in
+  let arch = Arch.ia32_windows in
+  let explicit cfg =
+    let c = Compiler.compile cfg ~arch prog in
+    let _, r = run_checked ~arch c.Compiler.program in
+    r.Interp.counters.Interp.explicit_checks
+  in
+  let raw = explicit Config.no_null_opt_no_trap in
+  let full = explicit Config.new_full in
+  Alcotest.(check bool)
+    (Printf.sprintf "full (%d) <= raw (%d)" full raw)
+    true (full <= raw)
+
+let () =
+  let per_workload (w : W.t) =
+    ( w.W.name,
+      [
+        Alcotest.test_case "raw checksum" `Quick (test_raw w);
+        Alcotest.test_case "all configs x archs" `Quick (test_all_configs w);
+        Alcotest.test_case "no explicit-check regression" `Quick
+          (test_no_regression w);
+      ] )
+  in
+  Alcotest.run "workloads" (List.map per_workload (Registry.all ()))
