@@ -1,18 +1,26 @@
 (** Benchmark harness: regenerates every table and figure of the paper's
     evaluation (Section 5) from the simulator, then runs one Bechamel
-    micro-benchmark per table on the corresponding compile pipeline.
+    micro-benchmark per table on the corresponding compile pipeline and
+    compares the data-flow solver engines (worklist vs. the reference
+    round-robin) on the javac workload.
 
     Output sections are labelled with the paper artifact they reproduce;
     EXPERIMENTS.md records the shape comparison against the published
     numbers.
 
     Environment:
-    - [BENCH_SCALE] (default 4): workload scale factor. *)
+    - [BENCH_SCALE] (default 4): workload scale factor;
+    - [BENCH_JSON=path] (or [--json \[path\]]): additionally write a
+      machine-readable report — per-table values, per-workload compile
+      times, bechamel ns/compile estimates and solver work counters — to
+      [path] (default [BENCH_results.json]). *)
 
 module E = Nullelim_experiments.Experiments
 module Config = Nullelim.Config
 module Arch = Nullelim.Arch
 module Compiler = Nullelim.Compiler
+module Pipeline = Nullelim.Pipeline
+module Solver = Nullelim.Solver
 module W = Nullelim_workloads.Workload
 module Registry = Nullelim_workloads.Registry
 
@@ -21,10 +29,123 @@ let scale =
   | Some s -> (try max 1 (int_of_string s) with _ -> 4)
   | None -> 4
 
+(** Where to write the JSON report, if anywhere.  [BENCH_JSON=path] wins
+    over [--json [path]]; a bare [--json] uses the default file name. *)
+let json_path =
+  match Sys.getenv_opt "BENCH_JSON" with
+  | Some p when p <> "" -> Some p
+  | _ ->
+    let rec scan = function
+      | "--json" :: p :: _ when String.length p > 0 && p.[0] <> '-' -> Some p
+      | "--json" :: _ -> Some "BENCH_results.json"
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan (Array.to_list Sys.argv)
+
 let line = String.make 78 '-'
 
 let section title paper =
   Fmt.pr "@.%s@.%s   [reproduces %s]@.%s@." line title paper line
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission (no external dependency)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null  (** non-finite floats serialize as [null] *)
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
+      else emit b Null
+    | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 4096 in
+    emit b j;
+    Buffer.contents b
+end
+
+(** table → JSON: configs once, then one row of values per workload. *)
+let json_of_rows ~unit (rows : E.row list) : Json.t =
+  let configs =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map (fun (c : E.cell) -> c.E.config) r.E.cells
+  in
+  Json.Obj
+    [
+      ("unit", Json.Str unit);
+      ("configs", Json.List (List.map (fun c -> Json.Str c) configs));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : E.row) ->
+               Json.Obj
+                 [
+                   ("workload", Json.Str r.E.workload);
+                   ( "values",
+                     Json.List
+                       (List.map
+                          (fun (c : E.cell) -> Json.Float c.E.value)
+                          r.E.cells) );
+                 ])
+             rows) );
+    ]
+
+let json_of_solver_stats (s : Solver.stats) : Json.t =
+  Json.Obj
+    [
+      ("solves", Json.Int s.Solver.solves);
+      ("visits", Json.Int s.Solver.visits);
+      ("transfers", Json.Int s.Solver.transfers);
+      ("pushes", Json.Int s.Solver.pushes);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Table formatting                                                     *)
@@ -106,7 +227,8 @@ let table3 () =
       Fmt.pr "%-12s %10.4f %10.4f %8.1f%%   %10.4f %10.4f %8.1f%%@."
         o.E.cw_name o.E.first_run o.E.best_run (pct o) h.E.first_run
         h.E.best_run (pct h))
-    ours hs
+    ours hs;
+  (ours, hs)
 
 let table4 () =
   section "Breakdown of JIT compilation time: null-check opt vs. others"
@@ -127,9 +249,11 @@ let table4 () =
 let table5 rows =
   section "Increase in total JIT compilation time (new vs old)" "Table 5";
   Fmt.pr "%-24s %14s %10s@." "" "delta (s)" "delta (%)";
+  let deltas = E.table5 rows in
   List.iter
     (fun (name, ds, pct) -> Fmt.pr "%-24s %14.5f %9.2f%%@." name ds pct)
-    (E.table5 rows)
+    deltas;
+  deltas
 
 let table6 () =
   section "jBYTEmark on AIX/PowerPC (index, larger is better)" "Table 6";
@@ -160,19 +284,66 @@ let ablation () =
     "Ablation: iteration count (Figure 2's claim), inlining, array opts \
      (cycles, smaller is better)"
     "design choices (DESIGN.md)";
-  pp_score_table ~unit:"(cycles)" (E.ablation ~scale)
+  let rows = E.ablation ~scale in
+  pp_score_table ~unit:"(cycles)" rows;
+  rows
 
 let check_statistics () =
   section "Static and dynamic null-check counts (full config, IA32)"
     "supplementary";
   Fmt.pr "%-18s %8s %10s %10s %12s %12s@." "" "raw" "expl(st)" "impl(st)"
     "expl(dyn)" "impl(dyn)";
+  let rows = E.check_stats ~arch:Arch.ia32_windows Config.new_full ~scale:1 in
   List.iter
     (fun (r : E.check_row) ->
       Fmt.pr "%-18s %8d %10d %10d %12d %12d@." r.E.sw_name r.E.raw
         r.E.explicit_static r.E.implicit_static r.E.explicit_dynamic
         r.E.implicit_dynamic)
-    (E.check_stats ~arch:Arch.ia32_windows Config.new_full ~scale:1)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Solver engine comparison: worklist vs reference round-robin          *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile the javac workload once per solver engine and report the
+    counters.  The worklist engine must do strictly fewer transfers than
+    the round-robin sweep — this is the perf claim of the sparse engine,
+    checked here on every bench run. *)
+let solver_comparison () =
+  section "Data-flow solver work on javac (worklist vs round-robin)"
+    "perf harness";
+  let prog = (Option.get (Registry.find "javac")).W.build ~scale:1 in
+  let compile_with ~reference =
+    let saved = !Solver.use_reference in
+    Solver.use_reference := reference;
+    Fun.protect
+      ~finally:(fun () -> Solver.use_reference := saved)
+      (fun () -> Compiler.compile Config.new_full ~arch:Arch.ia32_windows prog)
+  in
+  let wl = compile_with ~reference:false in
+  let rr = compile_with ~reference:true in
+  let pr name (s : Solver.stats) =
+    Fmt.pr "%-12s %10d %12d %12d %12d@." name s.Solver.solves s.Solver.visits
+      s.Solver.transfers s.Solver.pushes
+  in
+  Fmt.pr "%-12s %10s %12s %12s %12s@." "engine" "solves" "visits" "transfers"
+    "pushes";
+  pr "worklist" wl.Compiler.solver;
+  pr "round-robin" rr.Compiler.solver;
+  let t_wl = wl.Compiler.solver.Solver.transfers
+  and t_rr = rr.Compiler.solver.Solver.transfers in
+  Fmt.pr "transfers: %d vs %d (%.1f%% of round-robin)%s@." t_wl t_rr
+    (100. *. float_of_int t_wl /. float_of_int (max 1 t_rr))
+    (if t_wl < t_rr then "" else "  ** WORKLIST NOT SPARSER **");
+  (* per-pass worklist counters, sorted by key for stable output *)
+  let per_pass =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) wl.Compiler.counters [])
+  in
+  Fmt.pr "@.per-pass worklist counters (pass#counter = value):@.";
+  List.iter (fun (k, v) -> Fmt.pr "  %-42s %10d@." k v) per_pass;
+  (wl, rr, per_pass)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table, measuring the   *)
@@ -216,12 +387,111 @@ let bechamel_suite () =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun name ->
       match Analyze.OLS.estimates (Hashtbl.find results name) with
-      | Some [ est ] -> Fmt.pr "%-44s %14.1f ns/compile@." name est
-      | _ -> Fmt.pr "%-44s (no estimate)@." name)
+      | Some [ est ] ->
+        Fmt.pr "%-44s %14.1f ns/compile@." name est;
+        Some (name, est)
+      | _ ->
+        Fmt.pr "%-44s (no estimate)@." name;
+        None)
     (List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
+    ~solver:(wl, rr, per_pass) ~bechamel =
+  let open Json in
+  let compile_row_json (r : E.compile_row) =
+    Obj
+      [
+        ("workload", Str r.E.cw_name);
+        ("first_run", Float r.E.first_run);
+        ("best_run", Float r.E.best_run);
+        ("compile_seconds", Float r.E.compile_time);
+      ]
+  in
+  let ours, hotspot = compile_rows in
+  let j =
+    Obj
+      [
+        ("schema", Str "nullelim-bench/1");
+        ("scale", Int scale);
+        ( "tables",
+          Obj
+            (List.map (fun (name, unit, rows) -> (name, json_of_rows ~unit rows))
+               tables) );
+        ( "compile_times",
+          Obj
+            [
+              ("ours", List (List.map compile_row_json ours));
+              ("hotspot_model", List (List.map compile_row_json hotspot));
+            ] );
+        ( "nullcheck_breakdown",
+          List
+            (List.map
+               (fun (r : E.breakdown_row) ->
+                 Obj
+                   [
+                     ("workload", Str r.E.bw_name);
+                     ("new_nullcheck_seconds", Float r.E.new_nullcheck);
+                     ("new_other_seconds", Float r.E.new_other);
+                     ("old_nullcheck_seconds", Float r.E.old_nullcheck);
+                     ("old_other_seconds", Float r.E.old_other);
+                   ])
+               breakdown) );
+        ( "compile_time_increase",
+          List
+            (List.map
+               (fun (name, ds, pct) ->
+                 Obj
+                   [
+                     ("workload", Str name);
+                     ("delta_seconds", Float ds);
+                     ("delta_percent", Float pct);
+                   ])
+               deltas) );
+        ( "check_stats",
+          List
+            (List.map
+               (fun (r : E.check_row) ->
+                 Obj
+                   [
+                     ("workload", Str r.E.sw_name);
+                     ("raw", Int r.E.raw);
+                     ("explicit_static", Int r.E.explicit_static);
+                     ("implicit_static", Int r.E.implicit_static);
+                     ("explicit_dynamic", Int r.E.explicit_dynamic);
+                     ("implicit_dynamic", Int r.E.implicit_dynamic);
+                   ])
+               checks) );
+        ( "solver",
+          Obj
+            [
+              ("workload", Str "javac");
+              ("config", Str "new-full");
+              ("worklist", json_of_solver_stats wl.Compiler.solver);
+              ("round_robin", json_of_solver_stats rr.Compiler.solver);
+              ( "transfer_ratio",
+                Float
+                  (float_of_int wl.Compiler.solver.Solver.transfers
+                  /. float_of_int (max 1 rr.Compiler.solver.Solver.transfers))
+              );
+              ( "worklist_per_pass",
+                Obj (List.map (fun (k, v) -> (k, Int v)) per_pass) );
+            ] );
+        ( "bechamel_ns_per_compile",
+          Obj (List.map (fun (name, est) -> (name, Float est)) bechamel) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.JSON report written to %s@." path
 
 let () =
   Fmt.pr "nullelim benchmark harness — scale %d@." scale;
@@ -232,14 +502,28 @@ let () =
   figure9 t2;
   figure10 t1;
   figure11 t2;
-  table3 ();
+  let compile_rows = table3 () in
   let t4 = table4 () in
-  table5 t4;
+  let deltas = table5 t4 in
   let t6 = table6 () in
   figure14 t6;
   let t7 = table7 () in
   figure15 t7;
-  ablation ();
-  check_statistics ();
-  bechamel_suite ();
+  let abl = ablation () in
+  let checks = check_statistics () in
+  let solver = solver_comparison () in
+  let bech = bechamel_suite () in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    write_json path
+      ~tables:
+        [
+          ("table1", "index", t1);
+          ("table2", "sec", t2);
+          ("table6", "index", t6);
+          ("table7", "sec", t7);
+          ("ablation", "cycles", abl);
+        ]
+      ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech);
   Fmt.pr "@.done.@."

@@ -37,7 +37,7 @@ let solve (cfg : Cfg.t) : t =
   let handler_of l = Ir.handler_of f (Ir.block f l).breg in
   let result =
     Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.empty nv) ~meet:Bitset.union
+      ~top:(Bitset.empty nv) ~meet:Solver.Union
       ~transfer:(fun l s ->
         match handler_of l with
         | Some _ -> Bitset.full nv

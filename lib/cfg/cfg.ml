@@ -16,6 +16,9 @@ type t = {
   func : Ir.func;
   succ : int list array;
   pred : int list array;
+  succ_a : int array array; (** successors as arrays, for index loops *)
+  pred_a : int array array; (** predecessors as arrays *)
+  handler : bool array;     (** is the block a handler entry? *)
   rpo : int array;        (** blocks in reverse postorder (entry first) *)
   rpo_index : int array;  (** position of each block in [rpo]; -1 if dead *)
 }
@@ -28,6 +31,9 @@ let handler_blocks (f : Ir.func) : int list = List.map snd f.fn_handlers
 let nblocks t = Array.length t.succ
 let succs t l = t.succ.(l)
 let preds t l = t.pred.(l)
+let succ_arrays t = t.succ_a
+let pred_arrays t = t.pred_a
+let is_handler t l = t.handler.(l)
 let func t = t.func
 
 let make (f : Ir.func) : t =
@@ -57,7 +63,11 @@ let make (f : Ir.func) : t =
   let rpo = Array.of_list !order in
   let rpo_index = Array.make n (-1) in
   Array.iteri (fun i l -> rpo_index.(l) <- i) rpo;
-  { func = f; succ; pred; rpo; rpo_index }
+  let succ_a = Array.map Array.of_list succ in
+  let pred_a = Array.map Array.of_list pred in
+  let handler = Array.make n false in
+  List.iter (fun (_, h) -> handler.(h) <- true) f.fn_handlers;
+  { func = f; succ; pred; succ_a; pred_a; handler; rpo; rpo_index }
 
 let reverse_postorder t = t.rpo
 let rpo_pos t l = t.rpo_index.(l)

@@ -21,6 +21,17 @@ val nblocks : t -> int
 val succs : t -> Ir.label -> Ir.label list
 val preds : t -> Ir.label -> Ir.label list
 
+val succ_arrays : t -> Ir.label array array
+(** Successor lists as arrays, indexed by label — precomputed once so
+    hot solver loops never walk lists.  Do not mutate. *)
+
+val pred_arrays : t -> Ir.label array array
+(** Predecessor lists as arrays, indexed by label.  Do not mutate. *)
+
+val is_handler : t -> Ir.label -> bool
+(** Is the block the entry of an exception handler?  O(1), backed by a
+    precomputed [bool array]. *)
+
 val reverse_postorder : t -> Ir.label array
 val rpo_pos : t -> Ir.label -> int
 val is_reachable : t -> Ir.label -> bool

@@ -1,0 +1,57 @@
+(** Cached per-function analysis context.
+
+    One optimization phase runs several data-flow solvers over the same
+    function (phase 1 runs two, phase 2 three, the array passes more),
+    and each used to recompute the CFG snapshot, dominators and loops
+    from scratch.  A [Context.t] memoizes those structures and hands out
+    the cached copy until a pass declares the block structure changed
+    with {!invalidate}.
+
+    Invalidation contract: rewriting the {e instructions} of blocks
+    (via [Opt_util.set_instrs] / [append_instrs]) keeps every cached
+    structure valid — the CFG depends only on terminators and handler
+    tables.  Any edit of a terminator, creation of a block (e.g.
+    [Loops.ensure_preheader]), or removal of unreachable blocks must be
+    followed by {!invalidate} before the next query. *)
+
+module Ir = Nullelim_ir.Ir
+
+type t = {
+  func : Ir.func;
+  mutable cfg : Cfg.t option;
+  mutable dom : Dominance.t option;
+  mutable loops : Loops.loop list option;
+}
+
+let make (f : Ir.func) : t = { func = f; cfg = None; dom = None; loops = None }
+
+let func t = t.func
+
+let invalidate t =
+  t.cfg <- None;
+  t.dom <- None;
+  t.loops <- None
+
+let cfg t =
+  match t.cfg with
+  | Some c -> c
+  | None ->
+    let c = Cfg.make t.func in
+    t.cfg <- Some c;
+    c
+
+let dom t =
+  match t.dom with
+  | Some d -> d
+  | None ->
+    let d = Dominance.compute (cfg t) in
+    t.dom <- Some d;
+    d
+
+let loops t =
+  match t.loops with
+  | Some l -> l
+  | None ->
+    let l = Loops.detect (cfg t) (dom t) in
+    t.loops <- Some l;
+    l

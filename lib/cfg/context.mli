@@ -1,0 +1,26 @@
+(** Cached per-function analysis context: memoizes the CFG snapshot,
+    dominator tree and loop nest so that the several solver instances a
+    phase runs over one function stop recomputing them.
+
+    Instruction-only rewrites keep the cache valid; any structural edit
+    (terminator change, block creation, unreachable-block removal) must
+    be followed by {!invalidate} before the next query. *)
+
+module Ir = Nullelim_ir.Ir
+
+type t
+
+val make : Ir.func -> t
+val func : t -> Ir.func
+
+val cfg : t -> Cfg.t
+(** The memoized CFG snapshot (computed on first demand). *)
+
+val dom : t -> Dominance.t
+(** Memoized dominators over {!cfg}. *)
+
+val loops : t -> Loops.loop list
+(** Memoized natural loops, innermost first. *)
+
+val invalidate : t -> unit
+(** Drop every cached structure; the next query recomputes. *)

@@ -31,6 +31,7 @@ module Ir_validate = Nullelim_ir.Ir_validate
 module Cfg = Nullelim_cfg.Cfg
 module Dominance = Nullelim_cfg.Dominance
 module Loops = Nullelim_cfg.Loops
+module Context = Nullelim_cfg.Context
 
 (** {1 Data-flow framework} *)
 

@@ -1,10 +1,11 @@
 (** Fixed-universe bit sets for data-flow analysis.
 
     A set carries its universe size so that complement is well defined.
-    Operations are functional (they return fresh sets) — the data-flow
-    solver relies on that for change detection; sizes in this code base are
-    tiny (universe = number of variables of a function), so the copies are
-    cheap. *)
+    The original operations are functional (they return fresh sets); the
+    [_mut] and [_into] variants mutate their first argument in place and
+    are what the data-flow solver's hot loops use — the solver's
+    meet-over-edges allocates no intermediate sets.  Iteration scans
+    whole words and skips zero words instead of probing every index. *)
 
 type t = { size : int; bits : int array }
 
@@ -56,8 +57,54 @@ let remove_mut s i =
 
 let clear_mut s = Array.fill s.bits 0 (Array.length s.bits) 0
 
+(* ------------------------------------------------------------------ *)
+(* Destructive word-level kernels.  All tolerate [dst == src]: the     *)
+(* word-wise updates are still mathematically correct then (e.g.       *)
+(* [diff_into s s] yields the empty set).                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_pair a b =
+  if a.size <> b.size then invalid_arg "Bitset: universe mismatch"
+
+let copy_into dst src =
+  check_pair dst src;
+  Array.blit src.bits 0 dst.bits 0 (Array.length src.bits)
+
+let union_into dst src =
+  check_pair dst src;
+  let d = dst.bits and s = src.bits in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) lor s.(i)
+  done
+
+let inter_into dst src =
+  check_pair dst src;
+  let d = dst.bits and s = src.bits in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) land s.(i)
+  done
+
+let diff_into dst src =
+  check_pair dst src;
+  let d = dst.bits and s = src.bits in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) land lnot s.(i)
+  done
+
+(** Fused meet: [meet_all_into ~op ~into ~n ~get] sets [into] to
+    [get 0 `op` get 1 `op` ... `op` get (n-1)] without allocating.
+    [op] is one of the [_into] kernels; [get] may return the same set
+    for several indices. *)
+let meet_all_into ~(op : t -> t -> unit) ~(into : t) ~(n : int)
+    ~(get : int -> t) : unit =
+  if n <= 0 then invalid_arg "Bitset.meet_all_into: no operands";
+  copy_into into (get 0);
+  for k = 1 to n - 1 do
+    op into (get k)
+  done
+
 let lift2 op a b =
-  if a.size <> b.size then invalid_arg "Bitset: universe mismatch";
+  check_pair a b;
   { size = a.size; bits = Array.init (Array.length a.bits) (fun i -> op a.bits.(i) b.bits.(i)) }
 
 let union = lift2 ( lor )
@@ -70,6 +117,14 @@ let equal a b = a.size = b.size && a.bits = b.bits
 
 let is_empty s = Array.for_all (fun w -> w = 0) s.bits
 
+let subset a b =
+  check_pair a b;
+  let rec go i =
+    i >= Array.length a.bits
+    || (a.bits.(i) land lnot b.bits.(i) = 0 && go (i + 1))
+  in
+  go 0
+
 let cardinal s =
   let pop w =
     let rec go w n = if w = 0 then n else go (w land (w - 1)) (n + 1) in
@@ -77,9 +132,28 @@ let cardinal s =
   in
   Array.fold_left (fun n w -> n + pop w) 0 s.bits
 
+(* number of trailing zeros of a non-zero word (branching on halves) *)
+let ntz w =
+  let w = ref (w land -w) (* isolate lowest set bit *) and n = ref 0 in
+  if !w land 0xFFFFFFFF = 0 then begin n := !n + 32; w := !w lsr 32 end;
+  if !w land 0xFFFF = 0 then begin n := !n + 16; w := !w lsr 16 end;
+  if !w land 0xFF = 0 then begin n := !n + 8; w := !w lsr 8 end;
+  if !w land 0xF = 0 then begin n := !n + 4; w := !w lsr 4 end;
+  if !w land 0x3 = 0 then begin n := !n + 2; w := !w lsr 2 end;
+  if !w land 0x1 = 0 then incr n;
+  !n
+
 let iter g s =
-  for i = 0 to s.size - 1 do
-    if mem i s then g i
+  let bits = s.bits in
+  for wi = 0 to Array.length bits - 1 do
+    let w = ref bits.(wi) in
+    if !w <> 0 then begin
+      let base = wi * word_bits in
+      while !w <> 0 do
+        g (base + ntz !w);
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let fold g s acc =
@@ -96,5 +170,3 @@ let of_list size l =
 
 let to_string s =
   "{" ^ String.concat "," (List.map string_of_int (elements s)) ^ "}"
-
-let subset a b = equal (diff a b) (empty a.size)

@@ -3,8 +3,19 @@
     Every set carries its universe size, so {!complement} is total and
     {!full} is representable.  The binary operations require both
     operands to share a universe and raise [Invalid_argument] otherwise.
-    The main operations are functional; the [_mut] variants mutate in
-    place and are meant for building sets inside block-local loops. *)
+
+    Three API layers:
+    - functional operations ({!union}, {!inter}, {!diff}, …) return
+      fresh sets;
+    - [_mut] variants mutate single bits in place, for building sets
+      inside block-local loops;
+    - [_into] variants are destructive word-level kernels — the
+      data-flow solver's meet-over-edges uses them to run without
+      allocating intermediate sets.  All [_into] kernels tolerate
+      aliased arguments ([dst == src]).
+
+    {!iter} and {!fold} scan whole words (skipping zero words) rather
+    than probing every index. *)
 
 type t
 
@@ -25,6 +36,25 @@ val remove : int -> t -> t
 val add_mut : t -> int -> unit
 val remove_mut : t -> int -> unit
 val clear_mut : t -> unit
+
+val copy_into : t -> t -> unit
+(** [copy_into dst src] sets [dst := src]. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] sets [dst := dst ∩ src]. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] sets [dst := dst ∖ src].  With [dst == src] the
+    result is the empty set, as the algebra demands. *)
+
+val meet_all_into : op:(t -> t -> unit) -> into:t -> n:int -> get:(int -> t) -> unit
+(** [meet_all_into ~op ~into ~n ~get] sets
+    [into := get 0 `op` … `op` get (n-1)] without allocating; [op] is
+    one of the [_into] kernels.  Raises [Invalid_argument] when
+    [n <= 0]. *)
 
 val union : t -> t -> t
 val inter : t -> t -> t

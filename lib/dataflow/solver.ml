@@ -5,8 +5,8 @@
     instances of this solver.  The client supplies:
 
     - the direction;
-    - the meet used to combine facts flowing into a node ([inter] for
-      all-paths/must problems, [union] for any-path/may problems);
+    - the meet used to combine facts flowing into a node ({!Inter} for
+      all-paths/must problems, {!Union} for any-path/may problems);
     - a per-edge transfer [edge ~src ~dst fact] — this is where the
       paper's [Edge_try(m,n)] kill and [Edge(m,n)] gen live;
     - a per-block transfer;
@@ -15,41 +15,112 @@
     - the initial interior value ([top]): the full set for must problems,
       the empty set for may problems.
 
-    The solver iterates over the reachable blocks in reverse postorder
-    (forward) or postorder (backward) until a fixpoint.  Unreachable
-    blocks keep [top]. *)
+    The engine is a priority worklist: blocks are visited in reverse
+    postorder (forward) / postorder (backward), and when a block's
+    output changes only its dependents — successors for forward
+    problems, predecessors for backward ones — are re-queued, instead of
+    re-scanning every block until a whole sweep is quiet.  Both engines
+    perform chaotic iteration from the same initial assignment, so for
+    the monotone transfer functions used throughout this code base they
+    compute the {e same} fixpoint bit for bit; {!solve_reference} keeps
+    the original round-robin engine precisely so the test suite can
+    assert that.  Unreachable blocks keep [top].
+
+    The meet over incoming edges runs destructively through
+    {!Bitset.meet_all_into}, so a block visit allocates nothing beyond
+    what the client's own [transfer]/[edge] functions allocate.
+
+    Setting the environment variable [NULLELIM_SOLVER=reference] (or
+    {!use_reference}) routes {!solve} to the round-robin engine — the
+    benchmark harness uses this to quote before/after counter and
+    timing deltas from the same binary. *)
 
 module Cfg = Nullelim_cfg.Cfg
 
 type direction = Forward | Backward
 
+type meet = Inter | Union
+
 type result = { inb : Bitset.t array; outb : Bitset.t array }
 (** [inb.(l)] / [outb.(l)] are the facts at block entry / exit.  For
     backward problems "in" is still block entry and "out" block exit. *)
 
-let solve ~(dir : direction) ~(cfg : Cfg.t)
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable solves : int;    (** solver instances run *)
+  mutable visits : int;    (** blocks taken off the worklist (or swept) *)
+  mutable transfers : int; (** block transfer functions applied *)
+  mutable pushes : int;    (** worklist insertions (incl. the seeding) *)
+}
+
+let counters = { solves = 0; visits = 0; transfers = 0; pushes = 0 }
+
+let snapshot () =
+  {
+    solves = counters.solves;
+    visits = counters.visits;
+    transfers = counters.transfers;
+    pushes = counters.pushes;
+  }
+
+let diff (a : stats) (b : stats) : stats =
+  {
+    solves = a.solves - b.solves;
+    visits = a.visits - b.visits;
+    transfers = a.transfers - b.transfers;
+    pushes = a.pushes - b.pushes;
+  }
+
+let reset_counters () =
+  counters.solves <- 0;
+  counters.visits <- 0;
+  counters.transfers <- 0;
+  counters.pushes <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Shared pieces                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let meet_fn = function Inter -> Bitset.inter | Union -> Bitset.union
+let meet_into = function Inter -> Bitset.inter_into | Union -> Bitset.union_into
+
+(** Iteration order: reverse postorder for forward problems, postorder
+    for backward ones. *)
+let visit_order dir (cfg : Cfg.t) : int array =
+  let rpo = Cfg.reverse_postorder cfg in
+  match dir with
+  | Forward -> rpo
+  | Backward ->
+    let len = Array.length rpo in
+    Array.init len (fun i -> rpo.(len - 1 - i))
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: round-robin sweeps until a quiet pass.            *)
+(* Retained for differential testing and as the measurable baseline.   *)
+(* ------------------------------------------------------------------ *)
+
+let solve_reference ~(dir : direction) ~(cfg : Cfg.t)
     ~(boundary : Bitset.t)
     ~(top : Bitset.t)
-    ~(meet : Bitset.t -> Bitset.t -> Bitset.t)
+    ~(meet : meet)
     ?(edge = fun ~src:_ ~dst:_ s -> s)
     ?(boundary_blocks = ([] : int list))
     ~(transfer : int -> Bitset.t -> Bitset.t) () : result =
+  counters.solves <- counters.solves + 1;
+  let meet = meet_fn meet in
   let n = Cfg.nblocks cfg in
   let inb = Array.make n top and outb = Array.make n top in
-  let order = Cfg.reverse_postorder cfg in
-  let order =
-    match dir with
-    | Forward -> order
-    | Backward ->
-      let r = Array.copy order in
-      let len = Array.length r in
-      Array.init len (fun i -> r.(len - 1 - i))
-  in
+  let order = visit_order dir cfg in
   let changed = ref true in
   while !changed do
     changed := false;
     Array.iter
       (fun l ->
+        counters.visits <- counters.visits + 1;
+        counters.transfers <- counters.transfers + 1;
         match dir with
         | Forward ->
           let incoming =
@@ -88,3 +159,136 @@ let solve ~(dir : direction) ~(cfg : Cfg.t)
       order
   done;
   { inb; outb }
+
+(* ------------------------------------------------------------------ *)
+(* Worklist engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let solve_worklist ~(dir : direction) ~(cfg : Cfg.t)
+    ~(boundary : Bitset.t)
+    ~(top : Bitset.t)
+    ~(meet : meet)
+    ?(edge = fun ~src:_ ~dst:_ s -> s)
+    ?(boundary_blocks = ([] : int list))
+    ~(transfer : int -> Bitset.t -> Bitset.t) () : result =
+  counters.solves <- counters.solves + 1;
+  let n = Cfg.nblocks cfg in
+  (* Every slot gets its own set: the meet writes into them in place. *)
+  let inb = Array.init n (fun _ -> Bitset.copy top) in
+  let outb = Array.init n (fun _ -> Bitset.copy top) in
+  let order = visit_order dir cfg in
+  let m = Array.length order in
+  if m > 0 then begin
+    (* priority = position in the visit order; max_int marks blocks the
+       DFS never reached (they keep [top] and are never queued) *)
+    let prio = Array.make n max_int in
+    Array.iteri (fun i l -> prio.(l) <- i) order;
+    (* dependency arrays: where a block's input comes from, and who must
+       be re-queued when its output changes *)
+    let input_of, dependents =
+      match dir with
+      | Forward -> (Cfg.pred_arrays cfg, Cfg.succ_arrays cfg)
+      | Backward -> (Cfg.succ_arrays cfg, Cfg.pred_arrays cfg)
+    in
+    let is_boundary = Array.make n false in
+    List.iter
+      (fun l -> if l >= 0 && l < n then is_boundary.(l) <- true)
+      boundary_blocks;
+    let op = meet_into meet in
+    (* binary min-heap of labels keyed by [prio], deduplicated by
+       [inq] — at most one entry per block, so capacity [m] suffices *)
+    let heap = Array.make m 0 in
+    let hsize = ref 0 in
+    let inq = Array.make n false in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if prio.(heap.(i)) < prio.(heap.(p)) then begin
+          swap i p;
+          up p
+        end
+      end
+    in
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let s = ref i in
+      if l < !hsize && prio.(heap.(l)) < prio.(heap.(!s)) then s := l;
+      if r < !hsize && prio.(heap.(r)) < prio.(heap.(!s)) then s := r;
+      if !s <> i then begin
+        swap i !s;
+        down !s
+      end
+    in
+    let push l =
+      if not inq.(l) then begin
+        inq.(l) <- true;
+        heap.(!hsize) <- l;
+        incr hsize;
+        up (!hsize - 1);
+        counters.pushes <- counters.pushes + 1
+      end
+    in
+    let pop () =
+      let l = heap.(0) in
+      decr hsize;
+      heap.(0) <- heap.(!hsize);
+      if !hsize > 0 then down 0;
+      inq.(l) <- false;
+      l
+    in
+    (* seed with every reachable block, in visit order (so the first
+       drain is exactly one in-order sweep) *)
+    Array.iter push order;
+    while !hsize > 0 do
+      let l = pop () in
+      counters.visits <- counters.visits + 1;
+      (* 1. meet over incoming edges, destructively into the input slot *)
+      let input = match dir with Forward -> inb.(l) | Backward -> outb.(l) in
+      let srcs = match dir with Forward -> outb | Backward -> inb in
+      let ins = input_of.(l) in
+      let nin = Array.length ins in
+      if (dir = Forward && is_boundary.(l)) || nin = 0 then
+        Bitset.copy_into input boundary
+      else
+        Bitset.meet_all_into ~op ~into:input ~n:nin ~get:(fun k ->
+            let p = ins.(k) in
+            match dir with
+            | Forward -> edge ~src:p ~dst:l srcs.(p)
+            | Backward -> edge ~src:l ~dst:p srcs.(p));
+      (* 2. block transfer *)
+      counters.transfers <- counters.transfers + 1;
+      let o = transfer l input in
+      (* the output slot must stay distinct from the input slot, which
+         the next visit overwrites in place *)
+      let o = if o == input then Bitset.copy o else o in
+      let cur = match dir with Forward -> outb.(l) | Backward -> inb.(l) in
+      if not (Bitset.equal o cur) then begin
+        (match dir with Forward -> outb.(l) <- o | Backward -> inb.(l) <- o);
+        (* 3. re-queue the dependents whose input just changed *)
+        let deps = dependents.(l) in
+        for k = 0 to Array.length deps - 1 do
+          let d = deps.(k) in
+          if prio.(d) <> max_int then push d
+        done
+      end
+    done
+  end;
+  { inb; outb }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let use_reference =
+  ref (match Sys.getenv_opt "NULLELIM_SOLVER" with
+      | Some "reference" -> true
+      | _ -> false)
+
+let solve ~dir ~cfg ~boundary ~top ~meet ?edge ?boundary_blocks ~transfer () =
+  (if !use_reference then solve_reference else solve_worklist)
+    ~dir ~cfg ~boundary ~top ~meet ?edge ?boundary_blocks ~transfer ()

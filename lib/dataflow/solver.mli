@@ -9,30 +9,95 @@
       [boundary_blocks];
     - [top]: initial interior value — [Bitset.full _] for must problems,
       [Bitset.empty _] for may problems;
-    - [meet]: combines facts flowing into a node ([Bitset.inter] for
-      all-paths problems, [Bitset.union] for any-path ones);
+    - [meet]: combines facts flowing into a node ({!Inter} for
+      all-paths problems, {!Union} for any-path ones);
     - [edge]: per-edge transfer — the paper's [Edge_try]/[Edge] sets
-      live here;
+      live here.  It must not mutate its argument and must return a set
+      over the same universe (returning the argument unchanged is the
+      common, allocation-free case);
     - [boundary_blocks]: blocks entered exceptionally (try-region
       handlers), whose input is forced to [boundary] regardless of
-      syntactic predecessors;
-    - [transfer]: per-block transfer function. *)
+      syntactic predecessors (forward problems only);
+    - [transfer]: per-block transfer function.  It must not mutate or
+      retain its argument; the solver owns and reuses that set.
+
+    {!solve} runs a sparse priority worklist keyed by reverse-postorder
+    position (forward) / postorder position (backward): when a block's
+    output changes, only its dependents are re-queued.  The meet over
+    incoming edges is computed destructively, allocating no
+    intermediate sets.  {!solve_reference} is the original round-robin
+    full-sweep engine, retained as the differential-testing oracle and
+    the measurable baseline; for the monotone transfer functions used
+    in this code base both compute bit-identical results. *)
 
 module Cfg = Nullelim_cfg.Cfg
 
 type direction = Forward | Backward
 
+type meet = Inter | Union
+(** The meet operator: set intersection for all-paths/must problems,
+    union for any-path/may problems. *)
+
 type result = { inb : Bitset.t array; outb : Bitset.t array }
 (** Facts at block entry ([inb]) and exit ([outb]), indexed by label. *)
+
+type stats = {
+  mutable solves : int;    (** solver instances run *)
+  mutable visits : int;    (** blocks taken off the worklist (or swept) *)
+  mutable transfers : int; (** block transfer functions applied *)
+  mutable pushes : int;    (** worklist insertions (incl. the seeding) *)
+}
+(** Cumulative counters over every solve since start-up (or the last
+    {!reset_counters}); both engines update them. *)
+
+val counters : stats
+val snapshot : unit -> stats
+val diff : stats -> stats -> stats
+(** [diff later earlier] is the per-field difference — the cost of the
+    work done between two {!snapshot}s. *)
+
+val reset_counters : unit -> unit
+
+val use_reference : bool ref
+(** When true, {!solve} routes to {!solve_reference}.  Initialized from
+    the [NULLELIM_SOLVER=reference] environment variable; the benchmark
+    harness flips it to measure the baseline engine in-process. *)
 
 val solve :
   dir:direction ->
   cfg:Cfg.t ->
   boundary:Bitset.t ->
   top:Bitset.t ->
-  meet:(Bitset.t -> Bitset.t -> Bitset.t) ->
+  meet:meet ->
   ?edge:(src:int -> dst:int -> Bitset.t -> Bitset.t) ->
   ?boundary_blocks:int list ->
   transfer:(int -> Bitset.t -> Bitset.t) ->
   unit ->
   result
+
+val solve_worklist :
+  dir:direction ->
+  cfg:Cfg.t ->
+  boundary:Bitset.t ->
+  top:Bitset.t ->
+  meet:meet ->
+  ?edge:(src:int -> dst:int -> Bitset.t -> Bitset.t) ->
+  ?boundary_blocks:int list ->
+  transfer:(int -> Bitset.t -> Bitset.t) ->
+  unit ->
+  result
+(** The sparse worklist engine (what {!solve} normally runs). *)
+
+val solve_reference :
+  dir:direction ->
+  cfg:Cfg.t ->
+  boundary:Bitset.t ->
+  top:Bitset.t ->
+  meet:meet ->
+  ?edge:(src:int -> dst:int -> Bitset.t -> Bitset.t) ->
+  ?boundary_blocks:int list ->
+  transfer:(int -> Bitset.t -> Bitset.t) ->
+  unit ->
+  result
+(** The retained round-robin engine: sweeps all blocks until a quiet
+    pass.  Differential-testing oracle and measurable baseline. *)

@@ -6,6 +6,7 @@ module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
 module Opt = Nullelim_opt
 module Pipeline = Nullelim_opt.Pipeline
+module Solver = Nullelim_dataflow.Solver
 module Codegen = Nullelim_backend.Codegen
 
 type check_stats = {
@@ -19,6 +20,8 @@ type compiled = {
   config : Config.t;
   arch : Arch.t;
   timings : Pipeline.timings;
+  counters : Pipeline.counters;  (** per-pass solver-work counters *)
+  solver : Solver.stats;         (** solver work of this compilation *)
   checks : check_stats;
   compile_seconds : float;
 }
@@ -127,24 +130,28 @@ let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
   let p' = Ir.copy_program p in
   let raw_e, _ = count_all_checks p' in
   let timings = Pipeline.new_timings () in
+  let counters = Pipeline.new_counters () in
+  let s0 = Solver.snapshot () in
   let t0 = Sys.time () in
-  Pipeline.run ~timings (passes cfg ~arch) p';
+  Pipeline.run ~timings ~counters (passes cfg ~arch) p';
   let compile_seconds = Sys.time () -. t0 in
+  let solver = Solver.diff (Solver.snapshot ()) s0 in
   let e, i = count_all_checks p' in
   {
     program = p';
     config = cfg;
     arch;
     timings;
+    counters;
+    solver;
     checks = { raw_checks = raw_e; explicit_after = e; implicit_after = i };
     compile_seconds;
   }
 
 (** Time spent in null-check optimization vs. the rest (Table 4). *)
 let nullcheck_time c =
-  Pipeline.total_matching c.timings (fun n ->
-      String.length n >= 9 && String.sub n 0 9 = "nullcheck")
+  Pipeline.total_matching c.timings (String.starts_with ~prefix:"nullcheck")
 
 let other_time c =
   Pipeline.total_matching c.timings (fun n ->
-      not (String.length n >= 9 && String.sub n 0 9 = "nullcheck"))
+      not (String.starts_with ~prefix:"nullcheck" n))

@@ -5,6 +5,7 @@
 module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
 module Pipeline = Nullelim_opt.Pipeline
+module Solver = Nullelim_dataflow.Solver
 
 type check_stats = {
   raw_checks : int;
@@ -17,6 +18,10 @@ type compiled = {
   config : Config.t;
   arch : Arch.t;
   timings : Pipeline.timings;
+  counters : Pipeline.counters;
+      (** per-pass data-flow solver work (see {!Pipeline.counters}) *)
+  solver : Solver.stats;
+      (** total data-flow solver work of this compilation *)
   checks : check_stats;
   compile_seconds : float;
 }

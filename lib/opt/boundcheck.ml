@@ -26,6 +26,7 @@ module Ir = Nullelim_ir.Ir
 module Bitset = Nullelim_dataflow.Bitset
 module Solver = Nullelim_dataflow.Solver
 module Cfg = Nullelim_cfg.Cfg
+module Context = Nullelim_cfg.Context
 module Dominance = Nullelim_cfg.Dominance
 module Loops = Nullelim_cfg.Loops
 
@@ -54,12 +55,13 @@ let collect_pairs (f : Ir.func) : (Ir.operand * Ir.operand) array =
     f.fn_blocks;
   Array.of_list (List.rev !order)
 
-let eliminate_redundant (f : Ir.func) : int =
+let eliminate_redundant_ctx (ctx : Context.t) : int =
+  let f = Context.func ctx in
   let pairs = collect_pairs f in
   let np = Array.length pairs in
   if np = 0 then 0
   else begin
-    let cfg = Cfg.make f in
+    let cfg = Context.cfg ctx in
     let index = Hashtbl.create 16 in
     Array.iteri (fun k p -> Hashtbl.replace index p k) pairs;
     let killed_by = Array.make np [] in
@@ -88,7 +90,7 @@ let eliminate_redundant (f : Ir.func) : int =
     in
     let r =
       Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty np)
-        ~top:(Bitset.full np) ~meet:Bitset.inter
+        ~top:(Bitset.full np) ~meet:Solver.Inter
         ~boundary_blocks:(Cfg.handler_blocks f)
         ~transfer:(fun l inb ->
           let s = Bitset.copy inb in
@@ -118,6 +120,9 @@ let eliminate_redundant (f : Ir.func) : int =
     !removed
   end
 
+let eliminate_redundant (f : Ir.func) : int =
+  eliminate_redundant_ctx (Context.make f)
+
 (* ------------------------------------------------------------------ *)
 (* Loop-invariant hoisting                                             *)
 (* ------------------------------------------------------------------ *)
@@ -126,16 +131,18 @@ let operand_invariant defs_in_loop = function
   | Ir.Var v -> not (Hashtbl.mem defs_in_loop v)
   | Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull -> true
 
-let hoist_loop_invariant (f : Ir.func) : int =
+let hoist_loop_invariant_ctx (ctx : Context.t) : int =
+  let f = Context.func ctx in
   let hoisted = ref 0 in
   let continue_ = ref true in
-  (* Loop until no change: hoisting into a preheader creates blocks, so
-     recompute the CFG each round. *)
+  (* Loop until no change.  The cached context is invalidated only when
+     hoisting creates a fresh preheader block; moving a check between
+     existing blocks leaves CFG, dominators and loops intact. *)
   while !continue_ do
     continue_ := false;
-    let cfg = Cfg.make f in
-    let dom = Dominance.compute cfg in
-    let loops = Loops.detect cfg dom in
+    let cfg = Context.cfg ctx in
+    let dom = Context.dom ctx in
+    let loops = Context.loops ctx in
     List.iter
       (fun (l : Loops.loop) ->
         if not !continue_ then begin
@@ -192,6 +199,7 @@ let hoist_loop_invariant (f : Ir.func) : int =
                 instrs;
               Opt_util.set_instrs f l.header (List.rev !keep);
               Opt_util.append_instrs f ph [ check ];
+              if Ir.nblocks f <> Cfg.nblocks cfg then Context.invalidate ctx;
               incr hoisted;
               continue_ := true
             | None -> ()
@@ -201,8 +209,14 @@ let hoist_loop_invariant (f : Ir.func) : int =
   done;
   !hoisted
 
-(** Run both stages.  Returns [(eliminated, hoisted)]. *)
+let hoist_loop_invariant (f : Ir.func) : int =
+  hoist_loop_invariant_ctx (Context.make f)
+
+(** Run both stages.  Returns [(eliminated, hoisted)].  The two stages
+    share one cached analysis context: when the hoisting settles without
+    a structural change, the elimination reuses its CFG snapshot. *)
 let run (f : Ir.func) : int * int =
-  let h = hoist_loop_invariant f in
-  let e = eliminate_redundant f in
+  let ctx = Context.make f in
+  let h = hoist_loop_invariant_ctx ctx in
+  let e = eliminate_redundant_ctx ctx in
   (e, h)

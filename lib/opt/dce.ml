@@ -34,6 +34,8 @@ let run ?(keep_derefs = false) (f : Ir.func) : int =
   let cfg = Cfg.make f in
   let live = Liveness.solve cfg in
   let removed = ref 0 in
+  (* scratch fact set, reused across blocks *)
+  let s = Bitset.empty f.fn_nvars in
   for l = 0 to Ir.nblocks f - 1 do
     (* Inside a try region with a handler, an exception can transfer
        control between any two instructions, and the handler observes the
@@ -46,11 +48,12 @@ let run ?(keep_derefs = false) (f : Ir.func) : int =
     in
     if Cfg.is_reachable cfg l && not protected_block then begin
       let b = Ir.block f l in
-      let s = Bitset.copy (Liveness.live_out live l) in
+      Bitset.copy_into s (Liveness.live_out live l);
       List.iter (Bitset.add_mut s) (Ir.uses_of_term b.term);
       let instrs = b.instrs in
       let n = Array.length instrs in
       let keep = Array.make n true in
+      let block_removed = ref 0 in
       for k = n - 1 downto 0 do
         let i = instrs.(k) in
         let is_exception_site =
@@ -67,11 +70,12 @@ let run ?(keep_derefs = false) (f : Ir.func) : int =
         in
         if dead && not is_exception_site then begin
           keep.(k) <- false;
-          incr removed
+          incr removed;
+          incr block_removed
         end
         else Liveness.transfer_instr s i
       done;
-      if !removed > 0 then begin
+      if !block_removed > 0 then begin
         let out = ref [] in
         for k = n - 1 downto 0 do
           if keep.(k) then out := instrs.(k) :: !out

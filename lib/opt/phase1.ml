@@ -88,13 +88,16 @@ let analyse (cfg : Cfg.t) : analysis =
     kill.(l) <- k
   done;
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let empty = Bitset.empty nv in
   let r =
     Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Bitset.inter
-      ~edge:(fun ~src ~dst s ->
-        if same_region src dst then s else Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Solver.Inter
+      ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
       ~transfer:(fun l out ->
-        Bitset.union (Bitset.diff out kill.(l)) gen.(l))
+        let s = Bitset.copy out in
+        Bitset.diff_into s kill.(l);
+        Bitset.union_into s gen.(l);
+        s)
       ()
   in
   let out_bwd =
@@ -104,10 +107,11 @@ let analyse (cfg : Cfg.t) : analysis =
   let earliest =
     Array.init n (fun l ->
         if not (Cfg.is_reachable cfg l) then Bitset.empty nv
-        else
-          List.fold_left
-            (fun acc m -> Bitset.diff acc out_bwd.(m))
-            out_bwd.(l) (Cfg.preds cfg l))
+        else begin
+          let acc = Bitset.copy out_bwd.(l) in
+          List.iter (fun m -> Bitset.diff_into acc out_bwd.(m)) (Cfg.preds cfg l);
+          acc
+        end)
   in
   { out_bwd; earliest }
 

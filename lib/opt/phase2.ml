@@ -48,6 +48,7 @@ module Ir = Nullelim_ir.Ir
 module Bitset = Nullelim_dataflow.Bitset
 module Solver = Nullelim_dataflow.Solver
 module Cfg = Nullelim_cfg.Cfg
+module Context = Nullelim_cfg.Context
 module Arch = Nullelim_arch.Arch
 
 type stats = {
@@ -121,10 +122,10 @@ let analyse ~arch (cfg : Cfg.t) : Solver.result =
   let f = Cfg.func cfg in
   let nv = f.fn_nvars in
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let empty = Bitset.empty nv in
   Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
-    ~top:(Bitset.full nv) ~meet:Bitset.inter
-    ~edge:(fun ~src ~dst s ->
-      if same_region src dst then s else Bitset.empty nv)
+    ~top:(Bitset.full nv) ~meet:Solver.Inter
+    ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
     ~boundary_blocks:(Cfg.handler_blocks f)
     ~transfer:(fun l inb ->
       let floating = Bitset.copy inb in
@@ -145,8 +146,8 @@ let analyse ~arch (cfg : Cfg.t) : Solver.result =
     explicit check that is substitutable immediately after its position
     is deleted: the later cover raises the same NullPointerException and
     only side-effect-free instructions separate the two points. *)
-let eliminate_substitutable ~arch (f : Ir.func) (stats : stats) : unit =
-  let cfg = Cfg.make f in
+let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
+    (stats : stats) : unit =
   let nv = f.fn_nvars in
   let gen_kill l =
     let gen = Bitset.empty nv and killed = Bitset.empty nv in
@@ -184,13 +185,16 @@ let eliminate_substitutable ~arch (f : Ir.func) (stats : stats) : unit =
     kill.(l) <- k
   done;
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let empty = Bitset.empty nv in
   let r =
     Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Bitset.inter
-      ~edge:(fun ~src ~dst s ->
-        if same_region src dst then s else Bitset.empty nv)
+      ~top:(Bitset.full nv) ~meet:Solver.Inter
+      ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
       ~transfer:(fun l out ->
-        Bitset.union (Bitset.diff out kill.(l)) gen.(l))
+        let s = Bitset.copy out in
+        Bitset.diff_into s kill.(l);
+        Bitset.union_into s gen.(l);
+        s)
       ()
   in
   for l = 0 to n - 1 do
@@ -225,10 +229,15 @@ let eliminate_substitutable ~arch (f : Ir.func) (stats : stats) : unit =
     end
   done
 
-(** Run the whole architecture-dependent phase on a function. *)
+(** Run the whole architecture-dependent phase on a function.  Both
+    stages rewrite instructions only (terminators and handler tables are
+    untouched), so one CFG snapshot — via a cached {!Context.t} — serves
+    the forward motion, the rewriting, and the substitutable-check
+    elimination. *)
 let run ~(arch : Arch.t) (f : Ir.func) : stats =
   let stats = { made_implicit = 0; made_explicit = 0; eliminated = 0 } in
-  let cfg = Cfg.make f in
+  let ctx = Context.make f in
+  let cfg = Context.cfg ctx in
   let r = analyse ~arch cfg in
   let nblocks = Ir.nblocks f in
   for l = 0 to nblocks - 1 do
@@ -253,5 +262,5 @@ let run ~(arch : Arch.t) (f : Ir.func) : stats =
       Opt_util.set_instrs f l (List.rev !acc)
     end
   done;
-  eliminate_substitutable ~arch f stats;
+  eliminate_substitutable ~arch ~cfg:(Context.cfg ctx) f stats;
   stats

@@ -1,19 +1,31 @@
 (** Pass manager: named passes over whole programs, with per-pass wall
-    time accumulated into a [timings] table.  The compilation-time
-    breakdown of the paper's Tables 4 and 5 (null-check optimization vs.
-    everything else, new vs. old algorithm) is produced from these
-    timings. *)
+    time accumulated into a [timings] table and per-pass data-flow
+    solver counters accumulated into a [counters] table.  The
+    compilation-time breakdown of the paper's Tables 4 and 5
+    (null-check optimization vs. everything else, new vs. old
+    algorithm) is produced from the timings; the counters are what the
+    benchmark harness reports as the solver's work (blocks visited,
+    transfers applied, worklist pushes). *)
 
 module Ir = Nullelim_ir.Ir
+module Solver = Nullelim_dataflow.Solver
 
 type pass = { name : string; run : Ir.program -> unit }
 
 type timings = (string, float) Hashtbl.t
 
+type counters = (string, int) Hashtbl.t
+(** Keyed by ["<pass>#<counter>"], e.g. ["nullcheck:phase1#transfers"]. *)
+
 let new_timings () : timings = Hashtbl.create 16
+let new_counters () : counters = Hashtbl.create 16
 
 let add (t : timings) name dt =
   Hashtbl.replace t name (dt +. Option.value ~default:0. (Hashtbl.find_opt t name))
+
+let bump (c : counters) key n =
+  if n <> 0 then
+    Hashtbl.replace c key (n + Option.value ~default:0 (Hashtbl.find_opt c key))
 
 let timed (t : timings option) name g =
   match t with
@@ -30,11 +42,34 @@ let per_func name (g : Ir.func -> unit) : pass =
 
 let program_pass name (g : Ir.program -> unit) : pass = { name; run = g }
 
-let run ?timings (passes : pass list) (p : Ir.program) : unit =
-  List.iter (fun pass -> timed timings pass.name (fun () -> pass.run p)) passes
+let run ?timings ?counters (passes : pass list) (p : Ir.program) : unit =
+  List.iter
+    (fun pass ->
+      match counters with
+      | None -> timed timings pass.name (fun () -> pass.run p)
+      | Some c ->
+        let s0 = Solver.snapshot () in
+        timed timings pass.name (fun () -> pass.run p);
+        let d = Solver.diff (Solver.snapshot ()) s0 in
+        bump c (pass.name ^ "#solves") d.Solver.solves;
+        bump c (pass.name ^ "#visits") d.Solver.visits;
+        bump c (pass.name ^ "#transfers") d.Solver.transfers;
+        bump c (pass.name ^ "#pushes") d.Solver.pushes)
+    passes
 
 let total (t : timings) = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.
 
 (** Total time spent in passes whose name matches the predicate. *)
 let total_matching (t : timings) pred =
   Hashtbl.fold (fun k v acc -> if pred k then acc +. v else acc) t 0.
+
+(** Sum of one counter kind (e.g. ["transfers"]) across all passes. *)
+let counter_total (c : counters) kind =
+  let suffix = "#" ^ kind in
+  Hashtbl.fold
+    (fun k v acc ->
+      if String.length k >= String.length suffix
+         && String.ends_with ~suffix k
+      then acc + v
+      else acc)
+    c 0

@@ -1,14 +1,30 @@
 (** Pass manager: named program passes with accumulated per-pass wall
-    time; the source of the paper's compilation-time tables. *)
+    time and per-pass data-flow solver counters; the source of the
+    paper's compilation-time tables and of the benchmark harness's
+    solver-work report. *)
 
 module Ir = Nullelim_ir.Ir
 
 type pass = { name : string; run : Ir.program -> unit }
 type timings = (string, float) Hashtbl.t
 
+type counters = (string, int) Hashtbl.t
+(** Solver-work counters keyed by ["<pass>#<counter>"] with counter one
+    of [solves]/[visits]/[transfers]/[pushes]. *)
+
 val new_timings : unit -> timings
+val new_counters : unit -> counters
 val per_func : string -> (Ir.func -> unit) -> pass
 val program_pass : string -> (Ir.program -> unit) -> pass
-val run : ?timings:timings -> pass list -> Ir.program -> unit
+
+val run : ?timings:timings -> ?counters:counters -> pass list -> Ir.program -> unit
+(** Run the passes in order.  With [timings], wall time accumulates per
+    pass name; with [counters], the global {!Nullelim_dataflow.Solver}
+    counter deltas of each pass accumulate per pass name. *)
+
 val total : timings -> float
 val total_matching : timings -> (string -> bool) -> float
+
+val bump : counters -> string -> int -> unit
+val counter_total : counters -> string -> int
+(** [counter_total c "transfers"] sums that counter across passes. *)

@@ -29,7 +29,7 @@
 module Ir = Nullelim_ir.Ir
 module Bitset = Nullelim_dataflow.Bitset
 module Cfg = Nullelim_cfg.Cfg
-module Dominance = Nullelim_cfg.Dominance
+module Context = Nullelim_cfg.Context
 module Loops = Nullelim_cfg.Loops
 module Nullness = Nullelim_analysis.Nullness
 module Liveness = Nullelim_analysis.Liveness
@@ -262,19 +262,23 @@ let eliminate_redundant_loads (f : Ir.func) (stats : stats) : unit =
     the architecture does not trap reads, i.e. AIX in the paper). *)
 let run ?(speculate = false) ~(arch : Arch.t) (f : Ir.func) : stats =
   let stats = { hoisted = 0; replaced = 0 } in
+  let ctx = Context.make f in
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
-    let cfg = Cfg.make f in
-    let dom = Dominance.compute cfg in
-    let loops = Loops.detect cfg dom in
+    let cfg = Context.cfg ctx in
+    let loops = Context.loops ctx in
+    (* liveness/nullness are per-round (instruction motion changes them);
+       CFG, dominators and loops survive rounds that create no block *)
     let live = Liveness.solve cfg in
     let nullness = Nullness.solve ~deref_gen:false cfg in
     List.iter
       (fun l ->
         if not !continue_ then
-          if hoist_in_loop ~speculate ~arch f cfg live nullness l stats then
-            continue_ := true)
+          if hoist_in_loop ~speculate ~arch f cfg live nullness l stats then begin
+            if Ir.nblocks f <> Cfg.nblocks cfg then Context.invalidate ctx;
+            continue_ := true
+          end)
       loops
   done;
   eliminate_redundant_loads f stats;

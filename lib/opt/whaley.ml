@@ -20,13 +20,23 @@ let run (f : Ir.func) : int =
   let nullness = Nullness.solve ~deref_gen:true cfg in
   let removed = ref 0 in
   for l = 0 to Ir.nblocks f - 1 do
-    if Cfg.is_reachable cfg l then begin
+    (* the per-block fact walk copies the entry set; skip blocks that
+       cannot possibly change *)
+    let has_check =
+      Array.exists
+        (function Ir.Null_check _ -> true | _ -> false)
+        (Ir.block f l).instrs
+    in
+    if Cfg.is_reachable cfg l && has_check then begin
       let keep = ref [] in
+      let dropped = ref false in
       Nullness.iter_block nullness l (fun facts _idx i ->
           match i with
-          | Ir.Null_check (_, v) when Bitset.mem v facts -> incr removed
+          | Ir.Null_check (_, v) when Bitset.mem v facts ->
+            incr removed;
+            dropped := true
           | _ -> keep := i :: !keep);
-      Opt_util.set_instrs f l (List.rev !keep)
+      if !dropped then Opt_util.set_instrs f l (List.rev !keep)
     end
   done;
   !removed

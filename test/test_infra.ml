@@ -181,7 +181,7 @@ let test_solver_must () =
   let nv = f.fn_nvars in
   let r =
     Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~top:(Bitset.full nv) ~meet:Solver.Inter
       ~transfer:(fun l s ->
         let s = Bitset.copy s in
         Array.iter
@@ -212,7 +212,7 @@ let test_solver_loop_fixpoint () =
   let gen_entry = Bitset.of_list nv [ 1 ] (* r := defined at entry *) in
   let r =
     Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Bitset.inter
+      ~top:(Bitset.full nv) ~meet:Solver.Inter
       ~transfer:(fun l s -> if l = 0 then Bitset.union s gen_entry else s)
       ()
   in

@@ -317,6 +317,171 @@ let test_bitset_laws =
           (Bitset.elements a));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* In-place bit-set kernels                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* sizes straddling the word boundary exercise tail-word masking *)
+let gen_kernel_case =
+  QCheck2.Gen.(
+    oneofl [ 1; 62; 63; 64; 65; 126; 127; 130 ] >>= fun size ->
+    list_size (int_range 0 40) (int_range 0 (size - 1)) >>= fun xs ->
+    list_size (int_range 0 40) (int_range 0 (size - 1)) >>= fun ys ->
+    return (size, xs, ys))
+
+let test_bitset_kernels =
+  let open QCheck2 in
+  [
+    Test.make ~count:300 ~name:"kernels: _into agrees with functional ops"
+      gen_kernel_case (fun (size, xs, ys) ->
+        let a = Bitset.of_list size xs and b = Bitset.of_list size ys in
+        let via op_into =
+          let d = Bitset.copy a in
+          op_into d b;
+          d
+        in
+        Bitset.equal (via Bitset.union_into) (Bitset.union a b)
+        && Bitset.equal (via Bitset.inter_into) (Bitset.inter a b)
+        && Bitset.equal (via Bitset.diff_into) (Bitset.diff a b)
+        &&
+        let d = Bitset.empty size in
+        Bitset.copy_into d a;
+        Bitset.equal d a);
+    Test.make ~count:300 ~name:"kernels: alias-safe when dst == src"
+      gen_kernel_case (fun (size, xs, _) ->
+        let a = Bitset.of_list size xs in
+        let u = Bitset.copy a in
+        Bitset.union_into u u;
+        let i = Bitset.copy a in
+        Bitset.inter_into i i;
+        let d = Bitset.copy a in
+        Bitset.diff_into d d;
+        Bitset.equal u a && Bitset.equal i a
+        && Bitset.equal d (Bitset.empty size));
+    Test.make ~count:300 ~name:"kernels: meet_all_into folds the meet"
+      Gen.(
+        gen_kernel_case >>= fun (size, xs, ys) ->
+        list_size (int_range 1 5)
+          (list_size (int_range 0 20) (int_range 0 (size - 1)))
+        >>= fun more -> return (size, xs :: ys :: more))
+      (fun (size, operand_lists) ->
+        let sets = Array.of_list (List.map (Bitset.of_list size) operand_lists) in
+        let n = Array.length sets in
+        let check op op_into =
+          let into = Bitset.empty size in
+          Bitset.meet_all_into ~op:op_into ~into ~n ~get:(fun k -> sets.(k));
+          let expected = ref sets.(0) in
+          for k = 1 to n - 1 do
+            expected := op !expected sets.(k)
+          done;
+          Bitset.equal into !expected
+        in
+        check Bitset.inter Bitset.inter_into
+        && check Bitset.union Bitset.union_into);
+    Test.make ~count:300 ~name:"kernels: word-scan iter/fold match elements"
+      gen_kernel_case (fun (size, xs, _) ->
+        let a = Bitset.of_list size xs in
+        let seen = ref [] in
+        Bitset.iter (fun x -> seen := x :: !seen) a;
+        List.rev !seen = Bitset.elements a
+        && Bitset.fold (fun x acc -> x :: acc) a [] = !seen
+        && Bitset.fold (fun _ c -> c + 1) a 0 = Bitset.cardinal a);
+    Test.make ~count:100 ~name:"kernels: full masks the tail word"
+      Gen.(oneofl [ 1; 62; 63; 64; 65; 126; 127; 130 ])
+      (fun size ->
+        let f = Bitset.full size in
+        Bitset.cardinal f = size
+        && Bitset.equal (Bitset.complement (Bitset.empty size)) f
+        && Bitset.subset (Bitset.of_list size [ size - 1 ]) f
+        &&
+        (* diffing everything out must clear the tail bits too *)
+        let d = Bitset.copy f in
+        Bitset.diff_into d f;
+        Bitset.equal d (Bitset.empty size));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Solver engines: worklist ≍ reference round-robin                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Both engines run chaotic iteration of monotone gen/kill transfers
+   from the same initialization, so they must reach bit-identical
+   fixpoints — on every direction/meet combination, with per-edge
+   transfers and with handler blocks pinned to the boundary value.  The
+   random programs include try regions, so handler-entry boundary
+   forcing and region-crossing edges are exercised. *)
+let test_solver_differential =
+  QCheck2.Test.make ~count:60 ~name:"solver: worklist ≍ round-robin"
+    gen_program (fun prog ->
+      let f = Ir.find_func prog "f" in
+      let cfg = Cfg.make f in
+      let n = Ir.nblocks f in
+      let nv = max 2 f.Ir.fn_nvars in
+      (* gen = defs of the block; kill = a deterministic pseudo-random
+         pair of variables, so kills differ from gens *)
+      let gen_ =
+        Array.init n (fun l ->
+            let s = Bitset.empty nv in
+            Array.iter
+              (fun i ->
+                match Ir.def_of_instr i with
+                | Some d -> Bitset.add_mut s d
+                | None -> ())
+              (Ir.block f l).instrs;
+            s)
+      in
+      let kill =
+        Array.init n (fun l ->
+            Bitset.of_list nv [ (l * 5 + 1) mod nv; (l * 3 + 2) mod nv ])
+      in
+      let edge_kill = Bitset.of_list nv [ 1 ] in
+      let handlers =
+        List.sort_uniq compare (List.map snd f.Ir.fn_handlers)
+      in
+      let transfer l s =
+        let s' = Bitset.copy s in
+        Bitset.diff_into s' kill.(l);
+        Bitset.union_into s' gen_.(l);
+        s'
+      in
+      (* the paper's Edge_try shape: crossing into a different try
+         region kills facts (Section 4.1.1) *)
+      let edge ~src ~dst s =
+        if (Ir.block f src).Ir.breg <> (Ir.block f dst).Ir.breg then
+          Bitset.diff s edge_kill
+        else s
+      in
+      List.for_all
+        (fun (dir, meet) ->
+          let boundary, top =
+            match meet with
+            | Solver.Inter -> (Bitset.of_list nv [ 0 ], Bitset.full nv)
+            | Solver.Union -> (Bitset.of_list nv [ 0 ], Bitset.empty nv)
+          in
+          let solve engine =
+            engine ~dir ~cfg ~boundary ~top ~meet ?edge:(Some edge)
+              ?boundary_blocks:(Some handlers) ~transfer ()
+          in
+          let a = solve Solver.solve_worklist in
+          let b = solve Solver.solve_reference in
+          let ok = ref true in
+          for l = 0 to n - 1 do
+            if
+              (not (Bitset.equal a.Solver.inb.(l) b.Solver.inb.(l)))
+              || not (Bitset.equal a.Solver.outb.(l) b.Solver.outb.(l))
+            then ok := false
+          done;
+          !ok
+          || QCheck2.Test.fail_reportf "engines disagree (%s, %s)"
+               (match dir with Solver.Forward -> "fwd" | Backward -> "bwd")
+               (match meet with Solver.Inter -> "inter" | Union -> "union"))
+        [
+          (Solver.Forward, Solver.Inter);
+          (Solver.Forward, Solver.Union);
+          (Solver.Backward, Solver.Inter);
+          (Solver.Backward, Solver.Union);
+        ])
+
 (* dominance sanity on random programs *)
 let test_dominance =
   QCheck2.Test.make ~count:40 ~name:"dominators: entry dominates reachable"
@@ -344,5 +509,7 @@ let () =
         q [ test_equivalence; test_deterministic ] );
       ("idempotence", q [ test_phase1_idempotent ]);
       ("bitset", q test_bitset_laws);
+      ("bitset-kernels", q test_bitset_kernels);
+      ("solver", q [ test_solver_differential ]);
       ("cfg", q [ test_dominance ]);
     ]
