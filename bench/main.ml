@@ -48,68 +48,12 @@ let line = String.make 78 '-'
 let section title paper =
   Fmt.pr "@.%s@.%s   [reproduces %s]@.%s@." line title paper line
 
-(* ------------------------------------------------------------------ *)
-(* Minimal JSON emission (no external dependency)                       *)
-(* ------------------------------------------------------------------ *)
-
-module Json = struct
-  type t =
-    | Null  (** non-finite floats serialize as [null] *)
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape b s =
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\t' -> Buffer.add_string b "\\t"
-        | '\r' -> Buffer.add_string b "\\r"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s
-
-  let rec emit b = function
-    | Null -> Buffer.add_string b "null"
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
-      else emit b Null
-    | Str s ->
-      Buffer.add_char b '"';
-      escape b s;
-      Buffer.add_char b '"'
-    | List xs ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char b ',';
-          emit b x)
-        xs;
-      Buffer.add_char b ']'
-    | Obj kvs ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Buffer.add_char b '"';
-          escape b k;
-          Buffer.add_string b "\":";
-          emit b v)
-        kvs;
-      Buffer.add_char b '}'
-
-  let to_string j =
-    let b = Buffer.create 4096 in
-    emit b j;
-    Buffer.contents b
-end
+(* The JSON report emits through the shared telemetry JSON module — the
+   emission rules (%.12g floats, non-finite as null) were kept
+   bit-compatible with the local emitter this replaced, so the report
+   format is unchanged. *)
+module Json = Nullelim.Json
+module Obs = Nullelim.Obs
 
 (** table → JSON: configs once, then one row of values per workload. *)
 let json_of_rows ~unit (rows : E.row list) : Json.t =
@@ -485,6 +429,10 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
             ] );
         ( "bechamel_ns_per_compile",
           Obj (List.map (fun (name, est) -> (name, Float est)) bechamel) );
+        (* per-pass timing/solver metrics of the reference javac compile,
+           in the versioned metrics-snapshot schema (validated in CI via
+           `nullelim validate-json`) *)
+        ("metrics", Obs.Metrics.snapshot wl.Compiler.metrics);
       ]
   in
   let oc = open_out path in

@@ -48,12 +48,66 @@ let workload_arg =
     & pos 0 (some string) None
     & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `nullelim list').")
 
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file (chrome://tracing, \
+           ui.perfetto.dev) covering compilation and execution.  \
+           Equivalent to setting \\$(b,NULLELIM_TRACE).")
+
+let stats_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the per-pass timing and data-flow solver work table and \
+           the decision-log summary after running.")
+
 let find_workload name =
   match Registry.find name with
   | Some w -> w
   | None ->
     Fmt.epr "unknown workload %s; try `nullelim list'@." name;
     exit 2
+
+(** Per-pass table: wall time plus the solver-work counters that
+    accumulated under each pass name. *)
+let print_stats (compiled : Compiler.compiled) =
+  let timings = compiled.Compiler.timings
+  and counters = compiled.Compiler.counters in
+  let passes =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) timings [])
+  in
+  let counter pass which =
+    match Hashtbl.find_opt counters (pass ^ "#" ^ which) with
+    | Some n -> n
+    | None -> 0
+  in
+  Fmt.pr "@.%-24s %10s %8s %8s %10s %8s@." "pass" "seconds" "solves"
+    "visits" "transfers" "pushes";
+  List.iter
+    (fun pass ->
+      Fmt.pr "%-24s %10.4f %8d %8d %10d %8d@." pass
+        (Hashtbl.find timings pass)
+        (counter pass "solves") (counter pass "visits")
+        (counter pass "transfers") (counter pass "pushes"))
+    passes;
+  Fmt.pr "%-24s %10.4f %8d %8d %10d %8d@." "total"
+    (Pipeline.total timings)
+    compiled.Compiler.solver.Solver.solves
+    compiled.Compiler.solver.Solver.visits
+    compiled.Compiler.solver.Solver.transfers
+    compiled.Compiler.solver.Solver.pushes;
+  let summary = Obs.Decision.summary compiled.Compiler.decisions in
+  Fmt.pr "@.decisions (%d events):@."
+    (List.length compiled.Compiler.decisions);
+  List.iter (fun (action, n) -> Fmt.pr "  %-24s %6d@." action n) summary;
+  match Compiler.reconcile compiled with
+  | Ok () -> Fmt.pr "  log reconciles with check stats@."
+  | Error e -> Fmt.pr "  WARNING: %s@." e
 
 (* --- list ---------------------------------------------------------- *)
 
@@ -84,11 +138,19 @@ let list_configs_cmd =
 
 let run_cmd =
   let doc = "Compile and run a workload, printing counters and checksum." in
-  let run arch cfg scale name =
+  let run arch cfg scale trace stats name =
     let w = find_workload name in
     let prog = w.W.build ~scale in
+    (match trace with
+    | Some path -> Obs.Trace.start_to_file path
+    | None -> ());
     let compiled = Compiler.compile cfg ~arch prog in
     let r = Interp.run ~arch compiled.Compiler.program [] in
+    (match trace with
+    | Some path ->
+      ignore (Obs.Trace.stop ());
+      Fmt.pr "trace written to %s@." path
+    | None -> ());
     let c = r.Interp.counters in
     Fmt.pr "workload       : %s (scale %d)@." w.W.name scale;
     Fmt.pr "config / arch  : %s / %s@." cfg.Config.name arch.Arch.name;
@@ -105,10 +167,13 @@ let run_cmd =
       compiled.Compiler.checks.Compiler.explicit_after
       compiled.Compiler.checks.Compiler.raw_checks;
     Fmt.pr "static implicit: %d@." compiled.Compiler.checks.Compiler.implicit_after;
-    Fmt.pr "compile time   : %.4f s@." compiled.Compiler.compile_seconds
+    Fmt.pr "compile time   : %.4f s@." compiled.Compiler.compile_seconds;
+    if stats then print_stats compiled
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
-    Cmdliner.Term.(const run $ arch_arg $ config_arg $ scale_arg $ workload_arg)
+    Cmdliner.Term.(
+      const run $ arch_arg $ config_arg $ scale_arg $ trace_arg $ stats_arg
+      $ workload_arg)
 
 (* --- dump ---------------------------------------------------------- *)
 
@@ -150,10 +215,77 @@ let verify_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "verify" ~doc)
     Cmdliner.Term.(const run $ arch_arg $ config_arg $ scale_arg $ workload_arg)
 
+(* --- validate-json ------------------------------------------------- *)
+
+let validate_json_cmd =
+  let doc =
+    "Validate a telemetry JSON file: a metrics snapshot (or a report \
+     embedding one under a `metrics' key) against the metrics schema, or \
+     a Chrome trace-event file for structural well-formedness."
+  in
+  let file_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSON file to validate.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let validate_trace j =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) ->
+      let bad =
+        List.exists
+          (fun e ->
+            match
+              (Json.member "name" e, Json.member "ph" e, Json.member "ts" e)
+            with
+            | Some (Json.Str _), Some (Json.Str _),
+              Some (Json.Float _ | Json.Int _) ->
+              false
+            | _ -> true)
+          evs
+      in
+      if bad then Error "trace event missing name/ph/ts"
+      else Ok (Printf.sprintf "trace: %d events" (List.length evs))
+    | Some _ -> Error "traceEvents must be a list"
+    | None -> Error "not a trace file"
+  in
+  let run path =
+    match Json.of_string (read_file path) with
+    | Error e ->
+      Fmt.epr "%s: JSON parse error: %s@." path e;
+      exit 1
+    | Ok j -> (
+      let metrics_doc =
+        (* bench reports embed the snapshot under "metrics" *)
+        match Json.member "metrics" j with Some m -> m | None -> j
+      in
+      match Obs.Metrics.validate metrics_doc with
+      | Ok () ->
+        Fmt.pr "%s: OK (metrics schema v%d)@." path Obs.Metrics.schema_version
+      | Error metrics_err -> (
+        match validate_trace j with
+        | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+        | Error _ ->
+          Fmt.epr "%s: invalid: %s@." path metrics_err;
+          exit 1))
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
+    Cmdliner.Term.(const run $ file_arg)
+
 let () =
   let doc = "null-check elimination reproduction (ASPLOS 2000)" in
   let info = Cmdliner.Cmd.info "nullelim" ~doc in
   exit
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
-          [ list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd ]))
+          [
+            list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd;
+            validate_json_cmd;
+          ]))

@@ -77,3 +77,13 @@ module Interp = Nullelim_vm.Interp
 
 module Config = Nullelim_jit.Config
 module Compiler = Nullelim_jit.Compiler
+
+(** {1 Telemetry}
+
+    Trace spans ([Obs.span], Chrome trace-event output via
+    [NULLELIM_TRACE=path]), leveled logging ([NULLELIM_LOG=debug]),
+    a typed metrics registry with a versioned JSON snapshot, and the
+    per-check optimization decision log. *)
+
+module Obs = Nullelim_obs.Obs
+module Json = Nullelim_obs.Obs_json

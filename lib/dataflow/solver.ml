@@ -36,6 +36,7 @@
     timing deltas from the same binary. *)
 
 module Cfg = Nullelim_cfg.Cfg
+module Trace = Nullelim_obs.Trace
 
 type direction = Forward | Backward
 
@@ -289,6 +290,14 @@ let use_reference =
       | Some "reference" -> true
       | _ -> false)
 
-let solve ~dir ~cfg ~boundary ~top ~meet ?edge ?boundary_blocks ~transfer () =
-  (if !use_reference then solve_reference else solve_worklist)
-    ~dir ~cfg ~boundary ~top ~meet ?edge ?boundary_blocks ~transfer ()
+let solve ?(name = "solve") ~dir ~cfg ~boundary ~top ~meet ?edge
+    ?boundary_blocks ~transfer () =
+  let engine = if !use_reference then solve_reference else solve_worklist in
+  let run () =
+    engine ~dir ~cfg ~boundary ~top ~meet ?edge ?boundary_blocks ~transfer ()
+  in
+  if Trace.enabled () then
+    Trace.span ~cat:"solver"
+      ~args:[ ("blocks", Nullelim_obs.Obs_json.Int (Cfg.nblocks cfg)) ]
+      name run
+  else run ()

@@ -19,7 +19,9 @@
       handlers), whose input is forced to [boundary] regardless of
       syntactic predecessors (forward problems only);
     - [transfer]: per-block transfer function.  It must not mutate or
-      retain its argument; the solver owns and reuses that set.
+      retain its argument; the solver owns and reuses that set;
+    - [name]: analysis name used for the trace span {!solve} emits when
+      tracing ({!Nullelim_obs.Trace}) is active.
 
     {!solve} runs a sparse priority worklist keyed by reverse-postorder
     position (forward) / postorder position (backward): when a block's
@@ -64,6 +66,7 @@ val use_reference : bool ref
     harness flips it to measure the baseline engine in-process. *)
 
 val solve :
+  ?name:string ->
   dir:direction ->
   cfg:Cfg.t ->
   boundary:Bitset.t ->

@@ -8,9 +8,14 @@ module Opt = Nullelim_opt
 module Pipeline = Nullelim_opt.Pipeline
 module Solver = Nullelim_dataflow.Solver
 module Codegen = Nullelim_backend.Codegen
+module Trace = Nullelim_obs.Trace
+module Metrics = Nullelim_obs.Metrics
+module Decision = Nullelim_obs.Decision
+module Json = Nullelim_obs.Obs_json
 
 type check_stats = {
   raw_checks : int;        (** explicit checks in the input program *)
+  raw_implicit : int;      (** implicit checks in the input program *)
   explicit_after : int;
   implicit_after : int;
 }
@@ -24,6 +29,8 @@ type compiled = {
   solver : Solver.stats;         (** solver work of this compilation *)
   checks : check_stats;
   compile_seconds : float;
+  metrics : Metrics.t;           (** per-compile metrics registry *)
+  decisions : Decision.event list;  (** per-check decision log *)
 }
 
 let count_all_checks p =
@@ -38,7 +45,9 @@ let count_all_checks p =
 (** Build the pass list for a configuration. *)
 let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
   let normalize =
-    Pipeline.per_func "other:normalize" Opt.Opt_util.remove_unreachable
+    (* log:true — dropped code here is original, not a duplicate, so its
+       checks must leave the decision log balanced *)
+    Pipeline.per_func "other:normalize" (Opt.Opt_util.remove_unreachable ~log:true)
   in
   let cleanup =
     [
@@ -128,15 +137,36 @@ let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
 (** Compile a copy of [p]; the input program is left untouched. *)
 let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
   let p' = Ir.copy_program p in
-  let raw_e, _ = count_all_checks p' in
+  let raw_e, raw_i = count_all_checks p' in
   let timings = Pipeline.new_timings () in
   let counters = Pipeline.new_counters () in
+  let metrics = Metrics.create () in
   let s0 = Solver.snapshot () in
   let t0 = Sys.time () in
-  Pipeline.run ~timings ~counters (passes cfg ~arch) p';
+  let (), decisions =
+    Decision.with_log (fun () ->
+        let run () =
+          Pipeline.run ~timings ~counters ~metrics (passes cfg ~arch) p'
+        in
+        if Trace.enabled () then
+          Trace.span ~cat:"compile"
+            ~args:
+              [
+                ("config", Json.Str cfg.Config.name);
+                ("arch", Json.Str arch.Arch.name);
+              ]
+            "compile" run
+        else run ())
+  in
   let compile_seconds = Sys.time () -. t0 in
   let solver = Solver.diff (Solver.snapshot ()) s0 in
   let e, i = count_all_checks p' in
+  Metrics.set (Metrics.gauge metrics "compile_seconds") compile_seconds;
+  Metrics.inc (Metrics.counter metrics "checks_raw_explicit") raw_e;
+  Metrics.inc (Metrics.counter metrics "checks_raw_implicit") raw_i;
+  Metrics.inc (Metrics.counter metrics "checks_explicit_after") e;
+  Metrics.inc (Metrics.counter metrics "checks_implicit_after") i;
+  Metrics.inc (Metrics.counter metrics "decision_events") (List.length decisions);
   {
     program = p';
     config = cfg;
@@ -144,9 +174,34 @@ let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
     timings;
     counters;
     solver;
-    checks = { raw_checks = raw_e; explicit_after = e; implicit_after = i };
+    checks =
+      {
+        raw_checks = raw_e;
+        raw_implicit = raw_i;
+        explicit_after = e;
+        implicit_after = i;
+      };
     compile_seconds;
+    metrics;
+    decisions;
   }
+
+(** Check that the decision log accounts exactly for the difference
+    between the raw and final static check counts — i.e. that
+    [check_stats] is derivable from the log. *)
+let reconcile (c : compiled) : (unit, string) result =
+  let de, di = Decision.derived_deltas c.decisions in
+  let want_e = c.checks.raw_checks + de
+  and want_i = c.checks.raw_implicit + di in
+  if want_e = c.checks.explicit_after && want_i = c.checks.implicit_after then
+    Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "decision log does not reconcile: explicit %d+%d=%d vs %d, implicit \
+          %d+%d=%d vs %d"
+         c.checks.raw_checks de want_e c.checks.explicit_after
+         c.checks.raw_implicit di want_i c.checks.implicit_after)
 
 (** Time spent in null-check optimization vs. the rest (Table 4). *)
 let nullcheck_time c =

@@ -6,9 +6,12 @@ module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
 module Pipeline = Nullelim_opt.Pipeline
 module Solver = Nullelim_dataflow.Solver
+module Metrics = Nullelim_obs.Metrics
+module Decision = Nullelim_obs.Decision
 
 type check_stats = {
-  raw_checks : int;
+  raw_checks : int;    (** explicit checks in the input program *)
+  raw_implicit : int;  (** implicit checks in the input program *)
   explicit_after : int;
   implicit_after : int;
 }
@@ -24,11 +27,20 @@ type compiled = {
       (** total data-flow solver work of this compilation *)
   checks : check_stats;
   compile_seconds : float;
+  metrics : Metrics.t;
+      (** per-compile metrics registry: per-pass timings/solver work and
+          the compile-level check counters *)
+  decisions : Decision.event list;
+      (** per-check decision log of this compilation, in record order *)
 }
 
 val passes : Config.t -> arch:Arch.t -> Pipeline.pass list
 val compile : Config.t -> arch:Arch.t -> Ir.program -> compiled
 (** Compiles a copy; the input program is left untouched. *)
+
+val reconcile : compiled -> (unit, string) result
+(** Verify that folding the decision log's deltas over the raw check
+    counts reproduces [checks] exactly. *)
 
 val count_all_checks : Ir.program -> int * int
 (** [(explicit, implicit)] static counts. *)

@@ -1,0 +1,80 @@
+(** Per-check optimization decision log: every null/bound-check
+    transformation records what was done, why, and the delta it applies
+    to the static explicit/implicit check counts — so the compiler's
+    final check statistics are derivable (and verified) from the log. *)
+
+type action =
+  | Eliminated_redundant
+  | Moved_backward
+  | Moved_forward
+  | Converted_implicit
+  | Substituted
+  | Speculated
+  | Duplicated
+  | Dropped_unreachable
+
+type justification =
+  | Nonnull_dominating
+  | Insertion_earliest
+  | Floated
+  | Trap_covered of int option
+  | Trap_not_covered
+  | Side_effect_barrier
+  | Overwritten
+  | Not_anticipated
+  | Covered_later
+  | Available_on_entry
+  | Invariant_in_loop
+  | Speculative_read
+  | Inline_copy of string
+  | Unreachable_code
+
+type kind = Kexplicit | Kimplicit | Kbound | Kother
+
+type event = {
+  id : int;
+  pass : string;
+  func : string;
+  block : int;
+  var : int;
+  kind : kind;
+  action : action;
+  just : justification;
+  d_explicit : int;
+  d_implicit : int;
+}
+
+val active : unit -> bool
+(** Is a collector installed?  Passes may use this to skip building
+    event payloads entirely. *)
+
+val set_pass : string -> unit
+val set_func : string -> unit
+(** Context maintained by the pass manager; no-ops when inactive. *)
+
+val record :
+  ?d_explicit:int ->
+  ?d_implicit:int ->
+  ?block:int ->
+  ?var:int ->
+  kind:kind ->
+  action:action ->
+  just:justification ->
+  unit ->
+  unit
+(** Append one event to the installed collector (no-op when inactive). *)
+
+val with_log : (unit -> 'a) -> 'a * event list
+(** Run with a fresh collector; returns events in record order.
+    Re-entrant: saves and restores any outer collector. *)
+
+val derived_deltas : event list -> int * int
+(** [(sum d_explicit, sum d_implicit)]. *)
+
+val action_to_string : action -> string
+val justification_to_string : justification -> string
+val kind_to_string : kind -> string
+val event_to_json : event -> Obs_json.t
+val to_json : event list -> Obs_json.t
+val summary : event list -> (string * int) list
+(** Event counts per action name, sorted. *)

@@ -1,0 +1,16 @@
+(** Leveled logging ([NULLELIM_LOG=debug|info|warn|quiet], default
+    [warn]); the only sanctioned path to stderr for library code. *)
+
+type level = Debug | Info | Warn | Quiet
+
+val to_string : level -> string
+val of_string : string -> level option
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** Would a message at this level be emitted right now? *)
+
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,240 @@
+(** Typed metrics registry: counters, gauges and histograms with labels,
+    and one stable JSON snapshot schema (see {!schema_version}).
+
+    This is the single sink that unifies the instrumentation that used to
+    live in three ad-hoc shapes (the pass manager's timing/counter
+    hashtables, the data-flow solver's mutable counter record, the
+    interpreter's counter record): the pass manager and the JIT driver
+    write per-pass and per-compile series into a registry, the
+    interpreter can dump its dynamic counters into one, and the benchmark
+    harness merges {!snapshot} into its JSON report.
+
+    An instrument is identified by its name plus its label set; asking
+    for the same (name, labels) twice returns the same instrument, and
+    asking with a different type is a programming error
+    ([Invalid_argument]). *)
+
+type labels = (string * string) list
+
+type instrument =
+  | Icounter of int ref
+  | Igauge of float ref
+  | Ihistogram of histogram_data
+
+and histogram_data = {
+  buckets : float array;        (** upper bounds, ascending; +inf implicit *)
+  bucket_counts : int array;    (** length = Array.length buckets + 1 *)
+  mutable hcount : int;
+  mutable hsum : float;
+}
+
+type t = {
+  tbl : (string * labels, instrument) Hashtbl.t;
+  mutable order : (string * labels) list;  (** registration order, reversed *)
+}
+
+type counter = int ref
+type gauge = float ref
+type histogram = histogram_data
+
+let schema_version = 1
+
+let create () : t = { tbl = Hashtbl.create 64; order = [] }
+
+(** A process-wide default registry, for callers that do not thread their
+    own. *)
+let global : t = create ()
+
+let norm_labels (labels : labels) : labels =
+  List.sort_uniq compare labels
+
+let find_or_add (r : t) name labels (mk : unit -> instrument) : instrument =
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt r.tbl key with
+  | Some i -> i
+  | None ->
+    let i = mk () in
+    Hashtbl.replace r.tbl key i;
+    r.order <- key :: r.order;
+    i
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s already registered with a different type (wanted %s)"
+       name want)
+
+let counter (r : t) ?(labels = []) name : counter =
+  match find_or_add r name labels (fun () -> Icounter (ref 0)) with
+  | Icounter c -> c
+  | Igauge _ | Ihistogram _ -> kind_error name "counter"
+
+let inc (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
+
+let gauge (r : t) ?(labels = []) name : gauge =
+  match find_or_add r name labels (fun () -> Igauge (ref 0.)) with
+  | Igauge g -> g
+  | Icounter _ | Ihistogram _ -> kind_error name "gauge"
+
+let set (g : gauge) v = g := v
+let add (g : gauge) v = g := !g +. v
+let gauge_value (g : gauge) = !g
+
+(** Default histogram buckets: wall-clock seconds from 1 microsecond up
+    to ~10 s, factor-of-~3 spacing. *)
+let default_buckets =
+  [| 1e-6; 3e-6; 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3;
+     1.; 3.; 10. |]
+
+let histogram (r : t) ?(labels = []) ?(buckets = default_buckets) name :
+    histogram =
+  let mk () =
+    let b = Array.copy buckets in
+    Array.sort compare b;
+    Ihistogram
+      { buckets = b; bucket_counts = Array.make (Array.length b + 1) 0;
+        hcount = 0; hsum = 0. }
+  in
+  match find_or_add r name labels mk with
+  | Ihistogram h -> h
+  | Icounter _ | Igauge _ -> kind_error name "histogram"
+
+let observe (h : histogram) v =
+  let nb = Array.length h.buckets in
+  let rec slot k = if k >= nb || v <= h.buckets.(k) then k else slot (k + 1) in
+  let k = slot 0 in
+  h.bucket_counts.(k) <- h.bucket_counts.(k) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v
+
+let histogram_count (h : histogram) = h.hcount
+let histogram_sum (h : histogram) = h.hsum
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let labels_json (labels : labels) : Obs_json.t =
+  Obs_json.Obj (List.map (fun (k, v) -> (k, Obs_json.Str v)) labels)
+
+let snapshot (r : t) : Obs_json.t =
+  (* deterministic order: sorted by (name, labels) *)
+  let keys = List.sort compare (List.rev r.order) in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun ((name, labels) as key) ->
+      let base = [ ("name", Obs_json.Str name); ("labels", labels_json labels) ] in
+      match Hashtbl.find r.tbl key with
+      | Icounter c ->
+        counters := Obs_json.Obj (base @ [ ("value", Obs_json.Int !c) ]) :: !counters
+      | Igauge g ->
+        gauges := Obs_json.Obj (base @ [ ("value", Obs_json.Float !g) ]) :: !gauges
+      | Ihistogram h ->
+        let bucket k le =
+          Obs_json.Obj [ ("le", le); ("count", Obs_json.Int h.bucket_counts.(k)) ]
+        in
+        let buckets =
+          List.init (Array.length h.buckets) (fun k ->
+              bucket k (Obs_json.Float h.buckets.(k)))
+          @ [ bucket (Array.length h.buckets) (Obs_json.Str "+Inf") ]
+        in
+        histograms :=
+          Obs_json.Obj
+            (base
+            @ [
+                ("count", Obs_json.Int h.hcount);
+                ("sum", Obs_json.Float h.hsum);
+                ("buckets", Obs_json.List buckets);
+              ])
+          :: !histograms)
+    keys;
+  Obs_json.Obj
+    [
+      ("schema_version", Obs_json.Int schema_version);
+      ("counters", Obs_json.List (List.rev !counters));
+      ("gauges", Obs_json.List (List.rev !gauges));
+      ("histograms", Obs_json.List (List.rev !histograms));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let validate (j : Obs_json.t) : (unit, string) result =
+  let ( let* ) r f = Result.bind r f in
+  let str_labels = function
+    | Obs_json.Obj kvs ->
+      if List.for_all (function _, Obs_json.Str _ -> true | _ -> false) kvs
+      then Ok ()
+      else Error "labels values must be strings"
+    | _ -> Error "labels must be an object"
+  in
+  let check_series kind check_extra = function
+    | Obs_json.Obj _ as o -> (
+      match (Obs_json.member "name" o, Obs_json.member "labels" o) with
+      | Some (Obs_json.Str _), Some labels ->
+        let* () = str_labels labels in
+        check_extra o
+      | _ -> Error (kind ^ " entry missing name/labels"))
+    | _ -> Error (kind ^ " entry must be an object")
+  in
+  let all kind check_extra xs =
+    List.fold_left
+      (fun acc x -> let* () = acc in check_series kind check_extra x)
+      (Ok ()) xs
+  in
+  let list_member name o =
+    match Obs_json.member name o with
+    | Some (Obs_json.List xs) -> Ok xs
+    | Some _ -> Error (name ^ " must be a list")
+    | None -> Error ("missing " ^ name)
+  in
+  match j with
+  | Obs_json.Obj _ -> (
+    match Obs_json.member "schema_version" j with
+    | Some (Obs_json.Int v) when v = schema_version ->
+      let* cs = list_member "counters" j in
+      let* gs = list_member "gauges" j in
+      let* hs = list_member "histograms" j in
+      let* () =
+        all "counter"
+          (fun o ->
+            match Obs_json.member "value" o with
+            | Some (Obs_json.Int _) -> Ok ()
+            | _ -> Error "counter value must be an integer")
+          cs
+      in
+      let* () =
+        all "gauge"
+          (fun o ->
+            match Obs_json.member "value" o with
+            | Some (Obs_json.Float _ | Obs_json.Int _ | Obs_json.Null) -> Ok ()
+            | _ -> Error "gauge value must be a number")
+          gs
+      in
+      all "histogram"
+        (fun o ->
+          match
+            (Obs_json.member "count" o, Obs_json.member "sum" o,
+             Obs_json.member "buckets" o)
+          with
+          | Some (Obs_json.Int _),
+            Some (Obs_json.Float _ | Obs_json.Int _ | Obs_json.Null),
+            Some (Obs_json.List bs) ->
+            if
+              List.for_all
+                (fun b ->
+                  match (Obs_json.member "le" b, Obs_json.member "count" b) with
+                  | Some (Obs_json.Float _ | Obs_json.Int _ | Obs_json.Str "+Inf"),
+                    Some (Obs_json.Int _) ->
+                    true
+                  | _ -> false)
+                bs
+            then Ok ()
+            else Error "histogram bucket must have le + integer count"
+          | _ -> Error "histogram entry missing count/sum/buckets")
+        hs
+    | Some (Obs_json.Int v) ->
+      Error (Printf.sprintf "unsupported schema_version %d (want %d)" v schema_version)
+    | _ -> Error "missing schema_version")
+  | _ -> Error "metrics snapshot must be an object"

@@ -1,0 +1,44 @@
+(** Typed metrics registry (counters / gauges / histograms with labels)
+    with a stable, versioned JSON snapshot schema.  The single sink for
+    the pass manager's timings/counters, the data-flow solver's work
+    counters and the interpreter's dynamic counters. *)
+
+type t
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+
+val schema_version : int
+
+val create : unit -> t
+val global : t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find-or-register; same (name, labels) always yields the same
+    instrument.  @raise Invalid_argument if the name is already
+    registered as a different type. *)
+
+val inc : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_buckets : float array
+val histogram : t -> ?labels:labels -> ?buckets:float array -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val snapshot : t -> Obs_json.t
+(** Deterministic snapshot:
+    [{"schema_version":N,"counters":[{"name","labels","value"}...],
+      "gauges":[...],"histograms":[{"name","labels","count","sum",
+      "buckets":[{"le","count"}...]}...]}]. *)
+
+val validate : Obs_json.t -> (unit, string) result
+(** Structural validation of a snapshot against the schema above. *)

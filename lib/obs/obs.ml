@@ -1,0 +1,13 @@
+(** Umbrella module for the telemetry layer: trace spans, leveled
+    logging, the metrics registry and the per-check decision log.
+    Client code says [Obs.span "phase1" f], [Obs.Log.debug ...],
+    [Obs.Metrics.counter ...], [Obs.Decision.record ...]. *)
+
+module Json = Obs_json
+module Log = Log
+module Trace = Trace
+module Metrics = Metrics
+module Decision = Decision
+
+let span = Trace.span
+let instant = Trace.instant

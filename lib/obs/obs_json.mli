@@ -1,0 +1,21 @@
+(** Minimal JSON tree shared by the telemetry layer and the benchmark
+    report: emission ([%.12g] floats, non-finite as [null]) and a small
+    parser for round-trip and schema-validation tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_list : t -> t list option
+val equal : t -> t -> bool

@@ -1,0 +1,153 @@
+(** Low-overhead trace spans with Chrome trace-event output.
+
+    A span wraps a computation and, when tracing is active, records a
+    complete event ([ph:"X"]) with microsecond wall-clock timestamp and
+    duration; the resulting file loads directly into [chrome://tracing]
+    or [ui.perfetto.dev].  When tracing is inactive — the default — a
+    span is a single [bool] test plus a tail call, so instrumented code
+    pays nothing measurable.
+
+    Activation:
+    - environment: [NULLELIM_TRACE=path] arms collection at program start
+      and writes [path] at exit;
+    - programmatic: {!start_to_file} (same behaviour, e.g. for a
+      [--trace] CLI flag) or {!start}/{!stop} for in-memory collection
+      (used by the test suite).
+
+    Spans nest lexically; {!depth} exposes the current nesting depth so
+    tests can assert the stream is balanced. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;   (** start, microseconds since collection started *)
+  ev_dur_us : float;
+  ev_depth : int;     (** nesting depth at span entry (0 = top level) *)
+  ev_args : (string * Obs_json.t) list;
+}
+
+type sink = { mutable events : event list; mutable count : int; file : string option }
+
+let active : sink option ref = ref None
+let cur_depth = ref 0
+let t0_us = ref 0.
+
+(** Cap on collected events: a runaway tracing session degrades into
+    dropping the tail rather than exhausting memory. *)
+let max_events = 2_000_000
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let enabled () = !active <> None
+let depth () = !cur_depth
+
+let start_sink file =
+  t0_us := now_us ();
+  cur_depth := 0;
+  active := Some { events = []; count = 0; file }
+
+let start () = start_sink None
+let start_to_file path = start_sink (Some path)
+
+let record_event e =
+  match !active with
+  | Some s when s.count < max_events ->
+    s.events <- e :: s.events;
+    s.count <- s.count + 1
+  | Some _ | None -> ()
+
+let span ?(cat = "nullelim") ?(args = []) name f =
+  match !active with
+  | None -> f ()
+  | Some _ ->
+    let d = !cur_depth in
+    incr cur_depth;
+    let t0 = now_us () -. !t0_us in
+    let finish () =
+      let t1 = now_us () -. !t0_us in
+      decr cur_depth;
+      record_event
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ts_us = t0;
+          ev_dur_us = t1 -. t0;
+          ev_depth = d;
+          ev_args = args;
+        }
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let instant ?(cat = "nullelim") ?(args = []) name =
+  if enabled () then
+    record_event
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_us = now_us () -. !t0_us;
+        ev_dur_us = 0.;
+        ev_depth = !cur_depth;
+        ev_args = args;
+      }
+
+(** Events in start order (spans record at exit, so the raw list is in
+    completion order; sort by start time, ties broken longest-first so a
+    parent precedes its children). *)
+let ordered (s : sink) =
+  List.stable_sort
+    (fun a b ->
+      match compare a.ev_ts_us b.ev_ts_us with
+      | 0 -> compare b.ev_dur_us a.ev_dur_us
+      | c -> c)
+    (List.rev s.events)
+
+let event_json (e : event) : Obs_json.t =
+  Obs_json.Obj
+    ([
+       ("name", Obs_json.Str e.ev_name);
+       ("cat", Obs_json.Str e.ev_cat);
+       ("ph", Obs_json.Str "X");
+       ("ts", Obs_json.Float e.ev_ts_us);
+       ("dur", Obs_json.Float e.ev_dur_us);
+       ("pid", Obs_json.Int 1);
+       ("tid", Obs_json.Int 1);
+     ]
+    @ match e.ev_args with [] -> [] | args -> [ ("args", Obs_json.Obj args) ])
+
+let to_json (events : event list) : Obs_json.t =
+  Obs_json.Obj
+    [
+      ("traceEvents", Obs_json.List (List.map event_json events));
+      ("displayTimeUnit", Obs_json.Str "ms");
+    ]
+
+let write path events =
+  let oc = open_out path in
+  output_string oc (Obs_json.to_string (to_json events));
+  output_char oc '\n';
+  close_out oc
+
+let stop () =
+  match !active with
+  | None -> []
+  | Some s ->
+    active := None;
+    cur_depth := 0;
+    let evs = ordered s in
+    (match s.file with Some path -> write path evs | None -> ());
+    evs
+
+(* Arm from the environment, and flush at exit if the program never
+   called [stop] itself. *)
+let () =
+  match Sys.getenv_opt "NULLELIM_TRACE" with
+  | Some path when path <> "" ->
+    start_to_file path;
+    at_exit (fun () -> ignore (stop ()))
+  | Some _ | None -> ()

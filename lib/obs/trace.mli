@@ -1,0 +1,43 @@
+(** Trace spans emitting Chrome trace-event JSON
+    ([chrome://tracing]-loadable).  Inactive by default; armed by
+    [NULLELIM_TRACE=path] or {!start_to_file}/{!start}.  An inactive
+    {!span} costs one branch. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_depth : int;
+  ev_args : (string * Obs_json.t) list;
+}
+
+val enabled : unit -> bool
+val depth : unit -> int
+(** Current span nesting depth; 0 whenever the stream is balanced. *)
+
+val start : unit -> unit
+(** Collect in memory (for tests); retrieve with {!stop}. *)
+
+val start_to_file : string -> unit
+(** Collect and write the file when {!stop} (or program exit) happens. *)
+
+val stop : unit -> event list
+(** Disarm, write the file if one was armed, return events in start
+    order.  Returns [[]] when tracing was not active. *)
+
+val span :
+  ?cat:string ->
+  ?args:(string * Obs_json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span name f] runs [f], recording a complete event when active.
+    Exception-safe: the span closes and the exception is re-raised. *)
+
+val instant :
+  ?cat:string -> ?args:(string * Obs_json.t) list -> string -> unit
+(** Zero-duration marker event. *)
+
+val to_json : event list -> Obs_json.t
+val write : string -> event list -> unit

@@ -29,6 +29,7 @@ module Cfg = Nullelim_cfg.Cfg
 module Context = Nullelim_cfg.Context
 module Dominance = Nullelim_cfg.Dominance
 module Loops = Nullelim_cfg.Loops
+module Decision = Nullelim_obs.Decision
 
 (* ------------------------------------------------------------------ *)
 (* Availability-based elimination                                      *)
@@ -89,8 +90,8 @@ let eliminate_redundant_ctx (ctx : Context.t) : int =
       | _ -> ()
     in
     let r =
-      Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty np)
-        ~top:(Bitset.full np) ~meet:Solver.Inter
+      Solver.solve ~name:"boundcheck.availability" ~dir:Solver.Forward ~cfg
+        ~boundary:(Bitset.empty np) ~top:(Bitset.full np) ~meet:Solver.Inter
         ~boundary_blocks:(Cfg.handler_blocks f)
         ~transfer:(fun l inb ->
           let s = Bitset.copy inb in
@@ -111,7 +112,13 @@ let eliminate_redundant_ctx (ctx : Context.t) : int =
                 Bitset.mem (Hashtbl.find index (x, y)) s
               | _ -> false
             in
-            if drop then incr removed else keep := i :: !keep;
+            if drop then begin
+              incr removed;
+              Decision.record ~block:l ~kind:Decision.Kbound
+                ~action:Decision.Eliminated_redundant
+                ~just:Decision.Available_on_entry ()
+            end
+            else keep := i :: !keep;
             transfer_instr s i)
           (Ir.block f l).instrs;
         Opt_util.set_instrs f l (List.rev !keep)
@@ -200,6 +207,9 @@ let hoist_loop_invariant_ctx (ctx : Context.t) : int =
               Opt_util.set_instrs f l.header (List.rev !keep);
               Opt_util.append_instrs f ph [ check ];
               if Ir.nblocks f <> Cfg.nblocks cfg then Context.invalidate ctx;
+              Decision.record ~block:l.header ~kind:Decision.Kbound
+                ~action:Decision.Moved_backward
+                ~just:Decision.Invariant_in_loop ();
               incr hoisted;
               continue_ := true
             | None -> ()

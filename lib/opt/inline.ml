@@ -22,6 +22,7 @@
 
 module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
+module Decision = Nullelim_obs.Decision
 
 (* ------------------------------------------------------------------ *)
 (* Devirtualization                                                     *)
@@ -155,9 +156,32 @@ let inline_site (f : Ir.func) l k (callee : Ir.func) (d : Ir.var option)
   (* Because several return sites may exist, each Return(Some o) needs its
      own move into [d]; we append the move to the returning block. *)
   let inlined_blocks =
-    Array.map
-      (fun (cb : Ir.block) ->
+    Array.mapi
+      (fun cl (cb : Ir.block) ->
         let instrs = Array.map remap_instr cb.instrs in
+        (* inlining duplicates the callee's checks into the caller while
+           the callee itself stays in the program: each copy is a +1 the
+           decision log must account for *)
+        if Decision.active () then
+          Array.iter
+            (fun i ->
+              match i with
+              | Ir.Null_check (ck, v) ->
+                let kind, d_explicit, d_implicit =
+                  match ck with
+                  | Ir.Explicit -> (Decision.Kexplicit, 1, 0)
+                  | Ir.Implicit -> (Decision.Kimplicit, 0, 1)
+                in
+                Decision.record ~d_explicit ~d_implicit
+                  ~block:(remap_label cl) ~var:v ~kind
+                  ~action:Decision.Duplicated
+                  ~just:(Decision.Inline_copy callee.Ir.fn_name) ()
+              | Ir.Bound_check _ ->
+                Decision.record ~block:(remap_label cl) ~kind:Decision.Kbound
+                  ~action:Decision.Duplicated
+                  ~just:(Decision.Inline_copy callee.Ir.fn_name) ()
+              | _ -> ())
+            instrs;
         let instrs =
           match (cb.term, d) with
           | Ir.Return (Some o), Some dst ->
@@ -211,6 +235,7 @@ let run ?(budget = 40) (p : Ir.program) : int =
   let total = ref 0 in
   Ir.iter_funcs
     (fun f ->
+      Decision.set_func f.Ir.fn_name;
       let n = ref 0 in
       let continue_ = ref true in
       while !continue_ && !n < budget do

@@ -12,6 +12,7 @@
 
 module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
+module Decision = Nullelim_obs.Decision
 
 (** Returns the number of checks converted. *)
 let run ~(arch : Arch.t) (f : Ir.func) : int =
@@ -31,10 +32,28 @@ let run ~(arch : Arch.t) (f : Ir.func) : int =
             else begin
               let i = instrs.(j) in
               if Arch.instr_traps_for arch i v then begin
-                (* j becomes the exception site *)
+                (* j becomes the exception site; a duplicate check whose
+                   dereference is already an exception site adds no new
+                   implicit check — it is simply redundant *)
                 drop.(k) <- true;
-                implicit_before.(j) <- true;
-                incr converted
+                incr converted;
+                let off =
+                  match Ir.deref_site i with
+                  | Some (_, off, _) -> off
+                  | None -> None
+                in
+                if implicit_before.(j) then
+                  Decision.record ~d_explicit:(-1) ~block:l ~var:v
+                    ~kind:Decision.Kexplicit
+                    ~action:Decision.Eliminated_redundant
+                    ~just:(Decision.Trap_covered off) ()
+                else begin
+                  implicit_before.(j) <- true;
+                  Decision.record ~d_explicit:(-1) ~d_implicit:1 ~block:l
+                    ~var:v ~kind:Decision.Kimplicit
+                    ~action:Decision.Converted_implicit
+                    ~just:(Decision.Trap_covered off) ()
+                end
               end
               else if
                 Opt_util.barrier f l i

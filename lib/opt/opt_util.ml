@@ -2,6 +2,7 @@
 
 module Ir = Nullelim_ir.Ir
 module Bitset = Nullelim_dataflow.Bitset
+module Decision = Nullelim_obs.Decision
 
 let in_try (f : Ir.func) (l : Ir.label) = (Ir.block f l).breg <> Ir.no_region
 
@@ -21,8 +22,14 @@ let append_instrs (f : Ir.func) l (extra : Ir.instr list) =
 
 (** Remove blocks unreachable from the entry (following both normal and
     handler edges) and compact labels.  Keeps the optimizer's data-flow
-    facts and the validator's reachability expectations consistent. *)
-let remove_unreachable (f : Ir.func) : unit =
+    facts and the validator's reachability expectations consistent.
+
+    [log] records a decision-log event per check dropped with an
+    unreachable block.  Only the compiler's normalize pass sets it:
+    {!Simplify_cfg} also calls this function, but there every dropped
+    block's contents were just duplicated into its predecessor, so the
+    check population is unchanged and logging would double-count. *)
+let remove_unreachable ?(log = false) (f : Ir.func) : unit =
   let n = Ir.nblocks f in
   if n = 0 then ()
   else begin
@@ -38,6 +45,28 @@ let remove_unreachable (f : Ir.func) : unit =
     in
     go 0;
     if not (Array.for_all Fun.id seen) then begin
+      if log && Decision.active () then
+        for l = 0 to n - 1 do
+          if not seen.(l) then
+            Array.iter
+              (fun i ->
+                match i with
+                | Ir.Null_check (ck, v) ->
+                  let kind, d_explicit, d_implicit =
+                    match ck with
+                    | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
+                    | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
+                  in
+                  Decision.record ~d_explicit ~d_implicit ~block:l ~var:v
+                    ~kind ~action:Decision.Dropped_unreachable
+                    ~just:Decision.Unreachable_code ()
+                | Ir.Bound_check _ ->
+                  Decision.record ~block:l ~kind:Decision.Kbound
+                    ~action:Decision.Dropped_unreachable
+                    ~just:Decision.Unreachable_code ()
+                | _ -> ())
+              (Ir.block f l).instrs
+        done;
       let remap = Array.make n (-1) in
       let next = ref 0 in
       for l = 0 to n - 1 do

@@ -9,4 +9,7 @@ val barrier : Ir.func -> Ir.label -> Ir.instr -> bool
 
 val set_instrs : Ir.func -> Ir.label -> Ir.instr list -> unit
 val append_instrs : Ir.func -> Ir.label -> Ir.instr list -> unit
-val remove_unreachable : Ir.func -> unit
+val remove_unreachable : ?log:bool -> Ir.func -> unit
+(** [log] records decision-log events for checks dropped with their
+    unreachable blocks; set only when the dropped code is not a
+    duplicate (the compiler's normalize pass, not {!Simplify_cfg}). *)

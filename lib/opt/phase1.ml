@@ -49,6 +49,7 @@ module Bitset = Nullelim_dataflow.Bitset
 module Solver = Nullelim_dataflow.Solver
 module Cfg = Nullelim_cfg.Cfg
 module Nullness = Nullelim_analysis.Nullness
+module Decision = Nullelim_obs.Decision
 
 (** Gen/Kill of Section 4.1.1 for one block. *)
 let gen_kill_bwd (f : Ir.func) (l : Ir.label) : Bitset.t * Bitset.t =
@@ -90,8 +91,8 @@ let analyse (cfg : Cfg.t) : analysis =
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
   let empty = Bitset.empty nv in
   let r =
-    Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Solver.Inter
+    Solver.solve ~name:"phase1.insertion-points" ~dir:Solver.Backward ~cfg
+      ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
       ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
       ~transfer:(fun l out ->
         let s = Bitset.copy out in
@@ -133,14 +134,25 @@ let run (f : Ir.func) : int * int =
       let keep = ref [] in
       Nullness.iter_block nullness l (fun facts _idx i ->
           match i with
-          | Ir.Null_check (_, v) when Bitset.mem v facts -> incr eliminated
+          | Ir.Null_check (ck, v) when Bitset.mem v facts ->
+            incr eliminated;
+            let kind, d_explicit, d_implicit =
+              match ck with
+              | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
+              | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
+            in
+            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
+              ~action:Decision.Eliminated_redundant
+              ~just:Decision.Nonnull_dominating ()
           | _ -> keep := i :: !keep);
       (* Earliest(l) minus what is already available at the exit of l. *)
       let to_insert = Bitset.diff earliest.(l) (Nullness.at_exit nullness l) in
       Bitset.iter
         (fun v ->
           keep := Ir.Null_check (Explicit, v) :: !keep;
-          incr inserted)
+          incr inserted;
+          Decision.record ~d_explicit:1 ~block:l ~var:v ~kind:Decision.Kexplicit
+            ~action:Decision.Moved_backward ~just:Decision.Insertion_earliest ())
         to_insert;
       Opt_util.set_instrs f l (List.rev !keep)
     end

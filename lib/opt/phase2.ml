@@ -50,6 +50,7 @@ module Solver = Nullelim_dataflow.Solver
 module Cfg = Nullelim_cfg.Cfg
 module Context = Nullelim_cfg.Context
 module Arch = Nullelim_arch.Arch
+module Decision = Nullelim_obs.Decision
 
 type stats = {
   mutable made_implicit : int;
@@ -58,9 +59,12 @@ type stats = {
 }
 
 (** The shared walk.  Updates [floating] in place; when [emit] is given,
-    produces the rewritten instruction list through it. *)
+    produces the rewritten instruction list through it.  [log] records
+    decision-log events and must be set only on the rewriting walk — the
+    same function serves as the data-flow transfer, which must stay
+    silent or every check would be logged once per solver visit. *)
 let walk_block ~arch (f : Ir.func) (l : Ir.label)
-    ~(floating : Bitset.t) ?emit ?stats () : unit =
+    ~(floating : Bitset.t) ?emit ?stats ?(log = false) () : unit =
   let emit i = match emit with Some e -> e i | None -> () in
   let count_impl () =
     match stats with Some s -> s.made_implicit <- s.made_implicit + 1 | None -> ()
@@ -68,11 +72,27 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
   let count_expl () =
     match stats with Some s -> s.made_explicit <- s.made_explicit + 1 | None -> ()
   in
+  let log_pickup ck v =
+    if log then
+      let kind, d_explicit, d_implicit =
+        match ck with
+        | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
+        | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
+      in
+      Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
+        ~action:Decision.Moved_forward ~just:Decision.Floated ()
+  in
+  let log_explicit v just =
+    if log then
+      Decision.record ~d_explicit:1 ~block:l ~var:v ~kind:Decision.Kexplicit
+        ~action:Decision.Moved_forward ~just ()
+  in
   Array.iter
     (fun i ->
       match i with
-      | Ir.Null_check (_, v) ->
+      | Ir.Null_check (ck, v) ->
         (* the check is picked up and floats; the instruction is dropped *)
+        log_pickup ck v;
         Bitset.add_mut floating v
       | _ ->
         (* 1. dereference of a floating variable consumes its check:
@@ -83,9 +103,9 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
            barrier for every other floating check). *)
         let pending =
           match Ir.deref_site i with
-          | Some (base, _, _) when Bitset.mem base floating ->
+          | Some (base, off, _) when Bitset.mem base floating ->
             Bitset.remove_mut floating base;
-            Some (base, Arch.instr_traps_for arch i base)
+            Some (base, off, Arch.instr_traps_for arch i base)
           | Some _ | None -> None
         in
         (* 2. side-effect barrier: flush everything still floating *)
@@ -93,7 +113,8 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
           Bitset.iter
             (fun v ->
               emit (Ir.Null_check (Explicit, v));
-              count_expl ())
+              count_expl ();
+              log_explicit v Decision.Side_effect_barrier)
             floating;
           Bitset.clear_mut floating
         end
@@ -103,16 +124,22 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
           | Some d when Bitset.mem d floating ->
             emit (Ir.Null_check (Explicit, d));
             count_expl ();
+            log_explicit d Decision.Overwritten;
             Bitset.remove_mut floating d
           | Some _ | None -> ()
         end;
         (match pending with
-        | Some (base, true) ->
+        | Some (base, off, true) ->
           emit (Ir.Null_check (Implicit, base));
-          count_impl ()
-        | Some (base, false) ->
+          count_impl ();
+          if log then
+            Decision.record ~d_implicit:1 ~block:l ~var:base
+              ~kind:Decision.Kimplicit ~action:Decision.Converted_implicit
+              ~just:(Decision.Trap_covered off) ()
+        | Some (base, _, false) ->
           emit (Ir.Null_check (Explicit, base));
-          count_expl ()
+          count_expl ();
+          log_explicit base Decision.Trap_not_covered
         | None -> ());
         emit i)
     (Ir.block f l).instrs
@@ -123,8 +150,8 @@ let analyse ~arch (cfg : Cfg.t) : Solver.result =
   let nv = f.fn_nvars in
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
   let empty = Bitset.empty nv in
-  Solver.solve ~dir:Solver.Forward ~cfg ~boundary:(Bitset.empty nv)
-    ~top:(Bitset.full nv) ~meet:Solver.Inter
+  Solver.solve ~name:"phase2.forward-motion" ~dir:Solver.Forward ~cfg
+    ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
     ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
     ~boundary_blocks:(Cfg.handler_blocks f)
     ~transfer:(fun l inb ->
@@ -187,8 +214,8 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
   let empty = Bitset.empty nv in
   let r =
-    Solver.solve ~dir:Solver.Backward ~cfg ~boundary:(Bitset.empty nv)
-      ~top:(Bitset.full nv) ~meet:Solver.Inter
+    Solver.solve ~name:"phase2.substitutable" ~dir:Solver.Backward ~cfg
+      ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
       ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
       ~transfer:(fun l out ->
         let s = Bitset.copy out in
@@ -208,6 +235,9 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
           match i with
           | Ir.Null_check (Explicit, v) when Bitset.mem v sub ->
             stats.eliminated <- stats.eliminated + 1;
+            Decision.record ~d_explicit:(-1) ~block:l ~var:v
+              ~kind:Decision.Kexplicit ~action:Decision.Substituted
+              ~just:Decision.Covered_later ();
             true
           | _ -> false
         in
@@ -245,7 +275,7 @@ let run ~(arch : Arch.t) (f : Ir.func) : stats =
       let acc = ref [] in
       let emit i = acc := i :: !acc in
       let floating = Bitset.copy r.Solver.inb.(l) in
-      walk_block ~arch f l ~floating ~emit ~stats ();
+      walk_block ~arch f l ~floating ~emit ~stats ~log:true ();
       (* materialize checks that not every successor accepts *)
       let succs = Cfg.succs cfg l in
       Bitset.iter
@@ -256,7 +286,10 @@ let run ~(arch : Arch.t) (f : Ir.func) : stats =
           in
           if not continues then begin
             emit (Ir.Null_check (Explicit, v));
-            stats.made_explicit <- stats.made_explicit + 1
+            stats.made_explicit <- stats.made_explicit + 1;
+            Decision.record ~d_explicit:1 ~block:l ~var:v
+              ~kind:Decision.Kexplicit ~action:Decision.Moved_forward
+              ~just:Decision.Not_anticipated ()
           end)
         floating;
       Opt_util.set_instrs f l (List.rev !acc)

@@ -5,10 +5,21 @@
     (null-check optimization vs. everything else, new vs. old
     algorithm) is produced from the timings; the counters are what the
     benchmark harness reports as the solver's work (blocks visited,
-    transfers applied, worklist pushes). *)
+    transfers applied, worklist pushes).
+
+    The pass manager is also where the telemetry layer hooks into the
+    pipeline: each pass runs under a {!Nullelim_obs.Trace} span (with
+    per-function child spans when tracing is active), the decision log's
+    pass/function context is maintained here so individual passes only
+    state what they did, and an optional {!Nullelim_obs.Metrics} registry
+    receives the same per-pass series as the hashtables. *)
 
 module Ir = Nullelim_ir.Ir
 module Solver = Nullelim_dataflow.Solver
+module Obs = Nullelim_obs
+module Trace = Nullelim_obs.Trace
+module Metrics = Nullelim_obs.Metrics
+module Decision = Nullelim_obs.Decision
 
 type pass = { name : string; run : Ir.program -> unit }
 
@@ -36,26 +47,69 @@ let timed (t : timings option) name g =
     add tbl name (Sys.time () -. t0);
     r
 
-(** Lift a per-function transformation to a program pass. *)
+(** Lift a per-function transformation to a program pass.  Maintains the
+    decision log's function context and, when tracing, opens one child
+    span per function. *)
 let per_func name (g : Ir.func -> unit) : pass =
-  { name; run = (fun p -> Ir.iter_funcs g p) }
+  {
+    name;
+    run =
+      (fun p ->
+        Ir.iter_funcs
+          (fun f ->
+            Decision.set_func f.Ir.fn_name;
+            if Trace.enabled () then Trace.span ~cat:"func" f.Ir.fn_name (fun () -> g f)
+            else g f)
+          p);
+  }
 
 let program_pass name (g : Ir.program -> unit) : pass = { name; run = g }
 
-let run ?timings ?counters (passes : pass list) (p : Ir.program) : unit =
+(** Mirror one pass's timing and solver-counter deltas into a metrics
+    registry: [pass_seconds] histogram and [solver_*] counters, each
+    labeled with the pass name. *)
+let record_metrics (m : Metrics.t) pass_name dt (d : Solver.stats) =
+  let labels = [ ("pass", pass_name) ] in
+  Metrics.observe (Metrics.histogram m ~labels "pass_seconds") dt;
+  Metrics.inc (Metrics.counter m ~labels "pass_runs") 1;
+  Metrics.inc (Metrics.counter m ~labels "solver_solves") d.Solver.solves;
+  Metrics.inc (Metrics.counter m ~labels "solver_visits") d.Solver.visits;
+  Metrics.inc (Metrics.counter m ~labels "solver_transfers") d.Solver.transfers;
+  Metrics.inc (Metrics.counter m ~labels "solver_pushes") d.Solver.pushes
+
+let run ?timings ?counters ?metrics (passes : pass list) (p : Ir.program) :
+    unit =
   List.iter
     (fun pass ->
-      match counters with
-      | None -> timed timings pass.name (fun () -> pass.run p)
-      | Some c ->
+      Decision.set_pass pass.name;
+      Decision.set_func "";
+      let want_solver_delta = counters <> None || metrics <> None in
+      let execute () =
+        if Trace.enabled () then
+          Trace.span ~cat:"pass" pass.name (fun () -> pass.run p)
+        else pass.run p
+      in
+      if not want_solver_delta then timed timings pass.name execute
+      else begin
         let s0 = Solver.snapshot () in
-        timed timings pass.name (fun () -> pass.run p);
+        let t0 = Sys.time () in
+        timed timings pass.name execute;
+        let dt = Sys.time () -. t0 in
         let d = Solver.diff (Solver.snapshot ()) s0 in
-        bump c (pass.name ^ "#solves") d.Solver.solves;
-        bump c (pass.name ^ "#visits") d.Solver.visits;
-        bump c (pass.name ^ "#transfers") d.Solver.transfers;
-        bump c (pass.name ^ "#pushes") d.Solver.pushes)
-    passes
+        (match counters with
+        | Some c ->
+          bump c (pass.name ^ "#solves") d.Solver.solves;
+          bump c (pass.name ^ "#visits") d.Solver.visits;
+          bump c (pass.name ^ "#transfers") d.Solver.transfers;
+          bump c (pass.name ^ "#pushes") d.Solver.pushes
+        | None -> ());
+        match metrics with
+        | Some m -> record_metrics m pass.name dt d
+        | None -> ()
+      end)
+    passes;
+  Decision.set_pass "";
+  Decision.set_func ""
 
 let total (t : timings) = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.
 

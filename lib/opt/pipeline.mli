@@ -17,10 +17,20 @@ val new_counters : unit -> counters
 val per_func : string -> (Ir.func -> unit) -> pass
 val program_pass : string -> (Ir.program -> unit) -> pass
 
-val run : ?timings:timings -> ?counters:counters -> pass list -> Ir.program -> unit
+val run :
+  ?timings:timings ->
+  ?counters:counters ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  pass list ->
+  Ir.program ->
+  unit
 (** Run the passes in order.  With [timings], wall time accumulates per
     pass name; with [counters], the global {!Nullelim_dataflow.Solver}
-    counter deltas of each pass accumulate per pass name. *)
+    counter deltas of each pass accumulate per pass name; with
+    [metrics], the same per-pass series are recorded into the registry
+    ([pass_seconds], [pass_runs], [solver_*], labeled by pass).  Each
+    pass runs under a trace span, and the decision log's pass/function
+    context is maintained here. *)
 
 val total : timings -> float
 val total_matching : timings -> (string -> bool) -> float

@@ -34,6 +34,7 @@ module Loops = Nullelim_cfg.Loops
 module Nullness = Nullelim_analysis.Nullness
 module Liveness = Nullelim_analysis.Liveness
 module Arch = Nullelim_arch.Arch
+module Decision = Nullelim_obs.Decision
 
 type stats = { mutable hoisted : int; mutable replaced : int }
 
@@ -158,10 +159,13 @@ let hoist_in_loop ~speculate ~(arch : Arch.t) (f : Ir.func) (cfg : Cfg.t)
         true
       else begin
         let try_one (m, k, i, base, site) =
+          let speculated = ref false in
           let safe =
             match site with
             | `Field offset ->
-              nonnull_at ph base || may_speculate_read ~offset
+              nonnull_at ph base
+              ||
+              (may_speculate_read ~offset && (speculated := true; true))
             | `Elem idx ->
               (* element loads need non-nullness and proven bounds *)
               nonnull_at ph base && bounds_proven f ph ~arr:base ~idx
@@ -174,6 +178,9 @@ let hoist_in_loop ~speculate ~(arch : Arch.t) (f : Ir.func) (cfg : Cfg.t)
             Opt_util.set_instrs f m (List.rev !keep);
             Opt_util.append_instrs f ph [ i ];
             stats.hoisted <- stats.hoisted + 1;
+            if !speculated then
+              Decision.record ~block:m ~var:base ~kind:Decision.Kother
+                ~action:Decision.Speculated ~just:Decision.Speculative_read ();
             true
           end
         in

@@ -13,6 +13,7 @@ module Ir = Nullelim_ir.Ir
 module Bitset = Nullelim_dataflow.Bitset
 module Cfg = Nullelim_cfg.Cfg
 module Nullness = Nullelim_analysis.Nullness
+module Decision = Nullelim_obs.Decision
 
 (** Returns the number of checks removed. *)
 let run (f : Ir.func) : int =
@@ -32,9 +33,17 @@ let run (f : Ir.func) : int =
       let dropped = ref false in
       Nullness.iter_block nullness l (fun facts _idx i ->
           match i with
-          | Ir.Null_check (_, v) when Bitset.mem v facts ->
+          | Ir.Null_check (ck, v) when Bitset.mem v facts ->
             incr removed;
-            dropped := true
+            dropped := true;
+            let kind, d_explicit, d_implicit =
+              match ck with
+              | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
+              | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
+            in
+            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
+              ~action:Decision.Eliminated_redundant
+              ~just:Decision.Nonnull_dominating ()
           | _ -> keep := i :: !keep);
       if !dropped then Opt_util.set_instrs f l (List.rev !keep)
     end

@@ -25,6 +25,9 @@
 
 module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch
+module Trace = Nullelim_obs.Trace
+module Metrics = Nullelim_obs.Metrics
+module Log = Nullelim_obs.Log
 open Value
 
 type event = Eprint of string | Ecaught of Ir.exn_kind
@@ -118,7 +121,10 @@ let null_deref st ~(prev : Ir.instr option) ~(base : Ir.var) ~offset ~access :
   else begin
     (match prev with
     | Some (Ir.Null_check (Implicit, v)) when v = base ->
-      st.c.implicit_miss <- st.c.implicit_miss + 1
+      st.c.implicit_miss <- st.c.implicit_miss + 1;
+      Log.debug
+        "implicit check missed: null deref of v%d at offset %d not trapped"
+        base offset
     | _ -> st.c.spec_null_reads <- st.c.spec_null_reads + 1);
     Value.null_page_garbage
   end
@@ -387,13 +393,31 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
     let v = eval vars o in
     record st (Eprint (Fmt.str "%a" Value.pp v))
 
+(** Dump a run's dynamic counters into a metrics registry as
+    [interp_*]-prefixed counters. *)
+let record_metrics (m : Metrics.t) (c : counters) : unit =
+  let add name v = Metrics.inc (Metrics.counter m ("interp_" ^ name)) v in
+  add "instrs" c.instrs;
+  add "cycles" c.cycles;
+  add "explicit_checks" c.explicit_checks;
+  add "implicit_checks" c.implicit_checks;
+  add "bound_checks" c.bound_checks;
+  add "loads" c.loads;
+  add "stores" c.stores;
+  add "calls" c.calls;
+  add "allocs" c.allocs;
+  add "npe_trap" c.npe_trap;
+  add "npe_explicit" c.npe_explicit;
+  add "implicit_miss" c.implicit_miss;
+  add "spec_null_reads" c.spec_null_reads
+
 (** Run a program's main function. *)
-let run ?(fuel = 400_000_000) ~(arch : Arch.t) (p : Ir.program)
+let run ?(fuel = 400_000_000) ?metrics ~(arch : Arch.t) (p : Ir.program)
     (args : value list) : result =
   let st =
     { prog = p; arch; c = new_counters (); fuel; trace_rev = []; depth = 0 }
   in
-  let outcome =
+  let execute () =
     try Returned (exec_func st (Ir.find_func p p.prog_main) args)
     with
     | Jexn k -> Uncaught k
@@ -401,6 +425,14 @@ let run ?(fuel = 400_000_000) ~(arch : Arch.t) (p : Ir.program)
     | Out_of_fuel -> Sim_error "out of fuel"
     | Division_by_zero -> Sim_error "host division by zero"
   in
+  let outcome =
+    if Trace.enabled () then
+      Trace.span ~cat:"interp"
+        ~args:[ ("main", Nullelim_obs.Obs_json.Str p.prog_main) ]
+        "run" execute
+    else execute ()
+  in
+  (match metrics with Some m -> record_metrics m st.c | None -> ());
   { outcome; trace = List.rev st.trace_rev; counters = st.c }
 
 let pp_exn_kind ppf = function

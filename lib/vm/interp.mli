@@ -42,8 +42,19 @@ val new_counters : unit -> counters
 type result = { outcome : outcome; trace : event list; counters : counters }
 
 val run :
-  ?fuel:int -> arch:Arch.t -> Ir.program -> Value.value list -> result
-(** Run the program's main function on the given arguments. *)
+  ?fuel:int ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  arch:Arch.t ->
+  Ir.program ->
+  Value.value list ->
+  result
+(** Run the program's main function on the given arguments.  With
+    [metrics], the dynamic counters are also recorded into the registry
+    as [interp_*] counters; when tracing is active the whole run is one
+    span. *)
+
+val record_metrics : Nullelim_obs.Metrics.t -> counters -> unit
+(** Dump dynamic counters into a registry ([interp_*] counters). *)
 
 val equivalent : result -> result -> bool
 (** Observable equivalence: same trace of prints and caught exceptions,
