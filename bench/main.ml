@@ -29,6 +29,20 @@ let scale =
   | Some s -> (try max 1 (int_of_string s) with _ -> 4)
   | None -> 4
 
+(** Compile-time measurements repeat this many times and report
+    min/median ([BENCH_REPEAT] or [--repeat N], default 3). *)
+let repeat =
+  let of_string s = try Some (max 1 (int_of_string s)) with _ -> None in
+  match Sys.getenv_opt "BENCH_REPEAT" with
+  | Some s when of_string s <> None -> Option.get (of_string s)
+  | _ ->
+    let rec scan = function
+      | "--repeat" :: n :: _ when of_string n <> None -> Option.get (of_string n)
+      | _ :: rest -> scan rest
+      | [] -> 3
+    in
+    scan (Array.to_list Sys.argv)
+
 (** Where to write the JSON report, if anywhere.  [BENCH_JSON=path] wins
     over [--json [path]]; a bare [--json] uses the default file name. *)
 let json_path =
@@ -160,17 +174,18 @@ let table3 () =
     "SPECjvm98 first run / best run / compilation time (ours vs \
      HotSpot-model)"
     "Table 3 / Figure 12";
-  Fmt.pr "%-12s %31s   %31s@." "" "ours (new-phase1+2)" "hotspot-model";
-  Fmt.pr "%-12s %10s %10s %9s   %10s %10s %9s@." "" "first" "best" "comp%"
-    "first" "best" "comp%";
-  let ours = E.table3 ~cfg:Config.new_full ~scale in
-  let hs = E.table3 ~cfg:Config.hotspot_model ~scale in
+  Fmt.pr "compile times are min/median over %d repeats@." repeat;
+  Fmt.pr "%-12s %42s   %42s@." "" "ours (new-phase1+2)" "hotspot-model";
+  Fmt.pr "%-12s %10s %10s %9s %9s   %10s %10s %9s %9s@." "" "first" "best"
+    "c.min" "c.med" "first" "best" "c.min" "c.med";
+  let ours = E.table3 ~repeat ~cfg:Config.new_full ~scale () in
+  let hs = E.table3 ~repeat ~cfg:Config.hotspot_model ~scale () in
   List.iter2
     (fun (o : E.compile_row) (h : E.compile_row) ->
-      let pct (r : E.compile_row) = 100. *. r.E.compile_time /. r.E.first_run in
-      Fmt.pr "%-12s %10.4f %10.4f %8.1f%%   %10.4f %10.4f %8.1f%%@."
-        o.E.cw_name o.E.first_run o.E.best_run (pct o) h.E.first_run
-        h.E.best_run (pct h))
+      Fmt.pr "%-12s %10.4f %10.4f %9.4f %9.4f   %10.4f %10.4f %9.4f %9.4f@."
+        o.E.cw_name o.E.first_run o.E.best_run o.E.compile_min
+        o.E.compile_median h.E.first_run h.E.best_run h.E.compile_min
+        h.E.compile_median)
     ours hs;
   (ours, hs)
 
@@ -245,6 +260,69 @@ let check_statistics () =
         r.E.implicit_dynamic)
     rows;
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic per-site profile (Figures 7-8) and profiling overhead        *)
+(* ------------------------------------------------------------------ *)
+
+module PR = Nullelim_experiments.Profile_report
+module Interp = Nullelim.Interp
+
+(** The paper-style dynamic-elimination table, always at scale 1 so the
+    counters are the deterministic ones the committed baseline records. *)
+let dynamic_profile () =
+  section "Dynamic null-check elimination (per-site profile, scale 1)"
+    "Figures 7-8";
+  let all = PR.collect_all ~scale:1 ~arch:Arch.ia32_windows () in
+  List.iter
+    (fun runs ->
+      List.iter
+        (fun r ->
+          match PR.reconcile r with Ok () -> () | Error e -> failwith e)
+        runs)
+    all;
+  Fmt.pr "%-18s %-22s %10s %10s %8s %8s@." "workload" "config" "explicit"
+    "implicit" "elim%" "impl%";
+  List.iter
+    (fun runs ->
+      List.iter
+        (fun (e : PR.elim_row) ->
+          Fmt.pr "%-18s %-22s %10d %10d %7.1f%% %7.1f%%@." e.PR.er_workload
+            e.PR.er_config e.PR.er_explicit e.PR.er_implicit
+            e.PR.er_pct_eliminated e.PR.er_pct_implicit)
+        (PR.elim_rows runs))
+    all;
+  Fmt.pr "(all %d runs reconcile per-site sums with aggregate counters)@."
+    (List.fold_left (fun a rs -> a + List.length rs) 0 all);
+  all
+
+(** The profiling hooks are one option match when disabled; show it by
+    timing the same compiled program with the collector off and on. *)
+let profiling_overhead () =
+  section "Interpreter profiling overhead (guarded hooks)" "methodology";
+  let w = Option.get (Registry.find "javac") in
+  let prog = w.W.build ~scale:1 in
+  let c = Compiler.compile Config.new_full ~arch:Arch.ia32_windows prog in
+  let time_runs ~profile n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      let p = if profile then Some (Obs.Profile.create ()) else None in
+      ignore
+        (Interp.run ?profile:p ~fuel:1_000_000_000 ~arch:Arch.ia32_windows
+           c.Compiler.program [])
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  ignore (time_runs ~profile:false 3);
+  let n = 20 in
+  let off = time_runs ~profile:false n in
+  let on = time_runs ~profile:true n in
+  Fmt.pr
+    "interp seconds/run over %d runs: profile off %.6f, profile on %.6f \
+     (on/off %.2fx)@."
+    n off on
+    (on /. Float.max 1e-9 off);
+  (off, on)
 
 (* ------------------------------------------------------------------ *)
 (* Solver engine comparison: worklist vs reference round-robin          *)
@@ -347,7 +425,7 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 
 let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
-    ~solver:(wl, rr, per_pass) ~bechamel =
+    ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on) =
   let open Json in
   let compile_row_json (r : E.compile_row) =
     Obj
@@ -356,6 +434,8 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
         ("first_run", Float r.E.first_run);
         ("best_run", Float r.E.best_run);
         ("compile_seconds", Float r.E.compile_time);
+        ("compile_seconds_min", Float r.E.compile_min);
+        ("compile_seconds_median", Float r.E.compile_median);
       ]
   in
   let ours, hotspot = compile_rows in
@@ -364,6 +444,7 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
       [
         ("schema", Str "nullelim-bench/1");
         ("scale", Int scale);
+        ("repeat", Int repeat);
         ( "tables",
           Obj
             (List.map (fun (name, unit, rows) -> (name, json_of_rows ~unit rows))
@@ -429,6 +510,17 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
             ] );
         ( "bechamel_ns_per_compile",
           Obj (List.map (fun (name, est) -> (name, Float est)) bechamel) );
+        (* scale-1 deterministic dynamic counters + elimination
+           percentages (versioned nullelim-dynamic schema, the document
+           BENCH_baseline.json regresses against) *)
+        ("dynamic", PR.dynamic_json ~scale:1 dynamic);
+        ( "profiling_overhead",
+          Obj
+            [
+              ("off_seconds_per_run", Float ov_off);
+              ("on_seconds_per_run", Float ov_on);
+              ("on_over_off", Float (ov_on /. Float.max 1e-9 ov_off));
+            ] );
         (* per-pass timing/solver metrics of the reference javac compile,
            in the versioned metrics-snapshot schema (validated in CI via
            `nullelim validate-json`) *)
@@ -459,6 +551,8 @@ let () =
   figure15 t7;
   let abl = ablation () in
   let checks = check_statistics () in
+  let dynamic = dynamic_profile () in
+  let overhead = profiling_overhead () in
   let solver = solver_comparison () in
   let bech = bechamel_suite () in
   (match json_path with
@@ -473,5 +567,6 @@ let () =
           ("table7", "sec", t7);
           ("ablation", "cycles", abl);
         ]
-      ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech);
+      ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech
+      ~dynamic ~overhead);
   Fmt.pr "@.done.@."

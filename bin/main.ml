@@ -4,6 +4,7 @@
 open Nullelim
 module W = Nullelim_workloads.Workload
 module Registry = Nullelim_workloads.Registry
+module PR = Nullelim_experiments.Profile_report
 
 let arch_conv =
   let parse s =
@@ -136,16 +137,35 @@ let list_configs_cmd =
 
 (* --- run ----------------------------------------------------------- *)
 
+let profile_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Collect the per-site dynamic profile during the run and print \
+           the per-site check table, loop hotness and reconciliation \
+           status.")
+
 let run_cmd =
   let doc = "Compile and run a workload, printing counters and checksum." in
-  let run arch cfg scale trace stats name =
+  let run arch cfg scale trace stats profile name =
     let w = find_workload name in
+    if profile then Ir.reset_sites ();
     let prog = w.W.build ~scale in
+    let orig_sites = Hashtbl.create 64 in
+    if profile then
+      Hashtbl.iter
+        (fun _ f ->
+          List.iter
+            (fun s -> Hashtbl.replace orig_sites s ())
+            (Ir.sites_of_func f))
+        prog.Ir.funcs;
     (match trace with
     | Some path -> Obs.Trace.start_to_file path
     | None -> ());
+    let prof = if profile then Some (Obs.Profile.create ()) else None in
     let compiled = Compiler.compile cfg ~arch prog in
-    let r = Interp.run ~arch compiled.Compiler.program [] in
+    let r = Interp.run ?profile:prof ~arch compiled.Compiler.program [] in
     (match trace with
     | Some path ->
       ignore (Obs.Trace.stop ());
@@ -168,12 +188,35 @@ let run_cmd =
       compiled.Compiler.checks.Compiler.raw_checks;
     Fmt.pr "static implicit: %d@." compiled.Compiler.checks.Compiler.implicit_after;
     Fmt.pr "compile time   : %.4f s@." compiled.Compiler.compile_seconds;
+    (match prof with
+    | None -> ()
+    | Some p ->
+      let pr =
+        {
+          PR.pr_workload = w.W.name;
+          pr_config = cfg.Config.name;
+          pr_profile = p;
+          pr_counters = r.Interp.counters;
+          pr_decisions = compiled.Compiler.decisions;
+          pr_program = compiled.Compiler.program;
+          pr_orig_sites = orig_sites;
+        }
+      in
+      let buf = Buffer.create 4096 in
+      PR.md_site_table buf pr;
+      PR.md_hotness buf pr ~loops_top:5;
+      Fmt.pr "@.%s" (Buffer.contents buf);
+      (match PR.reconcile pr with
+      | Ok () -> Fmt.pr "profile reconciles with interpreter counters@."
+      | Error e ->
+        Fmt.epr "profile reconciliation FAILED: %s@." e;
+        exit 1));
     if stats then print_stats compiled
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
     Cmdliner.Term.(
       const run $ arch_arg $ config_arg $ scale_arg $ trace_arg $ stats_arg
-      $ workload_arg)
+      $ profile_flag $ workload_arg)
 
 (* --- dump ---------------------------------------------------------- *)
 
@@ -215,26 +258,163 @@ let verify_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "verify" ~doc)
     Cmdliner.Term.(const run $ arch_arg $ config_arg $ scale_arg $ workload_arg)
 
+(* --- profile ------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let profile_cmd =
+  let doc =
+    "Profile every registry workload under the \
+     baseline/whaley/phase1/full configurations: per-site dynamic check \
+     tables, loop hotness, and the paper-style dynamic-elimination \
+     percentages (Figures 7-8).  Every run is reconciled against the \
+     aggregate interpreter counters before anything is emitted."
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt string "PROFILE_report.md"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Markdown report output path.")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the dynamic-elimination document (versioned \
+             nullelim-dynamic schema) to $(docv).")
+  in
+  let merge_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "merge" ] ~docv:"FILE"
+          ~doc:
+            "Merge the dynamic-elimination document into an existing \
+             bench report (e.g. BENCH_results.json) under the `dynamic' \
+             key, creating the file if absent.")
+  in
+  let baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Check fresh dynamic check counts against a committed \
+             baseline document; exit 1 if any workload x config executes \
+             more dynamic null checks than recorded.")
+  in
+  let write_baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Record the fresh dynamic counts as the new baseline.")
+  in
+  let set_member name v = function
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> name) fields @ [ (name, v) ])
+    | _ -> Json.Obj [ (name, v) ]
+  in
+  let run arch scale out json_out merge baseline write_baseline =
+    let all = PR.collect_all ~scale ~arch () in
+    (* report_md reconciles every run and raises on any mismatch *)
+    let md = try PR.report_md ~scale all with Failure e ->
+      Fmt.epr "reconciliation failed: %s@." e;
+      exit 1
+    in
+    write_file out md;
+    Fmt.pr "markdown report written to %s@." out;
+    let dyn = PR.dynamic_json ~scale all in
+    (match PR.validate_dynamic dyn with
+    | Ok () -> ()
+    | Error e ->
+      Fmt.epr "internal error: dynamic document fails its own schema: %s@." e;
+      exit 1);
+    (match json_out with
+    | Some path ->
+      write_file path (Json.to_string dyn ^ "\n");
+      Fmt.pr "dynamic document written to %s@." path
+    | None -> ());
+    (match merge with
+    | Some path ->
+      let doc =
+        if Sys.file_exists path then
+          match Json.of_string (read_file path) with
+          | Ok j -> j
+          | Error e ->
+            Fmt.epr "%s: JSON parse error: %s@." path e;
+            exit 1
+        else Json.Obj [ ("schema", Json.Str "nullelim-bench/1") ]
+      in
+      write_file path (Json.to_string (set_member "dynamic" dyn doc) ^ "\n");
+      Fmt.pr "dynamic section merged into %s@." path
+    | None -> ());
+    (* summary table on stdout *)
+    Fmt.pr "@.%-18s %-22s %10s %10s %8s %8s@." "workload" "config" "explicit"
+      "implicit" "elim%" "impl%";
+    List.iter
+      (fun runs ->
+        List.iter
+          (fun (e : PR.elim_row) ->
+            Fmt.pr "%-18s %-22s %10d %10d %7.1f%% %7.1f%%@." e.PR.er_workload
+              e.PR.er_config e.PR.er_explicit e.PR.er_implicit
+              e.PR.er_pct_eliminated e.PR.er_pct_implicit)
+          (PR.elim_rows runs))
+      all;
+    (match write_baseline with
+    | Some path ->
+      write_file path (Json.to_string dyn ^ "\n");
+      Fmt.pr "@.baseline written to %s@." path
+    | None -> ());
+    match baseline with
+    | None -> ()
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | Error e ->
+        Fmt.epr "%s: JSON parse error: %s@." path e;
+        exit 1
+      | Ok b -> (
+        match PR.check_against_baseline ~baseline:b all with
+        | Ok [] -> Fmt.pr "@.baseline check: OK (no regressions, no drift)@."
+        | Ok drift ->
+          Fmt.pr "@.baseline check: OK, with drift:@.";
+          List.iter (fun d -> Fmt.pr "  %s@." d) drift
+        | Error regs ->
+          Fmt.epr "@.baseline check FAILED:@.";
+          List.iter (fun r -> Fmt.epr "  %s@." r) regs;
+          exit 1))
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "profile" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ scale_arg $ out_arg $ json_arg $ merge_arg
+      $ baseline_arg $ write_baseline_arg)
+
 (* --- validate-json ------------------------------------------------- *)
 
 let validate_json_cmd =
   let doc =
     "Validate a telemetry JSON file: a metrics snapshot (or a report \
-     embedding one under a `metrics' key) against the metrics schema, or \
-     a Chrome trace-event file for structural well-formedness."
+     embedding one under a `metrics' key), a per-site profile snapshot \
+     (or `profile' member), a dynamic-elimination document (or `dynamic' \
+     member), or a Chrome trace-event file."
   in
   let file_arg =
     Cmdliner.Arg.(
       required
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"JSON file to validate.")
-  in
-  let read_file path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
   in
   let validate_trace j =
     match Json.member "traceEvents" j with
@@ -262,19 +442,27 @@ let validate_json_cmd =
       Fmt.epr "%s: JSON parse error: %s@." path e;
       exit 1
     | Ok j -> (
-      let metrics_doc =
-        (* bench reports embed the snapshot under "metrics" *)
-        match Json.member "metrics" j with Some m -> m | None -> j
-      in
-      match Obs.Metrics.validate metrics_doc with
+      (* bench reports embed the schemas under these keys *)
+      let sub name = match Json.member name j with Some m -> m | None -> j in
+      match Obs.Metrics.validate (sub "metrics") with
       | Ok () ->
         Fmt.pr "%s: OK (metrics schema v%d)@." path Obs.Metrics.schema_version
       | Error metrics_err -> (
-        match validate_trace j with
-        | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
-        | Error _ ->
-          Fmt.epr "%s: invalid: %s@." path metrics_err;
-          exit 1))
+        match Obs.Profile.validate (sub "profile") with
+        | Ok () ->
+          Fmt.pr "%s: OK (profile schema v%d)@." path
+            Obs.Profile.schema_version
+        | Error _ -> (
+          match PR.validate_dynamic (sub "dynamic") with
+          | Ok () ->
+            Fmt.pr "%s: OK (dynamic schema v%d)@." path
+              PR.dynamic_schema_version
+          | Error _ -> (
+            match validate_trace j with
+            | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+            | Error _ ->
+              Fmt.epr "%s: invalid: %s@." path metrics_err;
+              exit 1))))
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
     Cmdliner.Term.(const run $ file_arg)
@@ -286,6 +474,6 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
           [
-            list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd;
+            list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
             validate_json_cmd;
           ]))

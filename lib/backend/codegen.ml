@@ -28,10 +28,10 @@ let base_cost (arch : Arch.t) (i : Ir.instr) : int =
     if arch.Arch.has_fp_intrinsics then 1 else 3 (* call sequence *)
   | Unop _ -> 1
   | Binop _ -> 1
-  | Null_check (Explicit, _) ->
+  | Null_check (Explicit, _, _) ->
     (* compare + branch on IA32; a single conditional trap on PowerPC *)
     if arch.Arch.cost.Arch.c_explicit_check <= 1 then 1 else 2
-  | Null_check (Implicit, _) -> 0
+  | Null_check (Implicit, _, _) -> 0
   | Bound_check _ -> 2
   | Get_field _ | Array_length _ -> 1
   | Put_field _ -> 1
@@ -60,7 +60,7 @@ let emit_func ~(arch : Arch.t) (f : Ir.func) (alloc : Regalloc.allocation) :
         (fun i ->
           machine := !machine + base_cost arch i;
           (match i with
-          | Ir.Null_check (Explicit, _) ->
+          | Ir.Null_check (Explicit, _, _) ->
             checks := !checks + base_cost arch i
           | _ -> ());
           List.iter

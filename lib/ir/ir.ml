@@ -27,6 +27,28 @@ type region = int
 
 let no_region : region = 0
 
+type site = int
+(** A provenance id for a check pseudo-instruction.  Sites are assigned
+    once, at IR-build time, and survive optimization: a check that is
+    moved, converted between explicit and implicit form, or copy-propagated
+    keeps its site, so every dynamic check execution can be attributed back
+    to the front-end instruction that introduced it.  Passes that
+    materialize genuinely new checks (phase 1 insertions, phase 2
+    compensation code, inlined copies) allocate a fresh site and record the
+    lineage in the decision log. *)
+
+let no_site : site = -1
+
+let site_counter = ref 0
+
+(** Allocate a globally fresh provenance id.  The counter is process-wide
+    and monotonic, so sites are unique across all programs built in one
+    process; ids are meaningful only as opaque keys. *)
+let fresh_site () : site =
+  let s = !site_counter in
+  incr site_counter;
+  s
+
 (** {1 Types and operands} *)
 
 type kind =
@@ -93,11 +115,11 @@ type instr =
   | Move of var * operand
   | Unop of var * unop * operand
   | Binop of var * binop * operand * operand
-  | Null_check of check_kind * var
+  | Null_check of check_kind * var * site
       (** guard: raises NullPointerException if the variable is null *)
-  | Bound_check of operand * operand
-      (** [Bound_check (index, length)]: raises an index-out-of-bounds
-          exception unless [0 <= index < length] *)
+  | Bound_check of operand * operand * site
+      (** [Bound_check (index, length, site)]: raises an
+          index-out-of-bounds exception unless [0 <= index < length] *)
   | Get_field of var * var * field    (** [dst = obj.field] *)
   | Put_field of var * field * operand(** [obj.field = src] *)
   | Array_load of var * var * operand * kind
@@ -195,8 +217,8 @@ let uses_of_instr i =
   let op = vars_of_operand in
   match i with
   | Move (_, o) | Unop (_, _, o) | Print o | New_array (_, _, o) -> op o
-  | Binop (_, _, a, b) | Bound_check (a, b) -> op a @ op b
-  | Null_check (_, v) | Array_length (_, v) -> [ v ]
+  | Binop (_, _, a, b) | Bound_check (a, b, _) -> op a @ op b
+  | Null_check (_, v, _) | Array_length (_, v) -> [ v ]
   | Get_field (_, o, _) -> [ o ]
   | Put_field (o, _, s) -> o :: op s
   | Array_load (_, a, i, _) -> a :: op i
@@ -379,6 +401,44 @@ let count_instrs pred f =
 let count_checks ?kind f =
   count_instrs
     (function
-      | Null_check (k, _) -> ( match kind with None -> true | Some k' -> k = k')
+      | Null_check (k, _, _) -> (
+        match kind with None -> true | Some k' -> k = k')
       | _ -> false)
     f
+
+(** Provenance id of a check instruction ([no_site] for non-checks). *)
+let site_of_instr = function
+  | Null_check (_, _, s) | Bound_check (_, _, s) -> s
+  | _ -> no_site
+
+(** Reset the provenance counter.  Call before building a program when
+    site ids must be reproducible across process runs (the profiler's
+    baseline depends on this); ids are only required to be unique within
+    one program. *)
+let reset_sites () = site_counter := 0
+
+(** Re-seed the provenance counter to one past the largest site in [p],
+    so that sites allocated while optimizing [p] depend only on [p] —
+    compiling the same program twice yields identical provenance. *)
+let seed_sites (p : program) =
+  let m = ref (-1) in
+  Hashtbl.iter
+    (fun _ f ->
+      Array.iter
+        (fun (b : block) ->
+          Array.iter (fun i -> m := max !m (site_of_instr i)) b.instrs)
+        f.fn_blocks)
+    p.funcs;
+  site_counter := !m + 1
+
+(** All check sites present in a function. *)
+let sites_of_func f =
+  Array.fold_left
+    (fun acc (b : block) ->
+      Array.fold_left
+        (fun acc i ->
+          match i with
+          | Null_check (_, _, s) | Bound_check (_, _, s) -> s :: acc
+          | _ -> acc)
+        acc b.instrs)
+    [] f.fn_blocks

@@ -209,38 +209,38 @@ let count_do (b : t) ~(v : Ir.var) ~(from : Ir.operand) ~(limit : Ir.operand)
 (** {1 Java-like access helpers (raw form: checks included)} *)
 
 let getfield (b : t) ~dst ~obj fld =
-  emit b (Null_check (Explicit, obj));
+  emit b (Null_check (Explicit, obj, Ir.fresh_site ()));
   emit b (Get_field (dst, obj, fld))
 
 let putfield (b : t) ~obj fld src =
-  emit b (Null_check (Explicit, obj));
+  emit b (Null_check (Explicit, obj, Ir.fresh_site ()));
   emit b (Put_field (obj, fld, src))
 
 let alen (b : t) ~dst ~arr =
-  emit b (Null_check (Explicit, arr));
+  emit b (Null_check (Explicit, arr, Ir.fresh_site ()));
   emit b (Array_length (dst, arr))
 
 (** Array read with the canonical null-check / length / bound-check
     sequence.  [kind] is the static element type. *)
 let aload (b : t) ~kind ~dst ~arr idx =
-  emit b (Null_check (Explicit, arr));
+  emit b (Null_check (Explicit, arr, Ir.fresh_site ()));
   let len = fresh b in
   emit b (Array_length (len, arr));
-  emit b (Bound_check (idx, Var len));
+  emit b (Bound_check (idx, Var len, Ir.fresh_site ()));
   emit b (Array_load (dst, arr, idx, kind))
 
 let astore (b : t) ~kind ~arr idx src =
-  emit b (Null_check (Explicit, arr));
+  emit b (Null_check (Explicit, arr, Ir.fresh_site ()));
   let len = fresh b in
   emit b (Array_length (len, arr));
-  emit b (Bound_check (idx, Var len));
+  emit b (Bound_check (idx, Var len, Ir.fresh_site ()));
   emit b (Array_store (arr, idx, src, kind))
 
 (** Virtual call; the receiver is passed as the first argument.  The
     receiver null check belongs to the dispatch sequence (method-table
     load). *)
 let vcall (b : t) ?dst ~recv mname args =
-  emit b (Null_check (Explicit, recv));
+  emit b (Null_check (Explicit, recv, Ir.fresh_site ()));
   emit b (Call (dst, Virtual mname, Var recv :: args))
 
 let scall (b : t) ?dst fname args = emit b (Call (dst, Static fname, args))

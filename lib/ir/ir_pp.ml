@@ -42,9 +42,12 @@ let pp_instr f ppf i =
   | Ir.Unop (d, op, s) -> Fmt.pf ppf "%a = %s %a" v d (unop_str op) o s
   | Ir.Binop (d, op, a, b) ->
     Fmt.pf ppf "%a = %a %s %a" v d o a (binop_str op) o b
-  | Ir.Null_check (Explicit, x) -> Fmt.pf ppf "explicit_nullcheck %a" v x
-  | Ir.Null_check (Implicit, x) -> Fmt.pf ppf "implicit_nullcheck %a" v x
-  | Ir.Bound_check (i, l) -> Fmt.pf ppf "boundcheck %a, %a" o i o l
+  | Ir.Null_check (Explicit, x, s) ->
+    Fmt.pf ppf "explicit_nullcheck %a  ; site %d" v x s
+  | Ir.Null_check (Implicit, x, s) ->
+    Fmt.pf ppf "implicit_nullcheck %a  ; site %d" v x s
+  | Ir.Bound_check (i, l, s) ->
+    Fmt.pf ppf "boundcheck %a, %a  ; site %d" o i o l s
   | Ir.Get_field (d, obj, fld) -> Fmt.pf ppf "%a = %a.%s" v d v obj fld.fname
   | Ir.Put_field (obj, fld, s) -> Fmt.pf ppf "%a.%s = %a" v obj fld.fname o s
   | Ir.Array_load (d, a, i, _) -> Fmt.pf ppf "%a = %a[%a]" v d v a o i

@@ -137,6 +137,9 @@ let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
 (** Compile a copy of [p]; the input program is left untouched. *)
 let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
   let p' = Ir.copy_program p in
+  (* provenance determinism: sites minted during optimization depend only
+     on the input program, not on what was compiled before *)
+  Ir.seed_sites p';
   let raw_e, raw_i = count_all_checks p' in
   let timings = Pipeline.new_timings () in
   let counters = Pipeline.new_counters () in

@@ -63,6 +63,13 @@ type event = {
   just : justification;
   d_explicit : int;    (** delta to the static explicit null-check count *)
   d_implicit : int;    (** delta to the static implicit null-check count *)
+  site : int;
+      (** provenance id ([Ir.site]) of the check acted on — for insertions
+          and duplications, the id of the {e new} check; -1 when unknown *)
+  parent : int;
+      (** when a fresh site was materialized from an existing check
+          (inline copy, phase-2 rematerialization), the originating site;
+          -1 otherwise *)
 }
 
 type collector = {
@@ -83,7 +90,8 @@ let set_func name =
   match !current with Some c -> c.cur_func <- name | None -> ()
 
 let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
-    ~(kind : kind) ~(action : action) ~(just : justification) () : unit =
+    ?(site = -1) ?(parent = -1) ~(kind : kind) ~(action : action)
+    ~(just : justification) () : unit =
   match !current with
   | None -> ()
   | Some c ->
@@ -99,6 +107,8 @@ let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
         just;
         d_explicit;
         d_implicit;
+        site;
+        parent;
       }
     in
     c.n <- c.n + 1;
@@ -176,6 +186,8 @@ let event_to_json (ev : event) : Obs_json.t =
       ("justification", Obs_json.Str (justification_to_string ev.just));
       ("d_explicit", Obs_json.Int ev.d_explicit);
       ("d_implicit", Obs_json.Int ev.d_implicit);
+      ("site", Obs_json.Int ev.site);
+      ("parent", Obs_json.Int ev.parent);
     ]
 
 let to_json (evs : event list) : Obs_json.t =

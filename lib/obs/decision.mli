@@ -42,6 +42,8 @@ type event = {
   just : justification;
   d_explicit : int;
   d_implicit : int;
+  site : int;    (** provenance id of the check acted on; -1 when unknown *)
+  parent : int;  (** originating site for fresh materializations; -1 otherwise *)
 }
 
 val active : unit -> bool
@@ -57,6 +59,8 @@ val record :
   ?d_implicit:int ->
   ?block:int ->
   ?var:int ->
+  ?site:int ->
+  ?parent:int ->
   kind:kind ->
   action:action ->
   just:justification ->

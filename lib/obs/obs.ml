@@ -8,6 +8,7 @@ module Log = Log
 module Trace = Trace
 module Metrics = Metrics
 module Decision = Decision
+module Profile = Profile
 
 let span = Trace.span
 let instant = Trace.instant

@@ -1,0 +1,251 @@
+(** Per-site dynamic execution profile collector.  See the interface for
+    the model.  Implementation notes: the hot paths ([hit_block],
+    [hit_check]) run once per executed block / check, so cells are
+    cached in hash tables keyed by [(func, block)] and [(site, kind)]
+    and bumped in place; everything else is event-rate (exceptions). *)
+
+type check_kind = Cexplicit | Cimplicit | Cbound
+
+type site_row = {
+  sr_site : int;
+  sr_func : string;
+  sr_kind : check_kind;
+  sr_hits : int;
+  sr_npe : int;
+  sr_traps : int;
+  sr_misses : int;
+}
+
+type block_row = {
+  br_func : string;
+  br_block : int;
+  br_count : int;
+  br_spec_reads : int;
+}
+
+type site_cell = {
+  func : string;
+  mutable hits : int;
+  mutable npe : int;
+  mutable traps : int;
+  mutable misses : int;
+}
+
+type block_cell = { mutable count : int; mutable spec_reads : int }
+
+type t = {
+  site_tbl : (int * check_kind, site_cell) Hashtbl.t;
+  block_tbl : (string * int, block_cell) Hashtbl.t;
+  mutable other : int;
+}
+
+let create () =
+  { site_tbl = Hashtbl.create 256; block_tbl = Hashtbl.create 256; other = 0 }
+
+let block_cell t ~func ~block =
+  let key = (func, block) in
+  match Hashtbl.find_opt t.block_tbl key with
+  | Some c -> c
+  | None ->
+    let c = { count = 0; spec_reads = 0 } in
+    Hashtbl.add t.block_tbl key c;
+    c
+
+let site_cell t ~func ~site ~kind =
+  let key = (site, kind) in
+  match Hashtbl.find_opt t.site_tbl key with
+  | Some c -> c
+  | None ->
+    let c = { func; hits = 0; npe = 0; traps = 0; misses = 0 } in
+    Hashtbl.add t.site_tbl key c;
+    c
+
+let hit_block t ~func ~block =
+  let c = block_cell t ~func ~block in
+  c.count <- c.count + 1
+
+let hit_check t ~func ~site ~kind =
+  let c = site_cell t ~func ~site ~kind in
+  c.hits <- c.hits + 1
+
+let record_npe t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cexplicit in
+  c.npe <- c.npe + 1
+
+let record_trap t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cimplicit in
+  c.traps <- c.traps + 1
+
+let record_miss t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cimplicit in
+  c.misses <- c.misses + 1
+
+let record_spec_read t ~func ~block =
+  let c = block_cell t ~func ~block in
+  c.spec_reads <- c.spec_reads + 1
+
+let record_other_trap t = t.other <- t.other + 1
+
+let kind_order = function Cexplicit -> 0 | Cimplicit -> 1 | Cbound -> 2
+
+let kind_to_string = function
+  | Cexplicit -> "explicit"
+  | Cimplicit -> "implicit"
+  | Cbound -> "bound"
+
+let kind_of_string = function
+  | "explicit" -> Some Cexplicit
+  | "implicit" -> Some Cimplicit
+  | "bound" -> Some Cbound
+  | _ -> None
+
+let sites t =
+  Hashtbl.fold
+    (fun (site, kind) (c : site_cell) acc ->
+      {
+        sr_site = site;
+        sr_func = c.func;
+        sr_kind = kind;
+        sr_hits = c.hits;
+        sr_npe = c.npe;
+        sr_traps = c.traps;
+        sr_misses = c.misses;
+      }
+      :: acc)
+    t.site_tbl []
+  |> List.sort (fun a b ->
+         compare
+           (a.sr_func, a.sr_site, kind_order a.sr_kind)
+           (b.sr_func, b.sr_site, kind_order b.sr_kind))
+
+let blocks t =
+  Hashtbl.fold
+    (fun (func, block) (c : block_cell) acc ->
+      {
+        br_func = func;
+        br_block = block;
+        br_count = c.count;
+        br_spec_reads = c.spec_reads;
+      }
+      :: acc)
+    t.block_tbl []
+  |> List.sort (fun a b ->
+         compare (a.br_func, a.br_block) (b.br_func, b.br_block))
+
+let other_traps t = t.other
+
+let total_hits t kind =
+  Hashtbl.fold
+    (fun (_, k) (c : site_cell) acc -> if k = kind then acc + c.hits else acc)
+    t.site_tbl 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "nullelim-profile/1"
+let schema_version = 1
+
+let to_json t : Obs_json.t =
+  let site_json (r : site_row) =
+    Obs_json.Obj
+      [
+        ("site", Obs_json.Int r.sr_site);
+        ("func", Obs_json.Str r.sr_func);
+        ("kind", Obs_json.Str (kind_to_string r.sr_kind));
+        ("hits", Obs_json.Int r.sr_hits);
+        ("npe", Obs_json.Int r.sr_npe);
+        ("traps", Obs_json.Int r.sr_traps);
+        ("misses", Obs_json.Int r.sr_misses);
+      ]
+  in
+  let block_json (r : block_row) =
+    Obs_json.Obj
+      [
+        ("func", Obs_json.Str r.br_func);
+        ("block", Obs_json.Int r.br_block);
+        ("count", Obs_json.Int r.br_count);
+        ("spec_reads", Obs_json.Int r.br_spec_reads);
+      ]
+  in
+  Obs_json.Obj
+    [
+      ("schema", Obs_json.Str schema);
+      ("schema_version", Obs_json.Int schema_version);
+      ("sites", Obs_json.List (List.map site_json (sites t)));
+      ("blocks", Obs_json.List (List.map block_json (blocks t)));
+      ("other_traps", Obs_json.Int t.other);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate (j : Obs_json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let int_field obj name =
+    match Obs_json.member name obj with
+    | Some (Obs_json.Int _) -> Ok ()
+    | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let str_field obj name =
+    match Obs_json.member name obj with
+    | Some (Obs_json.Str _) -> Ok ()
+    | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* () =
+    match Obs_json.member "schema" j with
+    | Some (Obs_json.Str s) when s = schema -> Ok ()
+    | Some (Obs_json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+    | Some _ -> Error "field \"schema\" must be a string"
+    | None -> Error "missing field \"schema\""
+  in
+  let* () =
+    match Obs_json.member "schema_version" j with
+    | Some (Obs_json.Int v) when v = schema_version -> Ok ()
+    | Some (Obs_json.Int v) ->
+      Error (Printf.sprintf "unsupported schema_version %d" v)
+    | Some _ -> Error "field \"schema_version\" must be an integer"
+    | None -> Error "missing field \"schema_version\""
+  in
+  let* () =
+    match Obs_json.member "sites" j with
+    | Some (Obs_json.List rows) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          let* () = int_field row "site" in
+          let* () = str_field row "func" in
+          let* () =
+            match Obs_json.member "kind" row with
+            | Some (Obs_json.Str k) -> (
+              match kind_of_string k with
+              | Some _ -> Ok ()
+              | None -> Error (Printf.sprintf "unknown check kind %S" k))
+            | _ -> Error "site row: field \"kind\" must be a string"
+          in
+          let* () = int_field row "hits" in
+          let* () = int_field row "npe" in
+          let* () = int_field row "traps" in
+          int_field row "misses")
+        (Ok ()) rows
+    | Some _ -> Error "field \"sites\" must be a list"
+    | None -> Error "missing field \"sites\""
+  in
+  let* () =
+    match Obs_json.member "blocks" j with
+    | Some (Obs_json.List rows) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          let* () = str_field row "func" in
+          let* () = int_field row "block" in
+          let* () = int_field row "count" in
+          int_field row "spec_reads")
+        (Ok ()) rows
+    | Some _ -> Error "field \"blocks\" must be a list"
+    | None -> Error "missing field \"blocks\""
+  in
+  int_field j "other_traps"

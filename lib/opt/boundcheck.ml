@@ -46,7 +46,7 @@ let collect_pairs (f : Ir.func) : (Ir.operand * Ir.operand) array =
       Array.iter
         (fun i ->
           match i with
-          | Ir.Bound_check (x, y) ->
+          | Ir.Bound_check (x, y, _) ->
             if not (Hashtbl.mem tbl (x, y)) then begin
               Hashtbl.replace tbl (x, y) (Hashtbl.length tbl);
               order := (x, y) :: !order
@@ -85,7 +85,7 @@ let eliminate_redundant_ctx (ctx : Context.t) : int =
           (Option.value ~default:[] (Hashtbl.find_opt by_var d))
       | None -> ());
       match i with
-      | Ir.Bound_check (x, y) ->
+      | Ir.Bound_check (x, y, _) ->
         Bitset.add_mut s (Hashtbl.find index (x, y))
       | _ -> ()
     in
@@ -108,13 +108,14 @@ let eliminate_redundant_ctx (ctx : Context.t) : int =
           (fun i ->
             let drop =
               match i with
-              | Ir.Bound_check (x, y) ->
+              | Ir.Bound_check (x, y, _) ->
                 Bitset.mem (Hashtbl.find index (x, y)) s
               | _ -> false
             in
             if drop then begin
               incr removed;
-              Decision.record ~block:l ~kind:Decision.Kbound
+              Decision.record ~block:l ~site:(Ir.site_of_instr i)
+                ~kind:Decision.Kbound
                 ~action:Decision.Eliminated_redundant
                 ~just:Decision.Available_on_entry ()
             end
@@ -181,7 +182,7 @@ let hoist_loop_invariant_ctx (ctx : Context.t) : int =
               (fun k i ->
                 if !found = None && not !blocked then begin
                   (match i with
-                  | Ir.Bound_check (x, y)
+                  | Ir.Bound_check (x, y, _)
                     when operand_invariant defs_in_loop x
                          && operand_invariant defs_in_loop y ->
                     found := Some (k, i)
@@ -207,8 +208,8 @@ let hoist_loop_invariant_ctx (ctx : Context.t) : int =
               Opt_util.set_instrs f l.header (List.rev !keep);
               Opt_util.append_instrs f ph [ check ];
               if Ir.nblocks f <> Cfg.nblocks cfg then Context.invalidate ctx;
-              Decision.record ~block:l.header ~kind:Decision.Kbound
-                ~action:Decision.Moved_backward
+              Decision.record ~block:l.header ~site:(Ir.site_of_instr check)
+                ~kind:Decision.Kbound ~action:Decision.Moved_backward
                 ~just:Decision.Invariant_in_loop ();
               incr hoisted;
               continue_ := true

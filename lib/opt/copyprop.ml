@@ -41,8 +41,8 @@ let run (f : Ir.func) : int =
         | Move (d, s) -> Move (d, subst_op s)
         | Unop (d, u, s) -> Unop (d, u, subst_op s)
         | Binop (d, op, a, b) -> Binop (d, op, subst_op a, subst_op b)
-        | Null_check (k, v) -> Null_check (k, subst_var v)
-        | Bound_check (a, b) -> Bound_check (subst_op a, subst_op b)
+        | Null_check (k, v, s) -> Null_check (k, subst_var v, s)
+        | Bound_check (a, b, s) -> Bound_check (subst_op a, subst_op b, s)
         | Get_field (d, o, fld) -> Get_field (d, subst_var o, fld)
         | Put_field (o, fld, s) -> Put_field (subst_var o, fld, subst_op s)
         | Array_load (d, a, idx, k) -> Array_load (d, subst_var a, subst_op idx, k)

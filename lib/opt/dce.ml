@@ -60,7 +60,7 @@ let run ?(keep_derefs = false) (f : Ir.func) : int =
           k > 0
           &&
           match (instrs.(k - 1), Ir.deref_site i) with
-          | Ir.Null_check (Implicit, v), Some (base, _, _) -> v = base
+          | Ir.Null_check (Implicit, v, _), Some (base, _, _) -> v = base
           | _ -> false
         in
         let dead =

@@ -126,8 +126,12 @@ let inline_site (f : Ir.func) l k (callee : Ir.func) (d : Ir.var option)
     | Unop (x, u, o) -> Unop (remap_var x, u, remap_operand o)
     | Binop (x, op, a, b) ->
       Binop (remap_var x, op, remap_operand a, remap_operand b)
-    | Null_check (ck, v) -> Null_check (ck, remap_var v)
-    | Bound_check (a, b) -> Bound_check (remap_operand a, remap_operand b)
+    | Null_check (ck, v, _) ->
+      (* a fresh provenance id per copy: the callee's check stays in the
+         program with its own site; the Duplicated event links the two *)
+      Null_check (ck, remap_var v, Ir.fresh_site ())
+    | Bound_check (a, b, _) ->
+      Bound_check (remap_operand a, remap_operand b, Ir.fresh_site ())
     | Get_field (x, o, fld) -> Get_field (remap_var x, remap_var o, fld)
     | Put_field (o, fld, s) -> Put_field (remap_var o, fld, remap_operand s)
     | Array_load (x, a, idx, kd) ->
@@ -163,22 +167,26 @@ let inline_site (f : Ir.func) l k (callee : Ir.func) (d : Ir.var option)
            the callee itself stays in the program: each copy is a +1 the
            decision log must account for *)
         if Decision.active () then
-          Array.iter
-            (fun i ->
+          Array.iteri
+            (fun idx i ->
+              (* [instrs] is a positional remap of [cb.instrs], so the
+                 original instruction at the same index supplies the
+                 parent site of each duplicated check *)
+              let parent = Ir.site_of_instr cb.instrs.(idx) in
               match i with
-              | Ir.Null_check (ck, v) ->
+              | Ir.Null_check (ck, v, s) ->
                 let kind, d_explicit, d_implicit =
                   match ck with
                   | Ir.Explicit -> (Decision.Kexplicit, 1, 0)
                   | Ir.Implicit -> (Decision.Kimplicit, 0, 1)
                 in
                 Decision.record ~d_explicit ~d_implicit
-                  ~block:(remap_label cl) ~var:v ~kind
+                  ~block:(remap_label cl) ~var:v ~site:s ~parent ~kind
                   ~action:Decision.Duplicated
                   ~just:(Decision.Inline_copy callee.Ir.fn_name) ()
-              | Ir.Bound_check _ ->
-                Decision.record ~block:(remap_label cl) ~kind:Decision.Kbound
-                  ~action:Decision.Duplicated
+              | Ir.Bound_check (_, _, s) ->
+                Decision.record ~block:(remap_label cl) ~site:s ~parent
+                  ~kind:Decision.Kbound ~action:Decision.Duplicated
                   ~just:(Decision.Inline_copy callee.Ir.fn_name) ()
               | _ -> ())
             instrs;

@@ -21,12 +21,16 @@ let run ~(arch : Arch.t) (f : Ir.func) : int =
     (fun l (b : Ir.block) ->
       let instrs = b.instrs in
       let n = Array.length instrs in
-      (* For each explicit check, find the dereference that can subsume it. *)
+      (* For each explicit check, find the dereference that can subsume it.
+         [implicit_before.(j)] holds the provenance site of the implicit
+         check to insert before instruction [j] ([Ir.no_site] when none):
+         the converted check keeps the site of the first explicit check
+         the dereference subsumed. *)
       let drop = Array.make n false in
-      let implicit_before = Array.make n false in
+      let implicit_before = Array.make n Ir.no_site in
       for k = 0 to n - 1 do
         match instrs.(k) with
-        | Ir.Null_check (Explicit, v) ->
+        | Ir.Null_check (Explicit, v, s) ->
           let rec scan j =
             if j >= n then ()
             else begin
@@ -42,15 +46,15 @@ let run ~(arch : Arch.t) (f : Ir.func) : int =
                   | Some (_, off, _) -> off
                   | None -> None
                 in
-                if implicit_before.(j) then
-                  Decision.record ~d_explicit:(-1) ~block:l ~var:v
+                if implicit_before.(j) <> Ir.no_site then
+                  Decision.record ~d_explicit:(-1) ~block:l ~var:v ~site:s
                     ~kind:Decision.Kexplicit
                     ~action:Decision.Eliminated_redundant
                     ~just:(Decision.Trap_covered off) ()
                 else begin
-                  implicit_before.(j) <- true;
+                  implicit_before.(j) <- s;
                   Decision.record ~d_explicit:(-1) ~d_implicit:1 ~block:l
-                    ~var:v ~kind:Decision.Kimplicit
+                    ~var:v ~site:s ~kind:Decision.Kimplicit
                     ~action:Decision.Converted_implicit
                     ~just:(Decision.Trap_covered off) ()
                 end
@@ -72,9 +76,11 @@ let run ~(arch : Arch.t) (f : Ir.func) : int =
       let out = ref [] in
       for k = n - 1 downto 0 do
         if not drop.(k) then out := instrs.(k) :: !out;
-        if implicit_before.(k) then begin
+        if implicit_before.(k) <> Ir.no_site then begin
           match Ir.deref_site instrs.(k) with
-          | Some (base, _, _) -> out := Ir.Null_check (Implicit, base) :: !out
+          | Some (base, _, _) ->
+            out :=
+              Ir.Null_check (Implicit, base, implicit_before.(k)) :: !out
           | None -> assert false
         end
       done;

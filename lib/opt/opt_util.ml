@@ -51,17 +51,17 @@ let remove_unreachable ?(log = false) (f : Ir.func) : unit =
             Array.iter
               (fun i ->
                 match i with
-                | Ir.Null_check (ck, v) ->
+                | Ir.Null_check (ck, v, s) ->
                   let kind, d_explicit, d_implicit =
                     match ck with
                     | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
                     | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
                   in
                   Decision.record ~d_explicit ~d_implicit ~block:l ~var:v
-                    ~kind ~action:Decision.Dropped_unreachable
+                    ~site:s ~kind ~action:Decision.Dropped_unreachable
                     ~just:Decision.Unreachable_code ()
-                | Ir.Bound_check _ ->
-                  Decision.record ~block:l ~kind:Decision.Kbound
+                | Ir.Bound_check (_, _, s) ->
+                  Decision.record ~block:l ~site:s ~kind:Decision.Kbound
                     ~action:Decision.Dropped_unreachable
                     ~just:Decision.Unreachable_code ()
                 | _ -> ())

@@ -60,7 +60,7 @@ let gen_kill_bwd (f : Ir.func) (l : Ir.label) : Bitset.t * Bitset.t =
   Array.iter
     (fun i ->
       (match i with
-      | Ir.Null_check (_, v) ->
+      | Ir.Null_check (_, v, _) ->
         if (not !blocked) && not (Bitset.mem v killed) then
           Bitset.add_mut gen v
       | _ -> ());
@@ -134,25 +134,27 @@ let run (f : Ir.func) : int * int =
       let keep = ref [] in
       Nullness.iter_block nullness l (fun facts _idx i ->
           match i with
-          | Ir.Null_check (ck, v) when Bitset.mem v facts ->
+          | Ir.Null_check (ck, v, s) when Bitset.mem v facts ->
             incr eliminated;
             let kind, d_explicit, d_implicit =
               match ck with
               | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
               | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
             in
-            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
-              ~action:Decision.Eliminated_redundant
+            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~site:s
+              ~kind ~action:Decision.Eliminated_redundant
               ~just:Decision.Nonnull_dominating ()
           | _ -> keep := i :: !keep);
       (* Earliest(l) minus what is already available at the exit of l. *)
       let to_insert = Bitset.diff earliest.(l) (Nullness.at_exit nullness l) in
       Bitset.iter
         (fun v ->
-          keep := Ir.Null_check (Explicit, v) :: !keep;
+          let s = Ir.fresh_site () in
+          keep := Ir.Null_check (Explicit, v, s) :: !keep;
           incr inserted;
-          Decision.record ~d_explicit:1 ~block:l ~var:v ~kind:Decision.Kexplicit
-            ~action:Decision.Moved_backward ~just:Decision.Insertion_earliest ())
+          Decision.record ~d_explicit:1 ~block:l ~var:v ~site:s
+            ~kind:Decision.Kexplicit ~action:Decision.Moved_backward
+            ~just:Decision.Insertion_earliest ())
         to_insert;
       Opt_util.set_instrs f l (List.rev !keep)
     end

@@ -62,9 +62,16 @@ type stats = {
     produces the rewritten instruction list through it.  [log] records
     decision-log events and must be set only on the rewriting walk — the
     same function serves as the data-flow transfer, which must stay
-    silent or every check would be logged once per solver visit. *)
+    silent or every check would be logged once per solver visit.
+
+    [site_of] supplies the provenance id for a check rematerialized on a
+    floating variable.  The floating set is a bit-vector over variables,
+    so site identity is carried on the side: the rewriting walk passes a
+    function-level representative map (see {!run}); the transfer walk
+    never emits and may use the default. *)
 let walk_block ~arch (f : Ir.func) (l : Ir.label)
-    ~(floating : Bitset.t) ?emit ?stats ?(log = false) () : unit =
+    ~(floating : Bitset.t) ?emit ?stats ?(log = false)
+    ?(site_of = fun (_ : Ir.var) -> Ir.no_site) () : unit =
   let emit i = match emit with Some e -> e i | None -> () in
   let count_impl () =
     match stats with Some s -> s.made_implicit <- s.made_implicit + 1 | None -> ()
@@ -72,27 +79,27 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
   let count_expl () =
     match stats with Some s -> s.made_explicit <- s.made_explicit + 1 | None -> ()
   in
-  let log_pickup ck v =
+  let log_pickup ck v s =
     if log then
       let kind, d_explicit, d_implicit =
         match ck with
         | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
         | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
       in
-      Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
+      Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~site:s ~kind
         ~action:Decision.Moved_forward ~just:Decision.Floated ()
   in
-  let log_explicit v just =
+  let log_explicit v s just =
     if log then
-      Decision.record ~d_explicit:1 ~block:l ~var:v ~kind:Decision.Kexplicit
-        ~action:Decision.Moved_forward ~just ()
+      Decision.record ~d_explicit:1 ~block:l ~var:v ~site:s
+        ~kind:Decision.Kexplicit ~action:Decision.Moved_forward ~just ()
   in
   Array.iter
     (fun i ->
       match i with
-      | Ir.Null_check (ck, v) ->
+      | Ir.Null_check (ck, v, s) ->
         (* the check is picked up and floats; the instruction is dropped *)
-        log_pickup ck v;
+        log_pickup ck v s;
         Bitset.add_mut floating v
       | _ ->
         (* 1. dereference of a floating variable consumes its check:
@@ -112,9 +119,9 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
         if Opt_util.barrier f l i then begin
           Bitset.iter
             (fun v ->
-              emit (Ir.Null_check (Explicit, v));
+              emit (Ir.Null_check (Explicit, v, site_of v));
               count_expl ();
-              log_explicit v Decision.Side_effect_barrier)
+              log_explicit v (site_of v) Decision.Side_effect_barrier)
             floating;
           Bitset.clear_mut floating
         end
@@ -122,24 +129,25 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
           (* 3. overwrite of a floating variable *)
           match Ir.def_of_instr i with
           | Some d when Bitset.mem d floating ->
-            emit (Ir.Null_check (Explicit, d));
+            emit (Ir.Null_check (Explicit, d, site_of d));
             count_expl ();
-            log_explicit d Decision.Overwritten;
+            log_explicit d (site_of d) Decision.Overwritten;
             Bitset.remove_mut floating d
           | Some _ | None -> ()
         end;
         (match pending with
         | Some (base, off, true) ->
-          emit (Ir.Null_check (Implicit, base));
+          emit (Ir.Null_check (Implicit, base, site_of base));
           count_impl ();
           if log then
             Decision.record ~d_implicit:1 ~block:l ~var:base
-              ~kind:Decision.Kimplicit ~action:Decision.Converted_implicit
+              ~site:(site_of base) ~kind:Decision.Kimplicit
+              ~action:Decision.Converted_implicit
               ~just:(Decision.Trap_covered off) ()
         | Some (base, _, false) ->
-          emit (Ir.Null_check (Explicit, base));
+          emit (Ir.Null_check (Explicit, base, site_of base));
           count_expl ();
-          log_explicit base Decision.Trap_not_covered
+          log_explicit base (site_of base) Decision.Trap_not_covered
         | None -> ());
         emit i)
     (Ir.block f l).instrs
@@ -184,7 +192,7 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
         (* cover first: a covering instruction may itself be a barrier
            (e.g. a field store), but it covers checks above it *)
         (match i with
-        | Ir.Null_check (_, v) ->
+        | Ir.Null_check (_, v, _) ->
           if (not !blocked) && not (Bitset.mem v killed) then
             Bitset.add_mut gen v
         | _ -> (
@@ -233,9 +241,9 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
         let i = instrs.(k) in
         let deleted =
           match i with
-          | Ir.Null_check (Explicit, v) when Bitset.mem v sub ->
+          | Ir.Null_check (Explicit, v, s) when Bitset.mem v sub ->
             stats.eliminated <- stats.eliminated + 1;
-            Decision.record ~d_explicit:(-1) ~block:l ~var:v
+            Decision.record ~d_explicit:(-1) ~block:l ~var:v ~site:s
               ~kind:Decision.Kexplicit ~action:Decision.Substituted
               ~just:Decision.Covered_later ();
             true
@@ -248,7 +256,7 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
         | Some d -> Bitset.remove_mut sub d
         | None -> ());
         match i with
-        | Ir.Null_check (_, v) -> if not deleted then Bitset.add_mut sub v
+        | Ir.Null_check (_, v, _) -> if not deleted then Bitset.add_mut sub v
         | _ -> (
           match Ir.deref_site i with
           | Some (base, _, _) when Arch.instr_traps_for arch i base ->
@@ -269,13 +277,34 @@ let run ~(arch : Arch.t) (f : Ir.func) : stats =
   let ctx = Context.make f in
   let cfg = Context.cfg ctx in
   let r = analyse ~arch cfg in
+  (* Provenance: the floating set is keyed by variable, so rematerialized
+     checks recover their site from a per-function representative map —
+     the first check on each variable in the pre-rewrite program.  When
+     several checks on one variable merge in flight, the representative
+     stands for all of them; a site may correspondingly reappear on more
+     than one path, which keeps attribution sound (each copy descends
+     from that original check). *)
+  let site_map : (Ir.var, Ir.site) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | Ir.Null_check (_, v, s) ->
+            if not (Hashtbl.mem site_map v) then Hashtbl.add site_map v s
+          | _ -> ())
+        b.instrs)
+    f.fn_blocks;
+  let site_of v =
+    match Hashtbl.find_opt site_map v with Some s -> s | None -> Ir.no_site
+  in
   let nblocks = Ir.nblocks f in
   for l = 0 to nblocks - 1 do
     if Cfg.is_reachable cfg l then begin
       let acc = ref [] in
       let emit i = acc := i :: !acc in
       let floating = Bitset.copy r.Solver.inb.(l) in
-      walk_block ~arch f l ~floating ~emit ~stats ~log:true ();
+      walk_block ~arch f l ~floating ~emit ~stats ~log:true ~site_of ();
       (* materialize checks that not every successor accepts *)
       let succs = Cfg.succs cfg l in
       Bitset.iter
@@ -285,9 +314,9 @@ let run ~(arch : Arch.t) (f : Ir.func) : stats =
             && List.for_all (fun s -> Bitset.mem v r.Solver.inb.(s)) succs
           in
           if not continues then begin
-            emit (Ir.Null_check (Explicit, v));
+            emit (Ir.Null_check (Explicit, v, site_of v));
             stats.made_explicit <- stats.made_explicit + 1;
-            Decision.record ~d_explicit:1 ~block:l ~var:v
+            Decision.record ~d_explicit:1 ~block:l ~var:v ~site:(site_of v)
               ~kind:Decision.Kexplicit ~action:Decision.Moved_forward
               ~just:Decision.Not_anticipated ()
           end)

@@ -95,7 +95,8 @@ let bounds_proven (f : Ir.func) ph ~arr ~idx =
         if j >= n then ()
         else
           match instrs.(j) with
-          | Ir.Bound_check (x, Ir.Var l2) when x = idx && l2 = len -> ok := true
+          | Ir.Bound_check (x, Ir.Var l2, _) when x = idx && l2 = len ->
+            ok := true
           | i ->
             (match Ir.def_of_instr i with
             | Some d when d = len || List.mem d (Ir.vars_of_operand idx) -> ()

@@ -32,7 +32,7 @@ let verify_func ~(arch : Arch.t) (f : Ir.func) : violation list =
       Array.iteri
         (fun k i ->
           match i with
-          | Ir.Null_check (Implicit, v) ->
+          | Ir.Null_check (Implicit, v, _) ->
             if k + 1 >= Array.length b.instrs then
               bad l k "implicit null check at block end (no exception site)"
             else begin

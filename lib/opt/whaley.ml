@@ -33,7 +33,7 @@ let run (f : Ir.func) : int =
       let dropped = ref false in
       Nullness.iter_block nullness l (fun facts _idx i ->
           match i with
-          | Ir.Null_check (ck, v) when Bitset.mem v facts ->
+          | Ir.Null_check (ck, v, s) when Bitset.mem v facts ->
             incr removed;
             dropped := true;
             let kind, d_explicit, d_implicit =
@@ -41,8 +41,8 @@ let run (f : Ir.func) : int =
               | Ir.Explicit -> (Decision.Kexplicit, -1, 0)
               | Ir.Implicit -> (Decision.Kimplicit, 0, -1)
             in
-            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~kind
-              ~action:Decision.Eliminated_redundant
+            Decision.record ~d_explicit ~d_implicit ~block:l ~var:v ~site:s
+              ~kind ~action:Decision.Eliminated_redundant
               ~just:Decision.Nonnull_dominating ()
           | _ -> keep := i :: !keep);
       if !dropped then Opt_util.set_instrs f l (List.rev !keep)

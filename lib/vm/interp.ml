@@ -28,6 +28,7 @@ module Arch = Nullelim_arch.Arch
 module Trace = Nullelim_obs.Trace
 module Metrics = Nullelim_obs.Metrics
 module Log = Nullelim_obs.Log
+module Profile = Nullelim_obs.Profile
 open Value
 
 type event = Eprint of string | Ecaught of Ir.exn_kind
@@ -73,6 +74,10 @@ type state = {
   mutable fuel : int;
   mutable trace_rev : event list;
   mutable depth : int;
+  profile : Profile.t option;
+      (** per-site/per-block collection; [None] keeps every hook down to
+          one option match so disabled profiling costs nothing
+          measurable *)
 }
 
 let record st e = st.trace_rev <- e :: st.trace_rev
@@ -111,21 +116,42 @@ let eval vars = function
 (** Handle a dereference through a null pointer: hardware trap (NPE) or a
     silent zero-page access. [prev] is the instruction preceding the
     access in its block, used to classify a miss as an implicit-check
-    soundness violation. *)
-let null_deref st ~(prev : Ir.instr option) ~(base : Ir.var) ~offset ~access :
-    value =
+    soundness violation and to attribute the event to the implicit
+    check's provenance site.  [fname]/[blk] locate the access for the
+    profile. *)
+let null_deref st ~fname ~blk ~(prev : Ir.instr option) ~(base : Ir.var)
+    ~offset ~access : value =
+  (* the site of the implicit check guarding this access, if any *)
+  let guard_site =
+    match prev with
+    | Some (Ir.Null_check (Implicit, v, s)) when v = base -> Some s
+    | _ -> None
+  in
   if Arch.trap_covers st.arch ~offset:(Some offset) ~access then begin
     st.c.npe_trap <- st.c.npe_trap + 1;
+    (match st.profile with
+    | Some p -> (
+      match guard_site with
+      | Some s -> Profile.record_trap p ~func:fname ~site:s
+      | None -> Profile.record_other_trap p)
+    | None -> ());
     raise (Jexn Ir.Npe)
   end
   else begin
-    (match prev with
-    | Some (Ir.Null_check (Implicit, v)) when v = base ->
+    (match guard_site with
+    | Some s ->
       st.c.implicit_miss <- st.c.implicit_miss + 1;
+      (match st.profile with
+      | Some p -> Profile.record_miss p ~func:fname ~site:s
+      | None -> ());
       Log.debug
         "implicit check missed: null deref of v%d at offset %d not trapped"
         base offset
-    | _ -> st.c.spec_null_reads <- st.c.spec_null_reads + 1);
+    | None ->
+      st.c.spec_null_reads <- st.c.spec_null_reads + 1;
+      (match st.profile with
+      | Some p -> Profile.record_spec_read p ~func:fname ~block:blk
+      | None -> ()));
     Value.null_page_garbage
   end
 
@@ -167,7 +193,7 @@ let rec exec_func st (f : Ir.func) (args : value list) : value option =
   let rec run l =
     let b = Ir.block f l in
     let next =
-      try `Flow (exec_block st f vars b)
+      try `Flow (exec_block st f vars l b)
       with Jexn k -> (
         match Ir.handler_of f b.breg with
         | Some h ->
@@ -183,12 +209,16 @@ let rec exec_func st (f : Ir.func) (args : value list) : value option =
   st.depth <- st.depth - 1;
   r
 
-and exec_block st f vars (b : Ir.block) : [ `Jump of Ir.label | `Return of value option ] =
+and exec_block st f vars (l : Ir.label) (b : Ir.block) :
+    [ `Jump of Ir.label | `Return of value option ] =
   let cost = st.arch.cost in
+  (match st.profile with
+  | Some p -> Profile.hit_block p ~func:f.Ir.fn_name ~block:l
+  | None -> ());
   let prev = ref None in
   Array.iter
     (fun i ->
-      exec_instr st f vars ~prev:!prev i;
+      exec_instr st f vars ~blk:l ~prev:!prev i;
       prev := Some i)
     b.instrs;
   tick st;
@@ -210,8 +240,9 @@ and exec_block st f vars (b : Ir.block) : [ `Jump of Ir.label | `Return of value
     `Return (Some (eval vars o))
   | Throw s -> raise (Jexn (User s))
 
-and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
+and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
   let cost = st.arch.cost in
+  let fname = f.Ir.fn_name in
   tick st;
   match i with
   | Move (d, o) ->
@@ -260,21 +291,33 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
     | Icmp c | Fcmp c ->
       charge st cost.c_alu;
       vars.(d) <- Vint (if cmp_values c va vb then 1 else 0))
-  | Null_check (Explicit, v) -> (
+  | Null_check (Explicit, v, s) -> (
     charge st cost.c_explicit_check;
     st.c.explicit_checks <- st.c.explicit_checks + 1;
+    (match st.profile with
+    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cexplicit
+    | None -> ());
     match as_ref vars.(v) with
     | Null ->
       st.c.npe_explicit <- st.c.npe_explicit + 1;
+      (match st.profile with
+      | Some p -> Profile.record_npe p ~func:fname ~site:s
+      | None -> ());
       raise (Jexn Npe)
     | Obj _ | Arr _ -> ())
-  | Null_check (Implicit, v) ->
+  | Null_check (Implicit, v, s) ->
     (* free: the following instruction is the exception site *)
     st.c.implicit_checks <- st.c.implicit_checks + 1;
+    (match st.profile with
+    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cimplicit
+    | None -> ());
     ignore (as_ref vars.(v))
-  | Bound_check (io, lo) ->
+  | Bound_check (io, lo, s) ->
     charge st cost.c_bound_check;
     st.c.bound_checks <- st.c.bound_checks + 1;
+    (match st.profile with
+    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cbound
+    | None -> ());
     let idx = as_int (eval vars io) and len = as_int (eval vars lo) in
     if idx < 0 || idx >= len then raise (Jexn Oob)
   | Get_field (d, o, fld) -> (
@@ -287,7 +330,8 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
       | None -> raise (Sim ("field " ^ fld.fname ^ " missing from object")))
     | Null ->
       vars.(d) <-
-        null_deref st ~prev ~base:o ~offset:fld.foffset ~access:Arch.Read
+        null_deref st ~fname ~blk ~prev ~base:o ~offset:fld.foffset
+          ~access:Arch.Read
     | Arr _ -> raise (Sim "field access on array"))
   | Put_field (o, fld, s) -> (
     charge st cost.c_store;
@@ -297,7 +341,8 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
     | Obj obj -> Hashtbl.replace obj.o_slots fld.foffset v
     | Null ->
       ignore
-        (null_deref st ~prev ~base:o ~offset:fld.foffset ~access:Arch.Write)
+        (null_deref st ~fname ~blk ~prev ~base:o ~offset:fld.foffset
+           ~access:Arch.Write)
     | Arr _ -> raise (Sim "field store on array"))
   | Array_load (d, a, io, k) -> (
     charge st cost.c_load;
@@ -311,7 +356,8 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
       else vars.(d) <- arr.a_elems.(idx)
     | Null ->
       let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
-      vars.(d) <- null_deref st ~prev ~base:a ~offset ~access:Arch.Read
+      vars.(d) <-
+        null_deref st ~fname ~blk ~prev ~base:a ~offset ~access:Arch.Read
     | Obj _ -> raise (Sim "array read on object"))
   | Array_store (a, io, s, k) -> (
     charge st cost.c_store;
@@ -326,7 +372,8 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
       else arr.a_elems.(idx) <- v
     | Null ->
       let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
-      ignore (null_deref st ~prev ~base:a ~offset ~access:Arch.Write)
+      ignore
+        (null_deref st ~fname ~blk ~prev ~base:a ~offset ~access:Arch.Write)
     | Obj _ -> raise (Sim "array write on object"))
   | Array_length (d, a) -> (
     charge st cost.c_load;
@@ -335,8 +382,8 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
     | Arr arr -> vars.(d) <- Vint (Array.length arr.a_elems)
     | Null ->
       vars.(d) <-
-        null_deref st ~prev ~base:a ~offset:Ir.array_length_offset
-          ~access:Arch.Read
+        null_deref st ~fname ~blk ~prev ~base:a
+          ~offset:Ir.array_length_offset ~access:Arch.Read
     | Obj _ -> raise (Sim "arraylength on object"))
   | New_object (d, cname) ->
     charge st cost.c_alloc;
@@ -361,10 +408,13 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
           | Some fn -> fn
           | None -> raise (Sim ("no method " ^ mname ^ " on " ^ o.o_cls.cname)))
         | Vref Null :: _ ->
-          (* method-table load through null *)
+          (* method-table load through null: a trap with no check site *)
           if Arch.trap_covers st.arch ~offset:(Some 0) ~access:Arch.Read
           then begin
             st.c.npe_trap <- st.c.npe_trap + 1;
+            (match st.profile with
+            | Some p -> Profile.record_other_trap p
+            | None -> ());
             raise (Jexn Npe)
           end
           else raise (Sim "virtual dispatch through null without trap")
@@ -394,9 +444,26 @@ and exec_instr st _f vars ~prev (i : Ir.instr) : unit =
     record st (Eprint (Fmt.str "%a" Value.pp v))
 
 (** Dump a run's dynamic counters into a metrics registry as
-    [interp_*]-prefixed counters. *)
-let record_metrics (m : Metrics.t) (c : counters) : unit =
-  let add name v = Metrics.inc (Metrics.counter m ("interp_" ^ name)) v in
+    [interp_*]-prefixed counters.  Each run must be distinguishable in
+    the registry: pass [~run] to label the counters with the run's name
+    (repeated runs with distinct labels accumulate side by side, and
+    identical labels accumulate into one series, both explicitly
+    chosen).  Without a label, a second dump into a registry that
+    already holds unlabeled [interp_*] counters would silently merge two
+    unrelated runs — that case is rejected. *)
+let record_metrics ?run (m : Metrics.t) (c : counters) : unit =
+  let labels =
+    match run with Some r -> [ ("run", r) ] | None -> []
+  in
+  (if run = None
+   && Metrics.counter_value (Metrics.counter m "interp_instrs") <> 0
+  then
+     invalid_arg
+       "Interp.record_metrics: registry already holds unlabeled interp_* \
+        counters; pass ~run to distinguish repeated runs");
+  let add name v =
+    Metrics.inc (Metrics.counter m ~labels ("interp_" ^ name)) v
+  in
   add "instrs" c.instrs;
   add "cycles" c.cycles;
   add "explicit_checks" c.explicit_checks;
@@ -412,10 +479,18 @@ let record_metrics (m : Metrics.t) (c : counters) : unit =
   add "spec_null_reads" c.spec_null_reads
 
 (** Run a program's main function. *)
-let run ?(fuel = 400_000_000) ?metrics ~(arch : Arch.t) (p : Ir.program)
-    (args : value list) : result =
+let run ?(fuel = 400_000_000) ?metrics ?profile ~(arch : Arch.t)
+    (p : Ir.program) (args : value list) : result =
   let st =
-    { prog = p; arch; c = new_counters (); fuel; trace_rev = []; depth = 0 }
+    {
+      prog = p;
+      arch;
+      c = new_counters ();
+      fuel;
+      trace_rev = [];
+      depth = 0;
+      profile;
+    }
   in
   let execute () =
     try Returned (exec_func st (Ir.find_func p p.prog_main) args)

@@ -44,17 +44,24 @@ type result = { outcome : outcome; trace : event list; counters : counters }
 val run :
   ?fuel:int ->
   ?metrics:Nullelim_obs.Metrics.t ->
+  ?profile:Nullelim_obs.Profile.t ->
   arch:Arch.t ->
   Ir.program ->
   Value.value list ->
   result
 (** Run the program's main function on the given arguments.  With
     [metrics], the dynamic counters are also recorded into the registry
-    as [interp_*] counters; when tracing is active the whole run is one
-    span. *)
+    as [interp_*] counters; with [profile], per-block execution counts
+    and per-check-site dynamic hits are collected into the given
+    collector (when absent, every profiling hook reduces to one option
+    match — no measurable slowdown); when tracing is active the whole
+    run is one span. *)
 
-val record_metrics : Nullelim_obs.Metrics.t -> counters -> unit
-(** Dump dynamic counters into a registry ([interp_*] counters). *)
+val record_metrics : ?run:string -> Nullelim_obs.Metrics.t -> counters -> unit
+(** Dump dynamic counters into a registry ([interp_*] counters), labeled
+    with [("run", run)] when given.  @raise Invalid_argument when called
+    without [~run] on a registry that already holds unlabeled [interp_*]
+    counters — silently merging two runs' counters was a bug. *)
 
 val equivalent : result -> result -> bool
 (** Observable equivalence: same trace of prints and caught exceptions,

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Re-record the dynamic null-check baseline (BENCH_baseline.json).
+#
+# Run after an intentional optimizer change shifts the deterministic
+# dynamic check counts; commit the refreshed file with the change that
+# caused it.  CI fails when a workload x config executes more dynamic
+# null checks than this file records.
+set -e
+cd "$(dirname "$0")/.."
+dune exec bin/main.exe -- profile \
+  --out PROFILE_report.md \
+  --write-baseline BENCH_baseline.json
+echo "refreshed BENCH_baseline.json and PROFILE_report.md"

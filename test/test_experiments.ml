@@ -106,8 +106,8 @@ let test_compile_breakdown () =
 
 (* Table 3: the HotSpot model compiles slower *)
 let test_hotspot_compiles_slower () =
-  let ours = E.table3 ~cfg:Config.new_full ~scale in
-  let hs = E.table3 ~cfg:Config.hotspot_model ~scale in
+  let ours = E.table3 ~cfg:Config.new_full ~scale () in
+  let hs = E.table3 ~cfg:Config.hotspot_model ~scale () in
   let total rows =
     List.fold_left (fun a (r : E.compile_row) -> a +. r.E.compile_time) 0. rows
   in

@@ -67,7 +67,7 @@ let test_implicit_miss_counter () =
   let open Builder in
   let b = create ~name:"m" ~params:[ "a" ] () in
   let x = fresh b in
-  emit b (Null_check (Implicit, param b 0));
+  emit b (Null_check (Implicit, param b 0, Ir.fresh_site ()));
   emit b (Get_field (x, param b 0, H.fld_x));
   terminate b (Return (Some (Var x)));
   let p = H.program_of [ finish b ] "m" in
@@ -85,7 +85,7 @@ let test_explicit_check_cost () =
   let prog n =
     let b = create ~name:"m" ~params:[ "a" ] () in
     for _ = 1 to n do
-      emit b (Null_check (Explicit, param b 0))
+      emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()))
     done;
     terminate b (Return (Some (Cint 0)));
     H.program_of [ finish b ] "m"
@@ -152,7 +152,7 @@ let test_unchecked_oob_is_sim_error () =
   let open Builder in
   let b = create ~name:"m" ~params:[ "arr" ] () in
   let x = fresh b in
-  emit b (Null_check (Explicit, param b 0));
+  emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()));
   emit b (Array_load (x, param b 0, Cint 99, Ir.Kint));
   terminate b (Return (Some (Var x)));
   let p = H.program_of [ finish b ] "m" in

@@ -72,7 +72,7 @@ let test_naive_blocked_by_barrier () =
   let open Builder in
   let b = create ~name:"nt2" ~params:[ "a" ] () in
   let x = fresh b in
-  emit b (Null_check (Explicit, param b 0));
+  emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()));
   emit b (Print (Cint 1));
   emit b (Get_field (x, param b 0, H.fld_x));
   terminate b (Return (Some (Var x)));
@@ -177,7 +177,7 @@ let test_scalar_redundant_load () =
   let open Builder in
   let b = create ~name:"sr" ~params:[ "a" ] () in
   let x = fresh b and y = fresh b in
-  emit b (Null_check (Explicit, param b 0));
+  emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()));
   emit b (Get_field (x, param b 0, H.fld_x));
   emit b (Get_field (y, param b 0, H.fld_x));
   emit b (Binop (x, Add, Var x, Var y));
@@ -190,8 +190,8 @@ let test_scalar_store_forward_kill () =
   let open Builder in
   let b = create ~name:"sr2" ~params:[ "a"; "b" ] () in
   let x = fresh b and y = fresh b in
-  emit b (Null_check (Explicit, param b 0));
-  emit b (Null_check (Explicit, param b 1));
+  emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()));
+  emit b (Null_check (Explicit, param b 1, Ir.fresh_site ()));
   emit b (Get_field (x, param b 0, H.fld_x));
   (* store to the same field of ANOTHER object kills the availability *)
   emit b (Put_field (param b 1, H.fld_x, Cint 7));
@@ -332,7 +332,7 @@ let test_copyprop () =
   let b = create ~name:"cp" ~params:[ "a" ] () in
   let c = fresh b and x = fresh b in
   emit b (Move (c, Var (param b 0)));
-  emit b (Null_check (Explicit, c));
+  emit b (Null_check (Explicit, c, Ir.fresh_site ()));
   emit b (Get_field (x, c, H.fld_x));
   terminate b (Return (Some (Var x)));
   let p = H.program_of [ finish b ] "cp" in
@@ -351,7 +351,7 @@ let test_dce_keeps_barriers () =
   let dead = fresh b and live = fresh b in
   emit b (Move (dead, Cint 42));
   emit b (Move (live, Cint 1));
-  emit b (Null_check (Explicit, param b 0));
+  emit b (Null_check (Explicit, param b 0, Ir.fresh_site ()));
   emit b (Print (Var live));
   terminate b (Return (Some (Var live)));
   let p = H.program_of [ finish b ] "dc" in

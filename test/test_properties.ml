@@ -57,7 +57,7 @@ let gen_program : Ir.program QCheck2.Gen.t =
         (* explicit null check *)
         ( 2,
           ref_var >>= fun r ->
-          return (Builder.emit b (Ir.Null_check (Explicit, r))) );
+          return (Builder.emit b (Ir.Null_check (Explicit, r, Ir.fresh_site ()))) );
         (* field access through a possibly-null ref *)
         ( 3,
           int_var >>= fun d ->
