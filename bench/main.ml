@@ -325,6 +325,81 @@ let profiling_overhead () =
   (off, on)
 
 (* ------------------------------------------------------------------ *)
+(* Compile-service throughput: jobs/sec scaling and cache speedup       *)
+(* ------------------------------------------------------------------ *)
+
+module Svc = Nullelim.Svc
+module Codecache = Nullelim.Codecache
+
+type throughput = {
+  th_jobs : int;
+  th_scaling : (int * float * float) list;  (* domains, seconds, jobs/sec *)
+  th_cold_seconds : float;
+  th_warm_seconds : float;
+  th_cache : Codecache.stats;
+}
+
+(** Batch-compile the whole registry under every IA32 configuration on
+    1/2/4 domains (uncached, so each run does the full work), then
+    measure a cold vs. warm pass through the content-addressed code
+    cache.  Speedup from domains needs hardware parallelism — on a
+    single-core CI runner the scaling column flattens to ~1x, which is
+    the honest number. *)
+let service_throughput () =
+  section "Compile service: jobs/sec scaling and code-cache speedup"
+    "throughput harness";
+  let jobs =
+    List.concat_map
+      (fun (w : W.t) ->
+        let p = w.W.build ~scale:1 in
+        List.map
+          (fun cfg ->
+            { Svc.jb_program = p; jb_config = cfg; jb_arch = Arch.ia32_windows })
+          Config.windows_suite)
+      (Registry.all ())
+  in
+  let n = List.length jobs in
+  let time_batch ?cache ~domains () =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Svc.with_service ~domains ?cache (fun t -> Svc.compile_all t jobs));
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time_batch ~domains:1 ()) (* warm up code + allocator *);
+  let scaling =
+    List.map
+      (fun domains ->
+        let s = time_batch ~domains () in
+        (domains, s, float_of_int n /. Float.max 1e-9 s))
+      [ 1; 2; 4 ]
+  in
+  Fmt.pr "%d jobs (%d workloads x %d configs), scale 1, no cache@." n
+    (List.length (Registry.all ()))
+    (List.length Config.windows_suite);
+  Fmt.pr "%-10s %12s %12s %10s@." "domains" "seconds" "jobs/sec" "speedup";
+  let base = match scaling with (_, s, _) :: _ -> s | [] -> 1. in
+  List.iter
+    (fun (d, s, r) ->
+      Fmt.pr "%-10d %12.4f %12.1f %9.2fx@." d s r (base /. Float.max 1e-9 s))
+    scaling;
+  let cache = Svc.create_cache () in
+  let cold = time_batch ~cache ~domains:(Svc.default_domains ()) () in
+  let warm = time_batch ~cache ~domains:(Svc.default_domains ()) () in
+  let st = Codecache.stats cache in
+  Fmt.pr
+    "cache: cold %.4f s, warm %.4f s (%.1fx), %d hits / %d misses / %d \
+     evictions@."
+    cold warm (cold /. Float.max 1e-9 warm) st.Codecache.hits
+    st.Codecache.misses st.Codecache.evictions;
+  {
+    th_jobs = n;
+    th_scaling = scaling;
+    th_cold_seconds = cold;
+    th_warm_seconds = warm;
+    th_cache = st;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Solver engine comparison: worklist vs reference round-robin          *)
 (* ------------------------------------------------------------------ *)
 
@@ -425,7 +500,8 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 
 let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
-    ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on) =
+    ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on)
+    ~throughput:(th : throughput) =
   let open Json in
   let compile_row_json (r : E.compile_row) =
     Obj
@@ -521,6 +597,37 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
               ("on_seconds_per_run", Float ov_on);
               ("on_over_off", Float (ov_on /. Float.max 1e-9 ov_off));
             ] );
+        (* compile-service batch throughput: registry x IA32 configs at
+           scale 1 on 1/2/4 domains, plus cold/warm code-cache timings *)
+        ( "throughput",
+          Obj
+            [
+              ("jobs", Int th.th_jobs);
+              ( "scaling",
+                List
+                  (List.map
+                     (fun (d, s, r) ->
+                       Obj
+                         [
+                           ("domains", Int d);
+                           ("seconds", Float s);
+                           ("jobs_per_sec", Float r);
+                         ])
+                     th.th_scaling) );
+              ( "cache",
+                Obj
+                  [
+                    ("cold_seconds", Float th.th_cold_seconds);
+                    ("warm_seconds", Float th.th_warm_seconds);
+                    ( "speedup",
+                      Float
+                        (th.th_cold_seconds
+                        /. Float.max 1e-9 th.th_warm_seconds) );
+                    ("hits", Int th.th_cache.Codecache.hits);
+                    ("misses", Int th.th_cache.Codecache.misses);
+                    ("evictions", Int th.th_cache.Codecache.evictions);
+                  ] );
+            ] );
         (* per-pass timing/solver metrics of the reference javac compile,
            in the versioned metrics-snapshot schema (validated in CI via
            `nullelim validate-json`) *)
@@ -553,6 +660,7 @@ let () =
   let checks = check_statistics () in
   let dynamic = dynamic_profile () in
   let overhead = profiling_overhead () in
+  let throughput = service_throughput () in
   let solver = solver_comparison () in
   let bech = bechamel_suite () in
   (match json_path with
@@ -568,5 +676,5 @@ let () =
           ("ablation", "cycles", abl);
         ]
       ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech
-      ~dynamic ~overhead);
+      ~dynamic ~overhead ~throughput);
   Fmt.pr "@.done.@."

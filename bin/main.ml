@@ -401,6 +401,112 @@ let profile_cmd =
       const run $ arch_arg $ scale_arg $ out_arg $ json_arg $ merge_arg
       $ baseline_arg $ write_baseline_arg)
 
+(* --- batch --------------------------------------------------------- *)
+
+let batch_cmd =
+  let doc =
+    "Compile the whole workload registry across all of the \
+     architecture's configurations in parallel on a pool of OCaml \
+     domains, optionally through the content-addressed code cache, and \
+     print throughput plus cache statistics.  Every result's decision \
+     log is reconciled against its check statistics."
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains; 0 picks a machine-appropriate default \
+             (recommended domain count - 1, clamped to 1..8).")
+  in
+  let repeat_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 1
+      & info [ "r"; "repeat" ] ~docv:"K"
+          ~doc:
+            "Submit the whole job matrix $(docv) times; with the cache \
+             on, repeats after the first are served from it.")
+  in
+  let cache_arg =
+    Cmdliner.Arg.(
+      value
+      & vflag true
+          [
+            (true, info [ "cache" ] ~doc:"Use the compiled-code cache (default).");
+            (false, info [ "no-cache" ] ~doc:"Compile every job from scratch.");
+          ])
+  in
+  let run arch scale jobs repeat use_cache =
+    let repeat = max 1 repeat in
+    let configs =
+      if arch.Arch.name = Arch.ppc_aix.Arch.name then Config.aix_suite
+      else Config.windows_suite
+    in
+    let workloads = Registry.all () in
+    let programs = List.map (fun (w : W.t) -> w.W.build ~scale) workloads in
+    let matrix =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun cfg -> { Svc.jb_program = p; jb_config = cfg; jb_arch = arch })
+            configs)
+        programs
+    in
+    let all_jobs = List.concat (List.init repeat (fun _ -> matrix)) in
+    let cache = if use_cache then Some (Svc.create_cache ()) else None in
+    let domains = if jobs > 0 then jobs else Svc.default_domains () in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Svc.with_service ~domains ?cache (fun t -> Svc.compile_all t all_jobs)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let n = List.length outcomes in
+    let hits = List.length (List.filter (fun o -> o.Svc.oc_cache_hit) outcomes) in
+    let compile_cpu =
+      List.fold_left
+        (fun acc (o : Svc.outcome) ->
+          acc +. o.Svc.oc_compiled.Compiler.compile_seconds)
+        0. outcomes
+    in
+    Fmt.pr "batch          : %d jobs (%d workloads x %d configs x repeat %d)@."
+      n (List.length workloads) (List.length configs) repeat;
+    Fmt.pr "domains        : %d (queue capacity 64)@." domains;
+    Fmt.pr "arch / scale   : %s / %d@." arch.Arch.name scale;
+    Fmt.pr "wall time      : %.4f s (%.1f jobs/sec)@." wall
+      (float_of_int n /. Float.max 1e-9 wall);
+    Fmt.pr "compile cpu    : %.4f s summed over fresh compiles@." compile_cpu;
+    (match cache with
+    | None -> Fmt.pr "cache          : off@."
+    | Some c ->
+      let s = Codecache.stats c in
+      Fmt.pr
+        "cache          : %d hits / %d misses / %d evictions, %d entries, \
+         %.2f MiB of %.0f MiB@."
+        s.Codecache.hits s.Codecache.misses s.Codecache.evictions
+        s.Codecache.entries
+        (float_of_int s.Codecache.bytes /. 1048576.)
+        (float_of_int s.Codecache.budget_bytes /. 1048576.);
+      Fmt.pr "               : %d of %d jobs served from cache@." hits n);
+    let bad =
+      List.filter_map
+        (fun (o : Svc.outcome) ->
+          match Compiler.reconcile o.Svc.oc_compiled with
+          | Ok () -> None
+          | Error e -> Some e)
+        outcomes
+    in
+    match bad with
+    | [] -> Fmt.pr "reconciliation : all %d decision logs reconcile@." n
+    | e :: _ ->
+      Fmt.epr "reconciliation FAILED (%d of %d): %s@." (List.length bad) n e;
+      exit 1
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "batch" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ scale_arg $ jobs_arg $ repeat_arg $ cache_arg)
+
 (* --- validate-json ------------------------------------------------- *)
 
 let validate_json_cmd =
@@ -475,5 +581,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            validate_json_cmd;
+            batch_cmd; validate_json_cmd;
           ]))

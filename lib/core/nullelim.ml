@@ -78,6 +78,17 @@ module Interp = Nullelim_vm.Interp
 module Config = Nullelim_jit.Config
 module Compiler = Nullelim_jit.Compiler
 
+(** {1 Compile service}
+
+    Parallel batch compilation on a pool of OCaml domains
+    ([Svc.compile_all]), a bounded work queue ([Chan]) and a
+    content-addressed compiled-code cache with an LRU byte budget
+    ([Codecache], keyed by [Svc.job_key]). *)
+
+module Svc = Nullelim_svc.Svc
+module Chan = Nullelim_svc.Chan
+module Codecache = Nullelim_svc.Codecache
+
 (** {1 Telemetry}
 
     Trace spans ([Obs.span], Chrome trace-event output via

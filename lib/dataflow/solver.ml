@@ -57,14 +57,22 @@ type stats = {
   mutable pushes : int;    (** worklist insertions (incl. the seeding) *)
 }
 
-let counters = { solves = 0; visits = 0; transfers = 0; pushes = 0 }
+(* Domain-local: each domain of the compile service accumulates its own
+   work counters, so [snapshot]/[diff] around a compilation measure
+   exactly that compilation even when other domains are solving too. *)
+let counters_key : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { solves = 0; visits = 0; transfers = 0; pushes = 0 })
+
+let counters () = Domain.DLS.get counters_key
 
 let snapshot () =
+  let c = counters () in
   {
-    solves = counters.solves;
-    visits = counters.visits;
-    transfers = counters.transfers;
-    pushes = counters.pushes;
+    solves = c.solves;
+    visits = c.visits;
+    transfers = c.transfers;
+    pushes = c.pushes;
   }
 
 let diff (a : stats) (b : stats) : stats =
@@ -76,10 +84,11 @@ let diff (a : stats) (b : stats) : stats =
   }
 
 let reset_counters () =
-  counters.solves <- 0;
-  counters.visits <- 0;
-  counters.transfers <- 0;
-  counters.pushes <- 0
+  let c = counters () in
+  c.solves <- 0;
+  c.visits <- 0;
+  c.transfers <- 0;
+  c.pushes <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Shared pieces                                                       *)
@@ -110,6 +119,7 @@ let solve_reference ~(dir : direction) ~(cfg : Cfg.t)
     ?(edge = fun ~src:_ ~dst:_ s -> s)
     ?(boundary_blocks = ([] : int list))
     ~(transfer : int -> Bitset.t -> Bitset.t) () : result =
+  let counters = counters () in
   counters.solves <- counters.solves + 1;
   let meet = meet_fn meet in
   let n = Cfg.nblocks cfg in
@@ -172,6 +182,7 @@ let solve_worklist ~(dir : direction) ~(cfg : Cfg.t)
     ?(edge = fun ~src:_ ~dst:_ s -> s)
     ?(boundary_blocks = ([] : int list))
     ~(transfer : int -> Bitset.t -> Bitset.t) () : result =
+  let counters = counters () in
   counters.solves <- counters.solves + 1;
   let n = Cfg.nblocks cfg in
   (* Every slot gets its own set: the meet writes into them in place. *)

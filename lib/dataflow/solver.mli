@@ -49,16 +49,25 @@ type stats = {
   mutable transfers : int; (** block transfer functions applied *)
   mutable pushes : int;    (** worklist insertions (incl. the seeding) *)
 }
-(** Cumulative counters over every solve since start-up (or the last
-    {!reset_counters}); both engines update them. *)
+(** Cumulative counters over every solve run by the calling domain
+    since that domain started (or its last {!reset_counters}); both
+    engines update them.  The counters are domain-local, so a
+    {!snapshot}/{!diff} pair around a compilation measures exactly that
+    compilation even when other domains are solving concurrently. *)
 
-val counters : stats
+val counters : unit -> stats
+(** The calling domain's live counter record (mutated by every solve
+    on that domain). *)
+
 val snapshot : unit -> stats
+(** An immutable copy of the calling domain's counters. *)
+
 val diff : stats -> stats -> stats
 (** [diff later earlier] is the per-field difference — the cost of the
     work done between two {!snapshot}s. *)
 
 val reset_counters : unit -> unit
+(** Zero the calling domain's counters. *)
 
 val use_reference : bool ref
 (** When true, {!solve} routes to {!solve_reference}.  Initialized from

@@ -39,14 +39,23 @@ type site = int
 
 let no_site : site = -1
 
-let site_counter = ref 0
+(* Domain-local: concurrent compilations (the [Nullelim.Svc] domain
+   pool) mint sites independently, and determinism within one compile
+   comes from [seed_sites] re-seeding the minting domain's counter from
+   the input program. *)
+let site_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
-(** Allocate a globally fresh provenance id.  The counter is process-wide
-    and monotonic, so sites are unique across all programs built in one
-    process; ids are meaningful only as opaque keys. *)
+(** Allocate a fresh provenance id.  The counter is per-domain and
+    monotonic, so sites are unique across all programs built in one
+    domain; ids are meaningful only as opaque keys.  Compilation
+    re-seeds the counter from its input program ({!seed_sites}), so the
+    ids minted while optimizing do not depend on what the domain
+    compiled before. *)
 let fresh_site () : site =
-  let s = !site_counter in
-  incr site_counter;
+  let c = Domain.DLS.get site_counter in
+  let s = !c in
+  incr c;
   s
 
 (** {1 Types and operands} *)
@@ -411,15 +420,16 @@ let site_of_instr = function
   | Null_check (_, _, s) | Bound_check (_, _, s) -> s
   | _ -> no_site
 
-(** Reset the provenance counter.  Call before building a program when
-    site ids must be reproducible across process runs (the profiler's
-    baseline depends on this); ids are only required to be unique within
-    one program. *)
-let reset_sites () = site_counter := 0
+(** Reset the calling domain's provenance counter.  Call before
+    building a program when site ids must be reproducible across
+    process runs (the profiler's baseline depends on this); ids are
+    only required to be unique within one program. *)
+let reset_sites () = Domain.DLS.get site_counter := 0
 
-(** Re-seed the provenance counter to one past the largest site in [p],
-    so that sites allocated while optimizing [p] depend only on [p] —
-    compiling the same program twice yields identical provenance. *)
+(** Re-seed the calling domain's provenance counter to one past the
+    largest site in [p], so that sites allocated while optimizing [p]
+    depend only on [p] — compiling the same program twice, on any
+    domain, yields identical provenance. *)
 let seed_sites (p : program) =
   let m = ref (-1) in
   Hashtbl.iter
@@ -429,7 +439,7 @@ let seed_sites (p : program) =
           Array.iter (fun i -> m := max !m (site_of_instr i)) b.instrs)
         f.fn_blocks)
     p.funcs;
-  site_counter := !m + 1
+  Domain.DLS.get site_counter := !m + 1
 
 (** All check sites present in a function. *)
 let sites_of_func f =

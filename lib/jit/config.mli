@@ -3,23 +3,30 @@
 
 module Arch = Nullelim_arch.Arch
 
-type null_opt = No_null_opt | Old_whaley | New_phase1 | New_full
+(** Which null-check elimination algorithm runs. *)
+type null_opt =
+  | No_null_opt   (** keep every raw check *)
+  | Old_whaley    (** forward-availability elimination (the paper's "Old") *)
+  | New_phase1    (** the paper's §4.1 backward PRE only *)
+  | New_full      (** §4.1 + the architecture-dependent §4.2 *)
 
 type t = {
-  name : string;
+  name : string;                        (** table row label, [by_name] key *)
   null_opt : null_opt;
-  use_trap : bool;
-  speculate : bool;
-  phase2_arch_override : Arch.t option;
-  iterations : int;
-  inline : bool;
-  heavy_factor : int;
-  weak_arrays : bool;
+  use_trap : bool;                      (** convert to implicit checks where the arch traps *)
+  speculate : bool;                     (** AIX read speculation (§3.3.1) *)
+  phase2_arch_override : Arch.t option; (** run phase 2 against a different trap model ("Illegal Implicit") *)
+  iterations : int;                     (** rounds of the phase-1/bounds/scalar pipeline (Fig 2) *)
+  inline : bool;                        (** CHA devirtualization + inlining *)
+  heavy_factor : int;                   (** extra pipeline weight (HotSpot-model compile-time handicap) *)
+  weak_arrays : bool;                   (** disable loop-invariant array optimizations *)
 }
 
 val base : t
+(** The common defaults the named configurations override. *)
 
-(* Windows/IA32 configurations (Tables 1-2) *)
+(** {1 Windows/IA32 configurations (Tables 1-2)} *)
+
 val no_null_opt_no_trap : t
 val no_null_opt_trap : t
 val old_null_check : t
@@ -27,12 +34,19 @@ val new_phase1_only : t
 val new_full : t
 val hotspot_model : t
 
-(* AIX/PowerPC configurations (Tables 6-7, Section 5.4) *)
+(** {1 AIX/PowerPC configurations (Tables 6-7, §5.4)} *)
+
 val aix_no_null_opt : t
 val aix_no_speculation : t
 val aix_speculation : t
 val aix_illegal_implicit : t
 
 val windows_suite : t list
+(** The five Windows configurations plus the HotSpot model, in table
+    order. *)
+
 val aix_suite : t list
+(** The four AIX configurations, in table order. *)
+
 val by_name : string -> t option
+(** Look a configuration up by its [name] (the CLI's [-c] values). *)

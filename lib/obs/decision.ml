@@ -79,20 +79,25 @@ type collector = {
   mutable cur_func : string;
 }
 
-let current : collector option ref = ref None
+(* Domain-local: each domain of the compile service collects its own
+   log, so concurrent compilations never interleave events. *)
+let current_key : collector option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let active () = !current <> None
+let current () = Domain.DLS.get current_key
+
+let active () = !(current ()) <> None
 
 let set_pass name =
-  match !current with Some c -> c.cur_pass <- name | None -> ()
+  match !(current ()) with Some c -> c.cur_pass <- name | None -> ()
 
 let set_func name =
-  match !current with Some c -> c.cur_func <- name | None -> ()
+  match !(current ()) with Some c -> c.cur_func <- name | None -> ()
 
 let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
     ?(site = -1) ?(parent = -1) ~(kind : kind) ~(action : action)
     ~(just : justification) () : unit =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some c ->
     let ev =
@@ -118,10 +123,11 @@ let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
     events in record order.  Re-entrant: a previously installed
     collector is saved and restored. *)
 let with_log (f : unit -> 'a) : 'a * event list =
-  let saved = !current in
+  let cur = current () in
+  let saved = !cur in
   let c = { evs = []; n = 0; cur_pass = ""; cur_func = "" } in
-  current := Some c;
-  let restore () = current := saved in
+  cur := Some c;
+  let restore () = cur := saved in
   match f () with
   | v ->
     restore ();

@@ -76,9 +76,21 @@ val derived_deltas : event list -> int * int
 (** [(sum d_explicit, sum d_implicit)]. *)
 
 val action_to_string : action -> string
+(** Kebab-case action name as it appears in reports
+    ("eliminated-redundant", "moved-backward", …). *)
+
 val justification_to_string : justification -> string
+(** Kebab-case justification, with the trap offset appended for
+    [Trap_covered] and the callee for [Inline_copy]. *)
+
 val kind_to_string : kind -> string
+
 val event_to_json : event -> Obs_json.t
+(** One event as a flat JSON object (string action/justification/kind,
+    int everything else). *)
+
 val to_json : event list -> Obs_json.t
+(** The events as a JSON array, in the given order. *)
+
 val summary : event list -> (string * int) list
 (** Event counts per action name, sorted. *)

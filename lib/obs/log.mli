@@ -4,13 +4,25 @@
 type level = Debug | Info | Warn | Quiet
 
 val to_string : level -> string
+(** Lower-case level name ("debug", "info", …). *)
+
 val of_string : string -> level option
+(** Inverse of {!to_string}; [None] on anything else. *)
+
 val set_level : level -> unit
+(** Override the threshold for the rest of the process; wins over the
+    [NULLELIM_LOG] environment variable read at startup. *)
+
 val level : unit -> level
+(** The current threshold. *)
 
 val enabled : level -> bool
 (** Would a message at this level be emitted right now? *)
 
 val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [Fmt]-style formatted message, printed to stderr as
+    ["[nullelim:debug] ..."] when the threshold admits it; likewise
+    {!info} and {!warn}.  All three are cheap no-ops when gated off. *)
+
 val info : ('a, Format.formatter, unit, unit) format4 -> 'a
 val warn : ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,19 +1,33 @@
 (** Typed metrics registry (counters / gauges / histograms with labels)
     with a stable, versioned JSON snapshot schema.  The single sink for
     the pass manager's timings/counters, the data-flow solver's work
-    counters and the interpreter's dynamic counters. *)
+    counters and the interpreter's dynamic counters.
+
+    Instrument identity is [(name, sorted labels)]: asking again for the
+    same identity returns the same instrument, so instrumented code can
+    re-request instruments instead of threading them around. *)
 
 type t
+(** A registry.  [Compiler.compile] creates a private one per
+    compilation, so concurrent compiles on different domains never share
+    instruments. *)
+
 type labels = (string * string) list
+(** Label pairs; order is irrelevant (identity sorts them). *)
 
 type counter
 type gauge
 type histogram
 
 val schema_version : int
+(** Version stamped into (and required of) every snapshot. *)
 
 val create : unit -> t
+(** A fresh, empty registry. *)
+
 val global : t
+(** A process-wide registry for callers that want one; nothing in the
+    library records to it implicitly. *)
 
 val counter : t -> ?labels:labels -> string -> counter
 (** Find-or-register; same (name, labels) always yields the same
@@ -21,16 +35,30 @@ val counter : t -> ?labels:labels -> string -> counter
     registered as a different type. *)
 
 val inc : counter -> int -> unit
+(** Add to a monotone counter. *)
+
 val counter_value : counter -> int
 
 val gauge : t -> ?labels:labels -> string -> gauge
+(** Find-or-register a gauge (a settable float); identity rules as for
+    {!counter}. *)
+
 val set : gauge -> float -> unit
 val add : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val default_buckets : float array
+(** Exponential seconds-scale bucket bounds used when [?buckets] is
+    omitted. *)
+
 val histogram : t -> ?labels:labels -> ?buckets:float array -> string -> histogram
+(** Find-or-register a histogram with cumulative buckets; identity rules
+    as for {!counter}. *)
+
 val observe : histogram -> float -> unit
+(** Record one sample: bumps the count, the sum and every bucket whose
+    bound admits the value. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 

@@ -214,6 +214,11 @@ let of_string (s : string) : (t, string) result =
         let rec go () =
           skip_ws ();
           let k = parse_string () in
+          (* every schema in this repo keys objects uniquely, so a
+             duplicate is always a generator bug — reject it rather
+             than silently shadowing one binding in [member] *)
+          if List.mem_assoc k !items then
+            fail (Printf.sprintf "duplicate key %S" k);
           skip_ws ();
           expect ':';
           let v = parse_value () in

@@ -12,7 +12,15 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+(** Compact (no-whitespace) serialization.  Floats print with [%.12g];
+    non-finite floats serialize as [null]. *)
+
 val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Stricter than the grammar in two
+    ways telemetry validation wants: trailing input after the document
+    is an error, and an object with a duplicate key is rejected (every
+    schema in this repo keys objects uniquely, so a duplicate always
+    means a generator bug).  Errors carry a byte offset. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on anything else. *)

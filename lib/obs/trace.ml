@@ -28,9 +28,20 @@ type event = {
 
 type sink = { mutable events : event list; mutable count : int; file : string option }
 
-let active : sink option ref = ref None
-let cur_depth = ref 0
-let t0_us = ref 0.
+(* All collection state is domain-local: arming tracing on one domain
+   (the CLI main domain, a test) never makes another domain's spans
+   race on the sink.  Worker domains of the compile service therefore
+   start with tracing disarmed, and a span there costs one DLS read. *)
+type state = {
+  mutable active : sink option;
+  mutable cur_depth : int;
+  mutable t0_us : float;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = None; cur_depth = 0; t0_us = 0. })
+
+let state () = Domain.DLS.get state_key
 
 (** Cap on collected events: a runaway tracing session degrades into
     dropping the tail rather than exhausting memory. *)
@@ -38,35 +49,37 @@ let max_events = 2_000_000
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
-let enabled () = !active <> None
-let depth () = !cur_depth
+let enabled () = (state ()).active <> None
+let depth () = (state ()).cur_depth
 
 let start_sink file =
-  t0_us := now_us ();
-  cur_depth := 0;
-  active := Some { events = []; count = 0; file }
+  let st = state () in
+  st.t0_us <- now_us ();
+  st.cur_depth <- 0;
+  st.active <- Some { events = []; count = 0; file }
 
 let start () = start_sink None
 let start_to_file path = start_sink (Some path)
 
-let record_event e =
-  match !active with
+let record_event st e =
+  match st.active with
   | Some s when s.count < max_events ->
     s.events <- e :: s.events;
     s.count <- s.count + 1
   | Some _ | None -> ()
 
 let span ?(cat = "nullelim") ?(args = []) name f =
-  match !active with
+  let st = state () in
+  match st.active with
   | None -> f ()
   | Some _ ->
-    let d = !cur_depth in
-    incr cur_depth;
-    let t0 = now_us () -. !t0_us in
+    let d = st.cur_depth in
+    st.cur_depth <- d + 1;
+    let t0 = now_us () -. st.t0_us in
     let finish () =
-      let t1 = now_us () -. !t0_us in
-      decr cur_depth;
-      record_event
+      let t1 = now_us () -. st.t0_us in
+      st.cur_depth <- st.cur_depth - 1;
+      record_event st
         {
           ev_name = name;
           ev_cat = cat;
@@ -85,14 +98,15 @@ let span ?(cat = "nullelim") ?(args = []) name f =
       raise e)
 
 let instant ?(cat = "nullelim") ?(args = []) name =
-  if enabled () then
-    record_event
+  let st = state () in
+  if st.active <> None then
+    record_event st
       {
         ev_name = name;
         ev_cat = cat;
-        ev_ts_us = now_us () -. !t0_us;
+        ev_ts_us = now_us () -. st.t0_us;
         ev_dur_us = 0.;
-        ev_depth = !cur_depth;
+        ev_depth = st.cur_depth;
         ev_args = args;
       }
 
@@ -134,17 +148,19 @@ let write path events =
   close_out oc
 
 let stop () =
-  match !active with
+  let st = state () in
+  match st.active with
   | None -> []
   | Some s ->
-    active := None;
-    cur_depth := 0;
+    st.active <- None;
+    st.cur_depth <- 0;
     let evs = ordered s in
     (match s.file with Some path -> write path evs | None -> ());
     evs
 
 (* Arm from the environment, and flush at exit if the program never
-   called [stop] itself. *)
+   called [stop] itself.  Module initialization runs on the initial
+   domain, so NULLELIM_TRACE arms exactly that domain's collection. *)
 let () =
   match Sys.getenv_opt "NULLELIM_TRACE" with
   | Some path when path <> "" ->

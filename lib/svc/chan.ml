@@ -1,0 +1,70 @@
+(** Bounded blocking FIFO channel (mutex + two condition variables).
+
+    The classic bounded-buffer monitor: [nonfull] wakes producers,
+    [nonempty] wakes consumers.  [close] broadcasts on both so every
+    blocked domain re-examines the state: blocked pushers raise
+    {!Closed}, blocked poppers drain what is left and then return
+    [None].  Condition waits are re-checked in a loop, so spurious
+    wakeups are harmless. *)
+
+type 'a t = {
+  buf : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create ~capacity =
+  {
+    buf = Queue.create ();
+    capacity = max 1 capacity;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.buf >= t.capacity do
+        Condition.wait t.nonfull t.m
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.buf;
+      Condition.signal t.nonempty)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.buf && not t.closed do
+        Condition.wait t.nonempty t.m
+      done;
+      match Queue.take_opt t.buf with
+      | Some x ->
+        Condition.signal t.nonfull;
+        Some x
+      | None -> None (* closed and drained *))
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty;
+        Condition.broadcast t.nonfull
+      end)
+
+let length t = with_lock t (fun () -> Queue.length t.buf)
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,45 @@
+(** Bounded blocking FIFO channel for handing work to a pool of
+    domains.
+
+    Hand-rolled on stdlib [Mutex]/[Condition] — no external
+    dependencies.  A channel has a fixed capacity: {!push} blocks while
+    the channel is full, {!pop} blocks while it is empty, and {!close}
+    initiates a clean shutdown in which already-queued items still
+    drain but no new item is accepted.
+
+    All operations are linearizable; any number of producer and
+    consumer domains may share one channel. *)
+
+type 'a t
+(** A bounded multi-producer multi-consumer channel carrying ['a]. *)
+
+exception Closed
+(** Raised by {!push} when the channel has been closed. *)
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty open channel holding at most
+    [capacity] items (clamped to at least 1). *)
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x], blocking while the channel is full.
+
+    @raise Closed if the channel is closed — including when the close
+    happens while the push is blocked waiting for space. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes the oldest item, blocking while the channel is
+    empty and still open.  Returns [None] once the channel is closed
+    {e and} drained — the consumer's signal to exit its loop.  Items
+    pushed before {!close} are always delivered. *)
+
+val close : 'a t -> unit
+(** Close the channel: subsequent {!push}es raise {!Closed}, blocked
+    pushers are woken to raise, and blocked poppers are woken to drain
+    the remaining items and then receive [None].  Idempotent. *)
+
+val length : 'a t -> int
+(** Number of items currently queued (a racy snapshot, exact only when
+    no other domain is operating on the channel). *)
+
+val is_closed : 'a t -> bool
+(** Has {!close} been called?  (Racy snapshot, like {!length}.) *)

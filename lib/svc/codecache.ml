@@ -1,0 +1,124 @@
+(** Content-addressed LRU artifact cache (see the interface for the
+    contract).
+
+    Recency is tracked with a monotonic stamp per entry; eviction scans
+    for the minimum stamp.  The scan is O(entries), which is the right
+    trade-off here: evictions only happen when the byte budget
+    overflows, and a compile cache holds at most a few hundred entries
+    (workloads × configurations), so a doubly-linked LRU list would be
+    bookkeeping without a measurable win. *)
+
+type 'a entry = { value : 'a; ebytes : int; mutable stamp : int }
+
+type 'a t = {
+  tbl : (string, 'a entry) Hashtbl.t;
+  size : 'a -> int;
+  budget_bytes : int;
+  m : Mutex.t;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  budget_bytes : int;
+}
+
+let default_budget = 64 * 1024 * 1024
+
+let create ?(budget_bytes = default_budget) ~size () =
+  {
+    tbl = Hashtbl.create 64;
+    size;
+    budget_bytes = max 1 budget_bytes;
+    m = Mutex.create ();
+    bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        e.stamp <- next_tick t;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* the least recently used entry, excluding [keep] *)
+let lru_key t ~keep =
+  Hashtbl.fold
+    (fun k (e : _ entry) acc ->
+      if k = keep then acc
+      else
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+    t.tbl None
+
+let remove_entry t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.tbl key;
+    t.bytes <- t.bytes - e.ebytes
+
+let add t ~key v =
+  with_lock t (fun () ->
+      remove_entry t key;
+      let ebytes = max 1 (t.size v) in
+      Hashtbl.replace t.tbl key { value = v; ebytes; stamp = next_tick t };
+      t.bytes <- t.bytes + ebytes;
+      let rec evict () =
+        if t.bytes > t.budget_bytes then
+          match lru_key t ~keep:key with
+          | Some (k, _) ->
+            remove_entry t k;
+            t.evictions <- t.evictions + 1;
+            evict ()
+          | None -> () (* only the fresh entry is left; keep it *)
+      in
+      evict ())
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        bytes = t.bytes;
+        budget_bytes = t.budget_bytes;
+      })
+
+let clear t =
+  with_lock t (fun () ->
+      t.evictions <- t.evictions + Hashtbl.length t.tbl;
+      Hashtbl.reset t.tbl;
+      t.bytes <- 0)

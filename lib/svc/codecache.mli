@@ -1,0 +1,50 @@
+(** Content-addressed compiled-code cache with an LRU byte budget.
+
+    The cache maps a content digest (see {!Svc.job_key}: structural
+    hash of IR program × JIT configuration × target architecture) to a
+    compiled artifact, the way a production JIT's code cache keys
+    installed code.  It is generic in the artifact type; the byte cost
+    of an artifact is estimated by the [size] function supplied at
+    {!create} time, and once the resident total exceeds the budget the
+    least-recently-used entries are evicted.
+
+    Thread-safe: every operation takes an internal mutex, so any number
+    of compile-service domains may share one cache.  Hit, miss and
+    eviction counts are tracked and exposed through {!stats}. *)
+
+type 'a t
+(** A cache holding artifacts of type ['a]. *)
+
+type stats = {
+  hits : int;        (** successful {!find}s *)
+  misses : int;      (** {!find}s that returned [None] *)
+  evictions : int;   (** entries removed by the byte budget *)
+  entries : int;     (** entries currently resident *)
+  bytes : int;       (** estimated resident bytes *)
+  budget_bytes : int;(** the configured budget *)
+}
+(** A consistent snapshot of the cache's counters and occupancy. *)
+
+val create : ?budget_bytes:int -> size:('a -> int) -> unit -> 'a t
+(** [create ~size ()] is an empty cache.  [size a] must return an
+    estimate (in bytes) of keeping [a] resident; it is called once per
+    {!add}.  [budget_bytes] defaults to 64 MiB; it bounds the sum of
+    the size estimates, except that the most recently added entry is
+    never evicted (a single oversized artifact may therefore keep the
+    cache above budget until the next {!add}). *)
+
+val find : 'a t -> string -> 'a option
+(** [find t key] returns the cached artifact and marks it most recently
+    used, counting a hit; [None] counts a miss. *)
+
+val add : 'a t -> key:string -> 'a -> unit
+(** [add t ~key a] installs [a] under [key] as the most recently used
+    entry, replacing any previous entry with that key (replacement does
+    not count as an eviction), then evicts least-recently-used entries
+    until the cache is back within budget. *)
+
+val stats : 'a t -> stats
+(** Counter snapshot, consistent under the cache lock. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (counted as evictions); counters are retained. *)

@@ -1,0 +1,271 @@
+(** Parallel JIT compile service (see the interface for the contract).
+
+    Shape: [compile_all] allocates a per-batch result array plus a
+    remaining-jobs countdown, pushes one task per job into the shared
+    bounded {!Chan}, and blocks on the batch condition variable until
+    the countdown hits zero.  Worker domains loop on [Chan.pop],
+    compile (through the cache when one is installed), write their slot
+    and decrement the countdown.  Because each task carries its batch,
+    several [compile_all] calls can be in flight at once and tasks of
+    different batches interleave freely on the pool. *)
+
+module Ir = Nullelim_ir.Ir
+module Ir_pp = Nullelim_ir.Ir_pp
+module Arch = Nullelim_arch.Arch
+module Config = Nullelim_jit.Config
+module Compiler = Nullelim_jit.Compiler
+
+type job = { jb_program : Ir.program; jb_config : Config.t; jb_arch : Arch.t }
+
+type outcome = {
+  oc_job : job;
+  oc_compiled : Compiler.compiled;
+  oc_cache_hit : bool;
+  oc_worker : int;
+  oc_seconds : float;
+}
+
+type cache = Compiler.compiled Codecache.t
+
+(* ------------------------------------------------------------------ *)
+(* Content addressing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The digest payload must cover everything [Compiler.compile] reads:
+   the pretty-printed functions (instructions, terminators, regions,
+   handler tables), the class tables (devirtualization and inlining
+   consult them), the check provenance sites (the printer omits them,
+   but they flow into the artifact's decision log and profile ids), the
+   configuration's semantic fields and the architecture. *)
+let fingerprint (b : Buffer.t) (j : job) =
+  let p = j.jb_program in
+  Buffer.add_string b j.jb_arch.Arch.name;
+  Buffer.add_char b '\x00';
+  let cfg = j.jb_config in
+  Buffer.add_string b
+    (Printf.sprintf "%s|%b|%b|%s|%d|%b|%d|%b\x00"
+       (match cfg.Config.null_opt with
+       | Config.No_null_opt -> "none"
+       | Config.Old_whaley -> "whaley"
+       | Config.New_phase1 -> "phase1"
+       | Config.New_full -> "full")
+       cfg.Config.use_trap cfg.Config.speculate
+       (match cfg.Config.phase2_arch_override with
+       | None -> "-"
+       | Some a -> a.Arch.name)
+       cfg.Config.iterations cfg.Config.inline cfg.Config.heavy_factor
+       cfg.Config.weak_arrays);
+  Buffer.add_string b p.Ir.prog_main;
+  Buffer.add_char b '\x00';
+  let sorted_keys tbl =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  in
+  List.iter
+    (fun cname ->
+      let c = Hashtbl.find p.Ir.classes cname in
+      Buffer.add_string b c.Ir.cname;
+      Buffer.add_string b (Option.value ~default:"" c.Ir.csuper);
+      List.iter
+        (fun (f : Ir.field) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s@%d:%s" f.Ir.fname f.Ir.foffset
+               (match f.Ir.fkind with
+               | Ir.Kint -> "i"
+               | Ir.Kfloat -> "f"
+               | Ir.Kref -> "r")))
+        c.Ir.cfields;
+      List.iter
+        (fun (m, fn) ->
+          Buffer.add_string b m;
+          Buffer.add_char b '>';
+          Buffer.add_string b fn)
+        c.Ir.cmethods;
+      Buffer.add_char b '\x00')
+    (sorted_keys p.Ir.classes);
+  List.iter
+    (fun fname ->
+      let f = Hashtbl.find p.Ir.funcs fname in
+      Buffer.add_string b (Ir_pp.func_to_string f);
+      List.iter
+        (fun s -> Buffer.add_string b (string_of_int s ^ ","))
+        (Ir.sites_of_func f);
+      Buffer.add_char b '\x00')
+    (sorted_keys p.Ir.funcs)
+
+let job_key (j : job) : string =
+  let b = Buffer.create 4096 in
+  fingerprint b j;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact sizing and cache construction                              *)
+(* ------------------------------------------------------------------ *)
+
+(* An estimate, not an accounting: the printed program tracks the IR's
+   real footprint closely enough to make the LRU budget meaningful. *)
+let artifact_bytes (c : Compiler.compiled) : int =
+  let program_bytes =
+    let b = Buffer.create 4096 in
+    Ir.iter_funcs
+      (fun f -> Buffer.add_string b (Ir_pp.func_to_string f))
+      c.Compiler.program;
+    Buffer.length b
+  in
+  program_bytes + (64 * List.length c.Compiler.decisions) + 1024
+
+let create_cache ?budget_bytes () : cache =
+  Codecache.create ?budget_bytes ~size:artifact_bytes ()
+
+(* ------------------------------------------------------------------ *)
+(* Compiling one job                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let compile_job ?cache ~worker (j : job) : outcome =
+  let t0 = Unix.gettimeofday () in
+  let hit, compiled =
+    match cache with
+    | None -> (false, Compiler.compile j.jb_config ~arch:j.jb_arch j.jb_program)
+    | Some c -> (
+      let key = job_key j in
+      match Codecache.find c key with
+      | Some artifact -> (true, artifact)
+      | None ->
+        let artifact =
+          Compiler.compile j.jb_config ~arch:j.jb_arch j.jb_program
+        in
+        Codecache.add c ~key artifact;
+        (false, artifact))
+  in
+  {
+    oc_job = j;
+    oc_compiled = compiled;
+    oc_cache_hit = hit;
+    oc_worker = worker;
+    oc_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let compile_serial ?cache jobs =
+  List.map (compile_job ?cache ~worker:(-1)) jobs
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  results : (outcome, exn) result option array;
+  bm : Mutex.t;
+  bdone : Condition.t;
+  mutable remaining : int;
+}
+
+type task = { t_index : int; t_job : job; t_batch : batch }
+
+type t = {
+  queue : task Chan.t;
+  workers : unit Domain.t array;
+  svc_cache : cache option;
+  sm : Mutex.t;
+  mutable stopped : bool;
+}
+
+let default_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+let finish_task (b : batch) idx r =
+  Mutex.lock b.bm;
+  b.results.(idx) <- Some r;
+  b.remaining <- b.remaining - 1;
+  if b.remaining <= 0 then Condition.broadcast b.bdone;
+  Mutex.unlock b.bm
+
+let worker_loop queue cache worker =
+  let rec loop () =
+    match Chan.pop queue with
+    | None -> ()
+    | Some task ->
+      let r =
+        try Ok (compile_job ?cache ~worker task.t_job) with e -> Error e
+      in
+      finish_task task.t_batch task.t_index r;
+      loop ()
+  in
+  loop ()
+
+let create ?domains ?(queue_capacity = 64) ?cache () : t =
+  let n = max 1 (Option.value ~default:(default_domains ()) domains) in
+  let queue = Chan.create ~capacity:(max 1 queue_capacity) in
+  {
+    queue;
+    workers =
+      Array.init n (fun i -> Domain.spawn (fun () -> worker_loop queue cache i));
+    svc_cache = cache;
+    sm = Mutex.create ();
+    stopped = false;
+  }
+
+let domains t = Array.length t.workers
+let cache t = t.svc_cache
+let cache_stats t = Option.map Codecache.stats t.svc_cache
+
+let compile_all (t : t) (jobs : job list) : outcome list =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    let batch =
+      {
+        results = Array.make n None;
+        bm = Mutex.create ();
+        bdone = Condition.create ();
+        remaining = n;
+      }
+    in
+    (* If the queue closes mid-submission (a racing or prior shutdown),
+       fail the unsubmitted tail ourselves so the batch countdown still
+       reaches zero; tasks already queued are drained by the workers
+       before they exit, so the wait below terminates either way. *)
+    let submitted = ref 0 in
+    (try
+       Array.iteri
+         (fun i job ->
+           Chan.push t.queue { t_index = i; t_job = job; t_batch = batch };
+           incr submitted)
+         jobs
+     with Chan.Closed ->
+       for i = !submitted to n - 1 do
+         finish_task batch i
+           (Error
+              (Invalid_argument "Svc.compile_all: service has been shut down"))
+       done);
+    Mutex.lock batch.bm;
+    while batch.remaining > 0 do
+      Condition.wait batch.bdone batch.bm
+    done;
+    Mutex.unlock batch.bm;
+    let out = ref [] in
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match batch.results.(i) with
+      | Some (Ok o) -> out := o :: !out
+      | Some (Error e) -> first_error := Some e
+      | None -> assert false
+    done;
+    match !first_error with Some e -> raise e | None -> !out
+  end
+
+let shutdown (t : t) =
+  let do_join =
+    Mutex.lock t.sm;
+    let fresh = not t.stopped in
+    t.stopped <- true;
+    Mutex.unlock t.sm;
+    fresh
+  in
+  if do_join then begin
+    Chan.close t.queue;
+    Array.iter Domain.join t.workers
+  end
+
+let with_service ?domains ?queue_capacity ?cache f =
+  let t = create ?domains ?queue_capacity ?cache () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,125 @@
+(** Parallel JIT compile service: a fixed pool of OCaml domains
+    draining a bounded job queue, with an optional content-addressed
+    compiled-code cache.
+
+    This is the repo's stand-in for the multi-threaded JVM the paper's
+    JIT lives in: methods get hot, compile requests queue up, and a
+    small pool of compiler threads services them while the application
+    runs.  Here a {!job} is (IR program × {!Config.t} × {!Arch.t}); the
+    artifact is the full {!Compiler.compiled} record.
+
+    {2 Determinism}
+
+    [Compiler.compile] is deterministic in its inputs (it re-seeds the
+    provenance counter from the input program), and every piece of
+    compiler state it touches is domain-local (solver counters, the
+    decision log, trace sinks, the site counter), so compiling the same
+    job on any domain produces a byte-identical artifact.
+    {!compile_all} preserves job order in its results; consequently a
+    parallel batch is observably identical to {!compile_serial} except
+    for wall-clock fields ([compile_seconds], [oc_seconds]) and
+    [oc_worker]/[oc_cache_hit] provenance.
+
+    {2 Caching}
+
+    With a cache installed, each job is keyed by {!job_key} — a digest
+    of the program structure (including check provenance sites), the
+    configuration's semantic fields and the architecture name — and a
+    hit returns the previously compiled artifact without recompiling.
+    Two in-flight jobs with the same key may both miss and compile; the
+    cache converges to one entry and both artifacts are identical, so
+    the race is benign.
+
+    {2 Shutdown}
+
+    {!shutdown} closes the queue, lets queued work drain, and joins
+    every worker domain.  Prefer {!with_service}, which guarantees the
+    join on any exit path. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+module Config = Nullelim_jit.Config
+module Compiler = Nullelim_jit.Compiler
+
+type job = {
+  jb_program : Ir.program;  (** compiled via a copy; never mutated *)
+  jb_config : Config.t;
+  jb_arch : Arch.t;
+}
+(** One compile request.  The program may be shared by many jobs (the
+    batch driver compiles each workload under several configurations);
+    jobs only ever read it. *)
+
+type outcome = {
+  oc_job : job;           (** the request, physically equal to the input *)
+  oc_compiled : Compiler.compiled;
+  oc_cache_hit : bool;    (** artifact came from the cache *)
+  oc_worker : int;        (** worker index, or -1 for {!compile_serial} *)
+  oc_seconds : float;     (** wall time of this job incl. cache lookup *)
+}
+
+type cache = Compiler.compiled Codecache.t
+(** A compiled-code cache shareable between services and batches. *)
+
+val job_key : job -> string
+(** Content digest of a job (hex MD5): program structure — functions,
+    blocks, instructions, handler tables, classes, check provenance
+    sites — plus the configuration's semantic fields and the
+    architecture name.  Equal keys mean [Compiler.compile] produces
+    identical artifacts. *)
+
+val artifact_bytes : Compiler.compiled -> int
+(** Byte-cost estimate of keeping an artifact resident (used as the
+    cache [size] function): dominated by the pretty-printed size of the
+    optimized program plus the decision log. *)
+
+val create_cache : ?budget_bytes:int -> unit -> cache
+(** A cache keyed for {!job_key}, sized by {!artifact_bytes};
+    [budget_bytes] defaults to {!Codecache.create}'s 64 MiB. *)
+
+type t
+(** A running service: worker domains + job queue + optional cache. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] clamped to [1 .. 8]: one
+    domain stays free for the submitting thread. *)
+
+val create : ?domains:int -> ?queue_capacity:int -> ?cache:cache -> unit -> t
+(** Start a service with [domains] workers (default
+    {!default_domains}, clamped to at least 1) and a queue bound of
+    [queue_capacity] jobs (default 64).  With [cache], every job is
+    looked up before compiling and installed after. *)
+
+val domains : t -> int
+(** Number of worker domains. *)
+
+val cache : t -> cache option
+(** The cache installed at {!create} time, if any. *)
+
+val cache_stats : t -> Codecache.stats option
+(** Shorthand for [Option.map Codecache.stats (cache t)]. *)
+
+val compile_all : t -> job list -> outcome list
+(** Compile every job on the worker pool and return the outcomes in
+    job order (deterministic regardless of completion order).  Blocks
+    until the whole batch is done.  If any job's compilation raised,
+    the exception of the earliest such job is re-raised after the
+    batch drains — the queue is left clean either way.  May be called
+    repeatedly, and from different domains.
+
+    @raise Invalid_argument if the service has been shut down. *)
+
+val compile_serial : ?cache:cache -> job list -> outcome list
+(** Reference implementation: compile the jobs one by one on the
+    calling domain, no queue and no workers.  Differential tests
+    compare {!compile_all} against this. *)
+
+val shutdown : t -> unit
+(** Close the queue and join every worker.  Queued-but-unstarted work
+    from a concurrent {!compile_all} is abandoned (its caller receives
+    [Invalid_argument]); prefer quiescing first.  Idempotent. *)
+
+val with_service :
+  ?domains:int -> ?queue_capacity:int -> ?cache:cache -> (t -> 'a) -> 'a
+(** [with_service f] runs [f] over a fresh service and {!shutdown}s it
+    on any exit path. *)

@@ -34,6 +34,12 @@ let new_point ?(x = 0) () : Value.value =
 let vint n = Value.Vint n
 let vnull = Value.Vref Value.Null
 
+(** Substring test for asserting on error-message content. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (** Compile with a config and check the result still validates and (for
     non-override configs) passes the implicit-check verifier. *)
 let compile ?(arch = Arch.ia32_windows) cfg prog =

@@ -41,6 +41,55 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
 
+(* Truncations of a well-formed document must all fail (except the
+   prefixes that happen to be complete documents themselves — for this
+   input there are none beyond the full string). *)
+let test_json_truncated () =
+  let doc = "{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":null}}" in
+  (match Json.of_string doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "full document must parse: %s" e);
+  for len = 0 to String.length doc - 1 do
+    match Json.of_string (String.sub doc 0 len) with
+    | Ok _ -> Alcotest.failf "accepted truncation %S" (String.sub doc 0 len)
+    | Error _ -> ()
+  done
+
+let test_json_bad_escapes () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted bad escape: %s" s
+      | Error _ -> ())
+    [
+      "\"\\q\"" (* unknown escape letter *);
+      "\"\\" (* escape at end of input *);
+      "\"\\u12\"" (* short \u *);
+      "\"\\uZZZZ\"" (* non-hex \u *);
+      "\"\\u123" (* \u cut by end of input *);
+    ];
+  (* the good escapes still work and mean what they should *)
+  match Json.of_string "\"\\u0041\\n\\t\\\\\\\"\\u20ac\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escapes" "A\n\t\\\"\xe2\x82\xac" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "good escapes rejected: %s" e
+
+let test_json_duplicate_keys () =
+  (match Json.of_string "{\"a\":1,\"a\":2}" with
+  | Ok _ -> Alcotest.fail "accepted duplicate key"
+  | Error e ->
+    Alcotest.(check bool)
+      "error names the key" true
+      (H.contains e "duplicate key"));
+  (* nested duplicates are caught too *)
+  (match Json.of_string "{\"outer\":{\"x\":1,\"x\":1}}" with
+  | Ok _ -> Alcotest.fail "accepted nested duplicate key"
+  | Error _ -> ());
+  (* same key at different depths is fine *)
+  match Json.of_string "{\"a\":{\"a\":1},\"b\":[{\"a\":2}]}" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected legal reuse across depths: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -312,6 +361,9 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "truncated input" `Quick test_json_truncated;
+          Alcotest.test_case "bad escapes" `Quick test_json_bad_escapes;
+          Alcotest.test_case "duplicate keys" `Quick test_json_duplicate_keys;
         ] );
       ( "metrics",
         [
