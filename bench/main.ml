@@ -400,6 +400,45 @@ let service_throughput () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing throughput                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = Nullelim.Gen
+module Diff = Nullelim.Diff
+
+type fuzz_bench = {
+  fb_programs : int;
+  fb_seconds : float;
+  fb_passed : int;
+  fb_skipped : int;
+}
+
+(** Push generated programs through the full serial oracle set
+    (generate, strict-validate, compile under every configuration,
+    verify, reconcile, behaviour-diff, solver identity, profile
+    equations) and report programs/sec — the cost model behind the
+    nightly fuzz budget.  Any differential failure aborts the bench:
+    the fuzzer gating CI must be clean here too. *)
+let fuzz_throughput () =
+  section "Differential fuzzing: programs/sec through the oracle set"
+    "fuzz harness";
+  let n = 25 * scale in
+  let t0 = Unix.gettimeofday () in
+  let passed = ref 0 and skipped = ref 0 in
+  for seed = 1 to n do
+    let g = Gen.generate ~seed () in
+    match Diff.check g.Nullelim.Gen.g_program with
+    | Diff.Pass -> incr passed
+    | Diff.Skip _ -> incr skipped
+    | Diff.Fail f ->
+      failwith (Fmt.str "fuzz bench: seed %d fails: %a" seed Diff.pp_failure f)
+  done;
+  let s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%d programs in %.2f s — %.1f programs/sec (%d passed, %d skipped)@."
+    n s (float_of_int n /. Float.max 1e-9 s) !passed !skipped;
+  { fb_programs = n; fb_seconds = s; fb_passed = !passed; fb_skipped = !skipped }
+
+(* ------------------------------------------------------------------ *)
 (* Solver engine comparison: worklist vs reference round-robin          *)
 (* ------------------------------------------------------------------ *)
 
@@ -501,7 +540,7 @@ let bechamel_suite () =
 
 let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
     ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on)
-    ~throughput:(th : throughput) =
+    ~throughput:(th : throughput) ~fuzz:(fb : fuzz_bench) =
   let open Json in
   let compile_row_json (r : E.compile_row) =
     Obj
@@ -628,6 +667,21 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
                     ("evictions", Int th.th_cache.Codecache.evictions);
                   ] );
             ] );
+        (* differential-fuzzing throughput: generated programs/sec
+           through the full serial oracle set, the cost model for the
+           nightly fuzz budget *)
+        ( "fuzz",
+          Obj
+            [
+              ("programs", Int fb.fb_programs);
+              ("seconds", Float fb.fb_seconds);
+              ( "programs_per_sec",
+                Float
+                  (float_of_int fb.fb_programs /. Float.max 1e-9 fb.fb_seconds)
+              );
+              ("passed", Int fb.fb_passed);
+              ("skipped", Int fb.fb_skipped);
+            ] );
         (* per-pass timing/solver metrics of the reference javac compile,
            in the versioned metrics-snapshot schema (validated in CI via
            `nullelim validate-json`) *)
@@ -661,6 +715,7 @@ let () =
   let dynamic = dynamic_profile () in
   let overhead = profiling_overhead () in
   let throughput = service_throughput () in
+  let fuzz = fuzz_throughput () in
   let solver = solver_comparison () in
   let bech = bechamel_suite () in
   (match json_path with
@@ -676,5 +731,5 @@ let () =
           ("ablation", "cycles", abl);
         ]
       ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech
-      ~dynamic ~overhead ~throughput);
+      ~dynamic ~overhead ~throughput ~fuzz);
   Fmt.pr "@.done.@."

@@ -507,6 +507,260 @@ let batch_cmd =
     Cmdliner.Term.(
       const run $ arch_arg $ scale_arg $ jobs_arg $ repeat_arg $ cache_arg)
 
+(* --- fuzz ---------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Generate a corpus of seeded random IR programs and run the full \
+     differential oracle set over each one: strict input validation, \
+     per-configuration compile + verify + decision-log reconciliation, \
+     observable behaviour against the raw program, worklist-versus-\
+     reference solver identity, baseline profile-count consistency and \
+     (with a worker pool) serial-versus-parallel artifact identity.  \
+     Failures are shrunk to minimal reproducers and the run is written \
+     as a nullelim-fuzz/1 JSON report."
+  in
+  let seed_arg =
+    Cmdliner.Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master corpus seed; each program gets its own derived seed, \
+             recorded in failure rows so one program can be regenerated \
+             in isolation.")
+  in
+  let count_arg =
+    Cmdliner.Arg.(
+      value & opt int 200
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of programs.")
+  in
+  let size_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int Gen.default_params.Gen.p_size
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Generator size parameter (statement budget of main).")
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel-compile differential; 0 \
+             (default) runs the serial oracles only.")
+  in
+  let flight_arg =
+    Cmdliner.Arg.(
+      value & opt int 8
+      & info [ "flight" ] ~docv:"N"
+          ~doc:
+            "Programs per pool flight; bounds resident artifacts \
+             (ignored without --jobs).")
+  in
+  let shrink_arg =
+    Cmdliner.Arg.(
+      value
+      & vflag true
+          [
+            (true, info [ "shrink" ] ~doc:"Shrink failures (default).");
+            (false, info [ "no-shrink" ] ~doc:"Report failures unshrunk.");
+          ])
+  in
+  let mutate_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Self-test: weaken the phase-2 kill rule (Print stops acting \
+             as a barrier) for the whole run and $(b,expect) the oracles \
+             to catch it — the exit status is inverted, failing only if \
+             every program still passes.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the nullelim-fuzz/1 JSON report to $(docv).")
+  in
+  let run arch master count size jobs flight do_shrink mutate out =
+    let count = max 0 count and flight = max 1 flight in
+    let params = { Gen.default_params with Gen.p_size = max 1 size } in
+    let seeds =
+      let r = Gen_rng.make master in
+      Array.init count (fun _ -> Gen_rng.fresh_seed r)
+    in
+    (* produce and fold both run on this domain, in index order *)
+    let gens : (int, Gen.t) Hashtbl.t = Hashtbl.create 16 in
+    let gen_for i =
+      match Hashtbl.find_opt gens i with
+      | Some g -> g
+      | None ->
+        let g = Gen.generate ~params ~seed:seeds.(i) () in
+        Hashtbl.replace gens i g;
+        g
+    in
+    let dist = ref Fuzz_report.empty_distribution in
+    let passed = ref 0
+    and skipped = ref 0
+    and failed = ref 0
+    and pool_compiles = ref 0
+    and cache_hits = ref 0
+    and failures = ref [] in
+    let record_failure i (f : Diff.failure) =
+      incr failed;
+      let g = gen_for i in
+      let shrunk =
+        if not do_shrink then None
+        else
+          let pred q = Diff.still_fails ~arch f q in
+          if not (pred g.Gen.g_program) then
+            (* e.g. a pool-only serial/parallel divergence — the serial
+               shrinker predicate cannot reproduce it *)
+            None
+          else
+            let q, st = Shrink.shrink ~still_fails:pred g.Gen.g_program in
+            Some
+              ( st.Shrink.sh_instrs_after,
+                st.Shrink.sh_steps,
+                Fuzz_report.program_to_string q )
+      in
+      failures :=
+        {
+          Fuzz_report.fr_seed = seeds.(i);
+          fr_oracle = f.Diff.fl_oracle;
+          fr_config = f.Diff.fl_config;
+          fr_detail = f.Diff.fl_detail;
+          fr_shrunk = shrunk;
+        }
+        :: !failures
+    in
+    let settle i (pool_outcomes : Svc.outcome list option) =
+      let g = gen_for i in
+      dist := Fuzz_report.add_features !dist g.Gen.g_features;
+      let artifact_failure () =
+        match pool_outcomes with
+        | None -> None
+        | Some parallel ->
+          let serial = Svc.compile_serial (Diff.jobs ~arch g.Gen.g_program) in
+          Diff.compare_artifacts ~serial ~parallel
+      in
+      (match Diff.check ~arch g.Gen.g_program with
+      | Diff.Fail f -> record_failure i f
+      | Diff.Skip _ -> (
+        (* no behavioural signal, but artifacts still compile *)
+        match artifact_failure () with
+        | Some f -> record_failure i f
+        | None -> incr skipped)
+      | Diff.Pass -> (
+        match artifact_failure () with
+        | Some f -> record_failure i f
+        | None -> incr passed));
+      Hashtbl.remove gens i
+    in
+    let t0 = Unix.gettimeofday () in
+    let with_mutation body =
+      if not mutate then body ()
+      else begin
+        Atomic.set Phase2.mutate_kill_barrier true;
+        Fun.protect
+          ~finally:(fun () -> Atomic.set Phase2.mutate_kill_barrier false)
+          body
+      end
+    in
+    with_mutation (fun () ->
+        if jobs > 0 then
+          let cache = Svc.create_cache () in
+          Svc.with_service ~domains:jobs ~cache (fun t ->
+              Svc.compile_fold t ~flight ~count ~init:()
+                ~f:(fun () i outcomes ->
+                  pool_compiles := !pool_compiles + List.length outcomes;
+                  cache_hits :=
+                    !cache_hits
+                    + List.length
+                        (List.filter (fun o -> o.Svc.oc_cache_hit) outcomes);
+                  settle i (Some outcomes))
+                (fun i -> Diff.jobs ~arch (gen_for i).Gen.g_program))
+        else
+          for i = 0 to count - 1 do
+            settle i None
+          done);
+    let wall = Unix.gettimeofday () -. t0 in
+    let report =
+      {
+        Fuzz_report.fz_seed = master;
+        fz_count = count;
+        fz_gen_version = Gen.gen_version;
+        fz_size = size;
+        fz_arch = arch.Arch.name;
+        fz_jobs = max jobs 0;
+        fz_mutate = mutate;
+        fz_passed = !passed;
+        fz_skipped = !skipped;
+        fz_failed = !failed;
+        fz_pool_compiles = !pool_compiles;
+        fz_cache_hits = !cache_hits;
+        fz_seconds = wall;
+        fz_distribution = !dist;
+        fz_failures = List.rev !failures;
+      }
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (Fuzz_report.to_json report));
+      output_char oc '\n';
+      close_out oc);
+    let d = !dist in
+    Fmt.pr "fuzz         : %d programs (master seed %d, gen v%d, size %d)@."
+      count master Gen.gen_version size;
+    Fmt.pr "verdicts     : %d pass / %d skip / %d fail%s@." !passed !skipped
+      !failed
+      (if mutate then " [phase-2 kill-rule mutation active]" else "");
+    Fmt.pr
+      "distribution : try %d, alias %d, null %d, loop %d, recursive %d, %d \
+       instrs@."
+      d.Fuzz_report.ds_with_try d.Fuzz_report.ds_with_alias
+      d.Fuzz_report.ds_with_null d.Fuzz_report.ds_with_loop
+      d.Fuzz_report.ds_recursive d.Fuzz_report.ds_instrs_total;
+    if jobs > 0 then
+      Fmt.pr "pool         : %d domains, %d compiles, %d cache hits@." jobs
+        !pool_compiles !cache_hits;
+    Fmt.pr "wall time    : %.2f s (%.1f programs/sec)@." wall
+      (float_of_int count /. Float.max 1e-9 wall);
+    (match out with
+    | Some path -> Fmt.pr "report       : %s@." path
+    | None -> ());
+    List.iter
+      (fun (r : Fuzz_report.failure_row) ->
+        Fmt.epr "FAIL seed %d: [%s] %s%s@." r.Fuzz_report.fr_seed
+          r.Fuzz_report.fr_oracle
+          (if r.Fuzz_report.fr_config = "" then ""
+           else r.Fuzz_report.fr_config ^ ": ")
+          r.Fuzz_report.fr_detail;
+        match r.Fuzz_report.fr_shrunk with
+        | Some (instrs, steps, printed) ->
+          Fmt.epr "  shrunk to %d instrs in %d steps:@.%s@." instrs steps
+            printed
+        | None -> ())
+      report.Fuzz_report.fz_failures;
+    if mutate then
+      if !failed > 0 then
+        Fmt.pr "mutation     : caught by the oracles (%d failures), as \
+                expected@."
+          !failed
+      else begin
+        Fmt.epr "mutation went UNDETECTED across %d programs@." count;
+        exit 1
+      end
+    else if !failed > 0 then exit 1
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "fuzz" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ seed_arg $ count_arg $ size_arg $ jobs_arg
+      $ flight_arg $ shrink_arg $ mutate_arg $ out_arg)
+
 (* --- validate-json ------------------------------------------------- *)
 
 let validate_json_cmd =
@@ -564,11 +818,16 @@ let validate_json_cmd =
             Fmt.pr "%s: OK (dynamic schema v%d)@." path
               PR.dynamic_schema_version
           | Error _ -> (
-            match validate_trace j with
-            | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
-            | Error _ ->
-              Fmt.epr "%s: invalid: %s@." path metrics_err;
-              exit 1))))
+            match Fuzz_report.validate (sub "fuzz") with
+            | Ok () ->
+              Fmt.pr "%s: OK (fuzz schema v%d)@." path
+                Fuzz_report.schema_version
+            | Error _ -> (
+              match validate_trace j with
+              | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+              | Error _ ->
+                Fmt.epr "%s: invalid: %s@." path metrics_err;
+                exit 1)))))
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
     Cmdliner.Term.(const run $ file_arg)
@@ -581,5 +840,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            batch_cmd; validate_json_cmd;
+            batch_cmd; fuzz_cmd; validate_json_cmd;
           ]))

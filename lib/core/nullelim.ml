@@ -89,6 +89,19 @@ module Svc = Nullelim_svc.Svc
 module Chan = Nullelim_svc.Chan
 module Codecache = Nullelim_svc.Codecache
 
+(** {1 Random program generation and differential fuzzing}
+
+    A seeded, deterministic IR program generator ([Gen]), a structural
+    shrinker ([Shrink]), the differential oracle set ([Diff]) and the
+    [nullelim-fuzz/1] report / [nullelim-corpus/1] corpus-entry formats
+    ([Fuzz_report]).  Driven by the [fuzz] CLI command. *)
+
+module Gen = Nullelim_gen.Gen
+module Gen_rng = Nullelim_gen.Rng
+module Shrink = Nullelim_gen.Shrink
+module Diff = Nullelim_gen.Diff
+module Fuzz_report = Nullelim_gen.Report
+
 (** {1 Telemetry}
 
     Trace spans ([Obs.span], Chrome trace-event output via

@@ -1,0 +1,67 @@
+(** Differential oracles over generated programs: strict input
+    validation, compile/validate/verify/reconcile per configuration,
+    observable behaviour against the raw program, worklist-vs-reference
+    solver identity, baseline profile-count consistency, and (batched)
+    serial-vs-parallel artifact identity. *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+module Config = Nullelim_jit.Config
+module Compiler = Nullelim_jit.Compiler
+module Interp = Nullelim_vm.Interp
+module Svc = Nullelim_svc.Svc
+
+type failure = {
+  fl_oracle : string;  (** oracle name: ["validate-input"],
+      ["compile-crash"], ["validate-output"], ["verify"], ["reconcile"],
+      ["behaviour"], ["solver"], ["profile"], ["serial-parallel"] *)
+  fl_config : string;  (** configuration name, or [""] *)
+  fl_detail : string;
+}
+
+type verdict = Pass | Skip of string | Fail of failure
+(** [Skip]: the raw program itself hit a simulator error (fuel,
+    call-depth) — no differential signal. *)
+
+val pp_failure : failure Fmt.t
+
+val default_configs : Config.t list
+(** Every legal (non-override) Windows-suite configuration. *)
+
+val default_fuel : int
+
+val code_digest : Compiler.compiled -> string
+(** Content digest of the artifact's optimized code (program structure
+    incl. provenance sites, under its config/arch).  Equal digests mean
+    byte-identical code. *)
+
+val check :
+  ?arch:Arch.t ->
+  ?configs:Config.t list ->
+  ?fuel:int ->
+  Ir.program ->
+  verdict
+(** Run every serial oracle.  Compiles on the calling domain and flips
+    the process-global reference-solver switch around its own compiles —
+    callers inside a service folder rely on [Svc.compile_fold]'s
+    pool-idle guarantee. *)
+
+val still_fails :
+  ?arch:Arch.t ->
+  ?configs:Config.t list ->
+  ?fuel:int ->
+  failure ->
+  Ir.program ->
+  bool
+(** Shrinker predicate: [check] fails with the same oracle as the given
+    original failure. *)
+
+val jobs :
+  ?arch:Arch.t -> ?configs:Config.t list -> Ir.program -> Svc.job list
+(** One compile job per configuration, for the service. *)
+
+val compare_artifacts :
+  serial:Svc.outcome list -> parallel:Svc.outcome list -> failure option
+(** Byte-identity of pool-compiled artifacts against the serial
+    reference path: code digest, check statistics, decision log.
+    Wall-clock and worker-provenance fields are exempt by contract. *)

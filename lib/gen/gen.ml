@@ -1,0 +1,503 @@
+(** Seeded random IR program generator.
+
+    Produces whole programs in the raw front-end form (explicit
+    [Null_check]/[Bound_check] before every access, as {!Ir_builder}
+    emits them) biased toward the shapes where the paper's exception
+    semantics can break:
+
+    - try regions, including nesting, with observable handlers;
+    - pointer aliasing through copies and re-definitions;
+    - loads and stores through possibly-null references (a null is
+      always in the reference pool, and call sites inject [Cnull]
+      arguments);
+    - deep and recursive call chains ([main -> f0 -> f1 -> ... -> rec]);
+    - arithmetic exceptions, out-of-bounds indices, user throws.
+
+    Generation is deterministic: the same [seed] yields a byte-identical
+    program, including check provenance sites (the domain's site counter
+    is reset at the start of every generation — callers that interleave
+    generation with other IR construction must not rely on cross-program
+    site uniqueness).  Every statement shape keeps two invariants the
+    validator enforces in strict mode: every variable is definitely
+    assigned on all paths before use (pools are initialized at function
+    entry and only ever re-defined), and try regions are entered only at
+    their entry block (all control flow goes through the structured
+    builder combinators).
+
+    {!gen_version} names the distribution.  Bump it whenever a change
+    alters what any seed produces — committed corpus entries and CI
+    seeds are only meaningful for the version they were recorded
+    against; see DESIGN.md §12 for the policy. *)
+
+module Ir = Nullelim_ir.Ir
+module Builder = Nullelim_ir.Ir_builder
+
+let gen_version = 1
+
+type params = {
+  p_size : int;      (** statement budget of [main]; chain functions get
+                         a random budget up to this *)
+  p_max_funcs : int; (** maximum number of chain functions f0..fk-1 *)
+  p_max_depth : int; (** nesting depth of structured statements *)
+}
+
+let default_params = { p_size = 24; p_max_funcs = 3; p_max_depth = 3 }
+
+type features = {
+  f_instrs : int;        (** total instructions (terminators excluded) *)
+  f_funcs : int;
+  f_try_blocks : int;    (** blocks inside some try region *)
+  f_aliases : int;       (** reference-to-reference copies emitted *)
+  f_nulls : int;         (** [Cnull] moves and call arguments emitted *)
+  f_calls : int;         (** call instructions emitted (static + virtual) *)
+  f_virtual_calls : int;
+  f_loops : int;         (** counted loops emitted *)
+  f_recursive : bool;    (** the recursive chain function was generated *)
+}
+
+type t = {
+  g_seed : int;
+  g_gen_version : int;
+  g_program : Ir.program;
+  g_features : features;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fixed object model                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fld_x = { Ir.fname = "x"; foffset = 16; fkind = Ir.Kint }
+let fld_y = { Ir.fname = "y"; foffset = 24; fkind = Ir.Kint }
+let fld_next = { Ir.fname = "next"; foffset = 32; fkind = Ir.Kref }
+
+(** Beyond every architecture's trap area (Figure 5(1) "BigOffset"):
+    forces phase 2 to keep explicit checks at these accesses. *)
+let fld_big = { Ir.fname = "big"; foffset = 524272; fkind = Ir.Kint }
+
+let cls_a =
+  {
+    Ir.cname = "A";
+    csuper = None;
+    cfields = [ fld_x; fld_y; fld_next; fld_big ];
+    cmethods = [ ("get", "A_get") ];
+  }
+
+let cls_b =
+  {
+    Ir.cname = "B";
+    csuper = Some "A";
+    cfields = [ { Ir.fname = "z"; foffset = 40; fkind = Ir.Kint } ];
+    cmethods = [ ("get", "B_get") ];
+  }
+
+(** [A.get]: [this.x + 1].  [this] is non-null by the method contract,
+    so the optimizer should fold the receiver check away. *)
+let func_a_get () =
+  let b = Builder.create ~name:"A_get" ~is_method:true ~params:[ "this" ] () in
+  let v = Builder.fresh b in
+  Builder.getfield b ~dst:v ~obj:0 fld_x;
+  let w = Builder.fresh b in
+  Builder.emit b (Ir.Binop (w, Add, Var v, Cint 1));
+  Builder.terminate b (Ir.Return (Some (Var w)));
+  Builder.finish b
+
+(** [B.get]: [this.y * 2] — a distinct observable result so virtual
+    dispatch mix-ups change behaviour. *)
+let func_b_get () =
+  let b = Builder.create ~name:"B_get" ~is_method:true ~params:[ "this" ] () in
+  let v = Builder.fresh b in
+  Builder.getfield b ~dst:v ~obj:0 fld_y;
+  let w = Builder.fresh b in
+  Builder.emit b (Ir.Binop (w, Mul, Var v, Cint 2));
+  Builder.terminate b (Ir.Return (Some (Var w)));
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Statement generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type feat = {
+  mutable ft_aliases : int;
+  mutable ft_nulls : int;
+  mutable ft_calls : int;
+  mutable ft_vcalls : int;
+  mutable ft_loops : int;
+}
+
+type ctx = {
+  b : Builder.t;
+  rng : Rng.t;
+  (* variable pools.  Every pool variable is assigned at function entry
+     and only ever re-defined, so definite assignment holds on all
+     paths by construction.  Pools are extended only in lexical scopes
+     that dominate every use (the loop-counter case). *)
+  mutable ints : Ir.var list;
+  mutable refs : Ir.var list; (* class-A/B objects or null — never arrays *)
+  mutable arrs : Ir.var list; (* int arrays or null — never objects *)
+  statics : (string * [ `Chain | `Rec ]) list;
+  ft : feat;
+}
+
+let iv ctx = Rng.choose ctx.rng ctx.ints
+let rv ctx = Rng.choose ctx.rng ctx.refs
+let av ctx = Rng.choose ctx.rng ctx.arrs
+
+let iop ctx =
+  if Rng.bool ctx.rng then Ir.Var (iv ctx)
+  else Ir.Cint (Rng.int ctx.rng 13 - 3)
+
+(** A reference argument/operand; sometimes a literal null. *)
+let refop ctx =
+  if Rng.int ctx.rng 6 = 0 then begin
+    ctx.ft.ft_nulls <- ctx.ft.ft_nulls + 1;
+    Ir.Cnull
+  end
+  else Ir.Var (rv ctx)
+
+let arrop ctx =
+  if Rng.int ctx.rng 8 = 0 then begin
+    ctx.ft.ft_nulls <- ctx.ft.ft_nulls + 1;
+    Ir.Cnull
+  end
+  else Ir.Var (av ctx)
+
+let int_field ctx = Rng.choose ctx.rng [ fld_x; fld_y; fld_big ]
+
+(** Emit a static call to one of the callable targets, destination in
+    the int pool (pre-assigned, so try-wrapped calls stay definitely
+    assigned after the join). *)
+let emit_static_call ctx (name, shape) =
+  let d = iv ctx in
+  let args =
+    match shape with
+    | `Chain -> [ refop ctx; refop ctx; arrop ctx; iop ctx ]
+    | `Rec -> [ Ir.Cint (1 + Rng.int ctx.rng 5); refop ctx; arrop ctx ]
+  in
+  Builder.scall ctx.b ~dst:d name args;
+  ctx.ft.ft_calls <- ctx.ft.ft_calls + 1
+
+let rec seq ctx ~depth ~in_try n =
+  if n > 0 then begin
+    stmt ctx ~depth ~in_try;
+    seq ctx ~depth ~in_try (n - 1)
+  end
+
+and stmt ctx ~depth ~in_try =
+  let b = ctx.b in
+  let flat =
+    [
+      ( 5,
+        fun () ->
+          let op =
+            Rng.choose ctx.rng [ Ir.Add; Ir.Sub; Ir.Mul; Ir.Band; Ir.Bxor ]
+          in
+          Builder.emit b (Ir.Binop (iv ctx, op, iop ctx, iop ctx)) );
+      (* division: a potential ArithmeticException, a motion barrier *)
+      (1, fun () -> Builder.emit b (Ir.Binop (iv ctx, Div, iop ctx, iop ctx)));
+      (* standalone explicit check (the paper's "checkcast-like" uses) *)
+      ( 2,
+        fun () ->
+          Builder.emit b (Ir.Null_check (Explicit, rv ctx, Ir.fresh_site ())) );
+      (* field reads/writes through possibly-null references *)
+      ( 4,
+        fun () -> Builder.getfield b ~dst:(iv ctx) ~obj:(rv ctx) (int_field ctx)
+      );
+      ( 2,
+        fun () -> Builder.putfield b ~obj:(rv ctx) (int_field ctx) (iop ctx) );
+      (* pointer chain: load a reference out of the heap *)
+      (2, fun () -> Builder.getfield b ~dst:(rv ctx) ~obj:(rv ctx) fld_next);
+      ( 1,
+        fun () ->
+          let src = refop ctx in
+          Builder.putfield b ~obj:(rv ctx) fld_next src );
+      (* array accesses: null check + bound check + access *)
+      ( 3,
+        fun () ->
+          Builder.aload b ~kind:Ir.Kint ~dst:(iv ctx) ~arr:(av ctx) (iop ctx)
+      );
+      ( 2,
+        fun () ->
+          Builder.astore b ~kind:Ir.Kint ~arr:(av ctx) (iop ctx) (iop ctx) );
+      (1, fun () -> Builder.alen b ~dst:(iv ctx) ~arr:(av ctx));
+      (* observable output — the trace the differential oracle compares *)
+      (2, fun () -> Builder.emit b (Ir.Print (Var (iv ctx))));
+      (* substitution hazard: explicit check, observable output, then a
+         dereference of the same reference.  Phase 2 may only let the
+         deref's trap substitute for the check if nothing observable
+         sits between them — the exact ordering its kill rule protects *)
+      ( 3,
+        fun () ->
+          let r = rv ctx in
+          if Rng.int ctx.rng 3 = 0 then begin
+            ctx.ft.ft_nulls <- ctx.ft.ft_nulls + 1;
+            Builder.emit b (Ir.Move (r, Cnull))
+          end;
+          Builder.emit b (Ir.Null_check (Explicit, r, Ir.fresh_site ()));
+          Builder.emit b (Ir.Print (Var (iv ctx)));
+          Builder.getfield b ~dst:(iv ctx) ~obj:r (int_field ctx) );
+      (* aliasing: reference copies kill/transfer non-null facts *)
+      ( 2,
+        fun () ->
+          ctx.ft.ft_aliases <- ctx.ft.ft_aliases + 1;
+          Builder.emit b (Ir.Move (rv ctx, Var (rv ctx))) );
+      (* runtime null injection *)
+      ( 1,
+        fun () ->
+          ctx.ft.ft_nulls <- ctx.ft.ft_nulls + 1;
+          Builder.emit b (Ir.Move (rv ctx, Cnull)) );
+      (* fresh allocations re-defining pool slots *)
+      ( 2,
+        fun () ->
+          let c = if Rng.bool ctx.rng then "A" else "B" in
+          Builder.emit b (Ir.New_object (rv ctx, c)) );
+      ( 1,
+        fun () ->
+          Builder.emit b
+            (Ir.New_array (av ctx, Ir.Kint, Cint (Rng.int ctx.rng 7))) );
+    ]
+  in
+  let calls =
+    (match ctx.statics with
+    | [] -> []
+    | targets -> [ (2, fun () -> emit_static_call ctx (Rng.choose ctx.rng targets)) ])
+    @ [
+        ( 1,
+          fun () ->
+            let d = iv ctx in
+            Builder.vcall b ~dst:d ~recv:(rv ctx) "get" [];
+            ctx.ft.ft_calls <- ctx.ft.ft_calls + 1;
+            ctx.ft.ft_vcalls <- ctx.ft.ft_vcalls + 1 );
+      ]
+  in
+  let throws =
+    if in_try = 0 then []
+    else
+      [
+        ( 1,
+          fun () ->
+            Builder.if_then b (Ir.Eq, Ir.Var (iv ctx), iop ctx)
+              ~then_:(fun b -> Builder.terminate b (Ir.Throw "boom"))
+              () );
+      ]
+  in
+  let nested =
+    if depth <= 0 then []
+    else
+      [
+        ( 2,
+          fun () ->
+            let budget () = Rng.int ctx.rng 4 in
+            Builder.if_then b (Ir.Lt, Ir.Var (iv ctx), iop ctx)
+              ~then_:(fun _ -> seq ctx ~depth:(depth - 1) ~in_try (budget ()))
+              ~else_:(fun _ -> seq ctx ~depth:(depth - 1) ~in_try (budget ()))
+              () );
+        ( 2,
+          fun () ->
+            let budget () = Rng.int ctx.rng 4 in
+            Builder.if_null b (rv ctx)
+              ~null:(fun _ -> seq ctx ~depth:(depth - 1) ~in_try (budget ()))
+              ~nonnull:(fun _ -> seq ctx ~depth:(depth - 1) ~in_try (budget ()))
+        );
+        ( 2,
+          fun () ->
+            ctx.ft.ft_loops <- ctx.ft.ft_loops + 1;
+            let i = Builder.fresh b in
+            let iters = 1 + Rng.int ctx.rng 3 in
+            let body = 1 + Rng.int ctx.rng 3 in
+            let saved = ctx.ints in
+            Builder.count_do b ~v:i ~from:(Cint 0) ~limit:(Cint iters)
+              (fun _ ->
+                (* the counter is assigned before the body, so it may
+                   join the pool for the body's scope only *)
+                ctx.ints <- i :: saved;
+                seq ctx ~depth:(depth - 1) ~in_try body);
+            ctx.ints <- saved );
+        ( 2,
+          fun () ->
+            if in_try >= 2 then
+              (* keep try nesting bounded; fall back to a plain burst *)
+              seq ctx ~depth:(depth - 1) ~in_try 2
+            else begin
+              let flag = iv ctx in
+              let body = 1 + Rng.int ctx.rng 4 in
+              let observable = Rng.bool ctx.rng in
+              Builder.with_try b
+                ~handler:(fun b ->
+                  Builder.emit b (Ir.Move (flag, Cint 99));
+                  if observable then Builder.emit b (Ir.Print (Var flag)))
+                (fun _ -> seq ctx ~depth:(depth - 1) ~in_try:(in_try + 1) body)
+            end );
+      ]
+  in
+  (Rng.weighted ctx.rng (flat @ calls @ throws @ nested)) ()
+
+(* ------------------------------------------------------------------ *)
+(* Function construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Pre-assigned pools for a chain function [(r1, r2, arr, n)]. *)
+let chain_pools (b : Builder.t) (ft : feat) =
+  let ints =
+    3
+    :: List.init 3 (fun k ->
+           let v = Builder.fresh ~name:(Printf.sprintf "t%d" k) b in
+           Builder.emit b (Ir.Move (v, Ir.Cint k));
+           v)
+  in
+  let alias = Builder.fresh ~name:"ra" b in
+  Builder.emit b (Ir.Move (alias, Ir.Var 0));
+  ft.ft_aliases <- ft.ft_aliases + 1;
+  (ints, [ 0; 1; alias ], [ 2 ])
+
+let gen_chain rng ft ~params ~name ~statics =
+  let b = Builder.create ~name ~params:[ "r1"; "r2"; "arr"; "n" ] () in
+  let ints, refs, arrs = chain_pools b ft in
+  let ctx = { b; rng; ints; refs; arrs; statics; ft } in
+  let budget = 4 + Rng.int rng params.p_size in
+  seq ctx ~depth:params.p_max_depth ~in_try:0 budget;
+  Builder.terminate b (Ir.Return (Some (Ir.Var (iv ctx))));
+  Builder.finish b
+
+(** The bounded-recursion function: [rec (d, r, arr)] counts [d] down
+    through a small random body, so call chains reach real depth. *)
+let gen_rec rng ft ~params =
+  let b = Builder.create ~name:"rec" ~params:[ "d"; "r"; "arr" ] () in
+  Builder.if_then b (Ir.Le, Ir.Var 0, Ir.Cint 0)
+    ~then_:(fun b -> Builder.terminate b (Ir.Return (Some (Ir.Cint 0))))
+    ();
+  let t = Builder.fresh ~name:"t" b in
+  Builder.emit b (Ir.Move (t, Ir.Cint 1));
+  let ctx =
+    { b; rng; ints = [ 0; t ]; refs = [ 1 ]; arrs = [ 2 ]; statics = []; ft }
+  in
+  seq ctx ~depth:(max 1 (params.p_max_depth - 1)) ~in_try:0
+    (2 + Rng.int rng 4);
+  let dm = Builder.fresh b in
+  Builder.emit b (Ir.Binop (dm, Sub, Var 0, Cint 1));
+  let res = Builder.fresh b in
+  Builder.scall b ~dst:res "rec" [ Ir.Var dm; refop ctx; Ir.Var 2 ];
+  ft.ft_calls <- ft.ft_calls + 1;
+  let out = Builder.fresh b in
+  Builder.emit b (Ir.Binop (out, Add, Var res, Var t));
+  Builder.terminate b (Ir.Return (Some (Var out)));
+  Builder.finish b
+
+let gen_main rng ft ~params ~statics =
+  let b = Builder.create ~name:"main" ~params:[] () in
+  (* heap setup: two objects, a guaranteed runtime null, a chain *)
+  let ra = Builder.fresh ~name:"ra" b in
+  Builder.emit b (Ir.New_object (ra, "A"));
+  let rb = Builder.fresh ~name:"rb" b in
+  Builder.emit b (Ir.New_object (rb, if Rng.bool rng then "B" else "A"));
+  let rn = Builder.fresh ~name:"rn" b in
+  Builder.emit b (Ir.Move (rn, Ir.Cnull));
+  ft.ft_nulls <- ft.ft_nulls + 1;
+  Builder.putfield b ~obj:ra fld_x (Ir.Cint (Rng.int rng 10));
+  Builder.putfield b ~obj:ra fld_next (Ir.Var rb);
+  if Rng.bool rng then
+    Builder.putfield b ~obj:rb fld_next
+      (Ir.Var (Rng.choose rng [ ra; rn ]));
+  let arr = Builder.fresh ~name:"arr" b in
+  Builder.emit b (Ir.New_array (arr, Ir.Kint, Cint (Rng.int rng 7)));
+  let arrs =
+    if Rng.bool rng then begin
+      let an = Builder.fresh ~name:"an" b in
+      Builder.emit b (Ir.Move (an, Ir.Cnull));
+      ft.ft_nulls <- ft.ft_nulls + 1;
+      [ arr; an ]
+    end
+    else [ arr ]
+  in
+  let ints =
+    List.init 3 (fun k ->
+        let v = Builder.fresh ~name:(Printf.sprintf "m%d" k) b in
+        Builder.emit b (Ir.Move (v, Ir.Cint k));
+        v)
+  in
+  let ctx = { b; rng; ints; refs = [ ra; rb; rn ]; arrs; statics; ft } in
+  seq ctx ~depth:params.p_max_depth ~in_try:0 params.p_size;
+  (* dedicated call section: drive every chain function, frequently
+     under a try region and with null-injecting argument vectors *)
+  List.iter
+    (fun target ->
+      let call () = emit_static_call ctx target in
+      if Rng.bool rng then
+        Builder.with_try b
+          ~handler:(fun b ->
+            let flag = iv ctx in
+            Builder.emit b (Ir.Move (flag, Cint 77));
+            Builder.emit b (Ir.Print (Var flag)))
+          (fun _ -> call ())
+      else call ())
+    statics;
+  (* observable summary: the int pool is the program's "result state" *)
+  List.iter (fun v -> Builder.emit b (Ir.Print (Var v))) ints;
+  Builder.terminate b (Ir.Return (Some (Ir.Var (List.hd ints))));
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scan_features (p : Ir.program) ft ~recursive : features =
+  let instrs = ref 0 and try_blocks = ref 0 and funcs = ref 0 in
+  Ir.iter_funcs
+    (fun f ->
+      incr funcs;
+      Array.iter
+        (fun (blk : Ir.block) ->
+          instrs := !instrs + Array.length blk.instrs;
+          if blk.breg <> Ir.no_region then incr try_blocks)
+        f.Ir.fn_blocks)
+    p;
+  {
+    f_instrs = !instrs;
+    f_funcs = !funcs;
+    f_try_blocks = !try_blocks;
+    f_aliases = ft.ft_aliases;
+    f_nulls = ft.ft_nulls;
+    f_calls = ft.ft_calls;
+    f_virtual_calls = ft.ft_vcalls;
+    f_loops = ft.ft_loops;
+    f_recursive = recursive;
+  }
+
+let generate ?(params = default_params) ~seed () : t =
+  Ir.reset_sites ();
+  let rng = Rng.make seed in
+  let ft =
+    { ft_aliases = 0; ft_nulls = 0; ft_calls = 0; ft_vcalls = 0; ft_loops = 0 }
+  in
+  let nchain = 1 + Rng.int rng (max 1 params.p_max_funcs) in
+  let with_rec = Rng.int rng 10 < 7 in
+  let chain_names = List.init nchain (fun i -> Printf.sprintf "f%d" i) in
+  let rec_statics = if with_rec then [ ("rec", `Rec) ] else [] in
+  (* f_i may call f_{i+1}.. (and rec): deep, acyclic chains *)
+  let chains =
+    List.mapi
+      (fun i name ->
+        let callees =
+          List.filteri (fun j _ -> j > i) chain_names
+          |> List.map (fun n -> (n, `Chain))
+        in
+        gen_chain (Rng.split rng) ft ~params ~name
+          ~statics:(callees @ rec_statics))
+      chain_names
+  in
+  let recs = if with_rec then [ gen_rec (Rng.split rng) ft ~params ] else [] in
+  let main =
+    gen_main (Rng.split rng) ft ~params
+      ~statics:(List.map (fun n -> (n, `Chain)) chain_names @ rec_statics)
+  in
+  let program =
+    Builder.program
+      ~classes:[ cls_a; cls_b ]
+      ~main:"main"
+      ((main :: chains) @ recs @ [ func_a_get (); func_b_get () ])
+  in
+  {
+    g_seed = seed;
+    g_gen_version = gen_version;
+    g_program = program;
+    g_features = scan_features program ft ~recursive:with_rec;
+  }

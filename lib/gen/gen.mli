@@ -1,0 +1,51 @@
+(** Seeded random IR program generator.
+
+    Deterministic: the same seed (and {!gen_version}) always produces a
+    byte-identical program, including check provenance sites.  Programs
+    are generated in raw front-end form and are biased toward the shapes
+    where exception-semantics preservation can break: try regions
+    (nested, with observable handlers), pointer aliasing through copies,
+    loads/stores through possibly-null references, deep and recursive
+    call chains, and runtime-null values. *)
+
+module Ir = Nullelim_ir.Ir
+
+val gen_version : int
+(** Distribution version.  Bumped whenever a generator change alters
+    what any seed produces; recorded seeds and corpus entries are only
+    meaningful against the version they were produced with (DESIGN.md
+    §12). *)
+
+type params = {
+  p_size : int;      (** statement budget of [main] (chain functions get
+                         a random budget up to this); default 24 *)
+  p_max_funcs : int; (** maximum number of chain functions; default 3 *)
+  p_max_depth : int; (** structured-statement nesting depth; default 3 *)
+}
+
+val default_params : params
+
+type features = {
+  f_instrs : int;        (** total instructions (terminators excluded) *)
+  f_funcs : int;
+  f_try_blocks : int;    (** blocks inside some try region *)
+  f_aliases : int;       (** reference-to-reference copies emitted *)
+  f_nulls : int;         (** [Cnull] moves and call arguments emitted *)
+  f_calls : int;         (** call instructions emitted *)
+  f_virtual_calls : int;
+  f_loops : int;
+  f_recursive : bool;    (** the recursive function was generated *)
+}
+
+type t = {
+  g_seed : int;
+  g_gen_version : int;
+  g_program : Ir.program;
+  g_features : features;
+}
+
+val generate : ?params:params -> seed:int -> unit -> t
+(** Generate one program.  Resets the calling domain's provenance-site
+    counter ({!Ir.reset_sites}) so sites are deterministic per seed;
+    callers interleaving generation with other IR construction must not
+    rely on cross-program site uniqueness. *)

@@ -1,0 +1,75 @@
+(** Splittable pseudo-random number generator (SplitMix64).
+
+    The fuzzer needs reproducibility properties OCaml's [Random] does
+    not give cheaply: a single master seed must determine the whole
+    corpus, each generated program must depend only on its own derived
+    seed (so a failing program can be regenerated from the seed recorded
+    in a report or corpus entry, regardless of [--count] or the order in
+    which the corpus was produced), and nested generation (a function
+    body inside a program) must not perturb sibling draws.  SplitMix64
+    [Steele, Lea, Flood — OOPSLA 2014] provides exactly this: a tiny
+    mixing function over a 64-bit counter, plus an O(1) [split] that
+    derives an independent stream. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* finalization mix of MurmurHash3 / SplitMix64 *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* variant used to derive gammas; the result is forced odd *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xC4CEB9FE1A85EC53L in
+  Int64.logor z 1L
+
+let make (seed : int) : t =
+  { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let split (t : t) : t =
+  let state = next_int64 t in
+  let gamma = mix_gamma (next_int64 t) in
+  { state; gamma }
+
+(** A non-negative 62-bit draw — safe as an OCaml [int] on 64-bit. *)
+let bits (t : t) : int =
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** Uniform draw in [0, n).  The modulo bias is < n / 2^62 — irrelevant
+    for the small bounds the generator uses. *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+let bool (t : t) : bool = Int64.logand (next_int64 t) 1L = 1L
+
+let choose (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Pick from a weighted list; weights must be positive. *)
+let weighted (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 xs in
+  if total <= 0 then invalid_arg "Rng.weighted: no weight";
+  let rec go k = function
+    | [] -> assert false
+    | (w, x) :: rest -> if k < w then x else go (k - w) rest
+  in
+  go (int t total) xs
+
+(** A fresh positive program seed, drawn from (and advancing) [t].
+    Recording this value is enough to regenerate the derived program. *)
+let fresh_seed (t : t) : int = bits t

@@ -1,0 +1,35 @@
+(** Splittable deterministic PRNG (SplitMix64) for the IR fuzzer.
+
+    One master seed determines the whole corpus; {!split} derives an
+    independent stream so each program depends only on its own seed and
+    can be regenerated in isolation. *)
+
+type t
+
+val make : int -> t
+(** Seed a generator.  The same seed always yields the same stream. *)
+
+val split : t -> t
+(** Derive an independent stream; advances the parent by two draws. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit draw; advances the state. *)
+
+val bits : t -> int
+(** A non-negative 62-bit draw. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  @raise Invalid_argument on
+    [n <= 0]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick.  @raise Invalid_argument on the empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick with the given positive weights. *)
+
+val fresh_seed : t -> int
+(** A positive program seed drawn from (and advancing) [t]; recording
+    it is enough to regenerate the derived program. *)

@@ -1,0 +1,300 @@
+(** Greedy structural minimizer for failing generated programs.
+
+    Given a failure predicate (supplied by the differential harness),
+    repeatedly tries size-reducing candidate edits — whole-function
+    removal, call stubbing, try-region flattening, branch straightening,
+    instruction-chunk deletion — and keeps any edit after which the
+    program still validates and still fails.  Every edit is a monotone
+    removal or replacement (a stubbed call never becomes a call again),
+    so the process terminates without needing to compare programs.
+
+    Candidates that break the validator (e.g. a deletion that leaves a
+    variable undefined on some path) are simply discarded; this is what
+    keeps the shrinker honest against [Ir_validate] rather than
+    producing "minimal" programs the compiler was never meant to see. *)
+
+module Ir = Nullelim_ir.Ir
+
+type stats = {
+  sh_steps : int;          (** candidates tried *)
+  sh_accepted : int;       (** candidates kept *)
+  sh_instrs_before : int;
+  sh_instrs_after : int;
+}
+
+let instr_count (p : Ir.program) =
+  let n = ref 0 in
+  Ir.iter_funcs
+    (fun f ->
+      Array.iter (fun (b : Ir.block) -> n := !n + Array.length b.instrs)
+        f.Ir.fn_blocks)
+    p;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Cleanup: drop unreachable blocks, compact labels                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Reachability exactly as the validator sees it: successor edges plus
+    the exceptional edge from every block to its region's handler. *)
+let reachable (f : Ir.func) =
+  let n = Array.length f.Ir.fn_blocks in
+  let seen = Array.make n false in
+  let rec go l =
+    if l >= 0 && l < n && not seen.(l) then begin
+      seen.(l) <- true;
+      let b = f.Ir.fn_blocks.(l) in
+      List.iter go (Ir.succs_of_term b.Ir.term);
+      match Ir.handler_of f b.Ir.breg with Some h -> go h | None -> ()
+    end
+  in
+  go 0;
+  seen
+
+(** Rebuild [f] keeping only reachable blocks, renumbering labels and
+    remapping the handler table.  Handler entries whose region has no
+    remaining member block are dropped. *)
+let drop_unreachable (f : Ir.func) : Ir.func =
+  let seen = reachable f in
+  let n = Array.length f.Ir.fn_blocks in
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for l = 0 to n - 1 do
+    if seen.(l) then begin
+      remap.(l) <- !next;
+      incr next
+    end
+  done;
+  let blocks =
+    Array.of_list
+      (List.filter_map
+         (fun l ->
+           if not seen.(l) then None
+           else
+             let b = f.Ir.fn_blocks.(l) in
+             Some
+               {
+                 Ir.instrs = Array.copy b.Ir.instrs;
+                 term = Ir.map_term_labels (fun t -> remap.(t)) b.Ir.term;
+                 breg = b.Ir.breg;
+               })
+         (List.init n Fun.id))
+  in
+  let live_regions =
+    Array.fold_left
+      (fun acc (b : Ir.block) ->
+        if b.breg <> Ir.no_region && not (List.mem b.breg acc) then
+          b.breg :: acc
+        else acc)
+      [] blocks
+  in
+  let handlers =
+    List.filter_map
+      (fun (r, h) ->
+        if seen.(h) && List.mem r live_regions then Some (r, remap.(h))
+        else None)
+      f.Ir.fn_handlers
+  in
+  { f with fn_blocks = blocks; fn_handlers = handlers }
+
+let replace_func (p : Ir.program) (f : Ir.func) =
+  Hashtbl.replace p.Ir.funcs f.Ir.fn_name f
+
+(* ------------------------------------------------------------------ *)
+(* Candidate edits                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Function names that must stay: main, virtual-dispatch targets, and
+    every remaining static-call target. *)
+let required_funcs (p : Ir.program) =
+  let req = Hashtbl.create 8 in
+  Hashtbl.replace req p.Ir.prog_main ();
+  Hashtbl.iter
+    (fun _ (c : Ir.cls) ->
+      List.iter (fun (_, target) -> Hashtbl.replace req target ()) c.Ir.cmethods)
+    p.Ir.classes;
+  Ir.iter_funcs
+    (fun f ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (function
+              | Ir.Call (_, Static name, _) -> Hashtbl.replace req name ()
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.fn_blocks)
+    p;
+  req
+
+(** Each candidate is a thunk producing an edited deep copy. *)
+let candidates (p : Ir.program) : (unit -> Ir.program) list =
+  let funcs =
+    (* deterministic order: main first, then sorted *)
+    Hashtbl.fold (fun name _ acc -> name :: acc) p.Ir.funcs []
+    |> List.sort compare
+  in
+  let remove_funcs =
+    let req = required_funcs p in
+    List.filter_map
+      (fun name ->
+        if Hashtbl.mem req name then None
+        else
+          Some
+            (fun () ->
+              let q = Ir.copy_program p in
+              Hashtbl.remove q.Ir.funcs name;
+              q))
+      funcs
+  in
+  let per_func g = List.concat_map (fun name -> g (Ir.find_func p name)) funcs in
+  (* stub a call: unlocks function removal and cuts call chains *)
+  let stub_calls =
+    per_func (fun f ->
+        let acc = ref [] in
+        Array.iteri
+          (fun l (b : Ir.block) ->
+            Array.iteri
+              (fun i instr ->
+                match instr with
+                | Ir.Call (dst, _, _) ->
+                  acc :=
+                    (fun () ->
+                      let q = Ir.copy_program p in
+                      let qf = Ir.find_func q f.Ir.fn_name in
+                      let qb = (Ir.block qf l).Ir.instrs in
+                      (match dst with
+                      | Some d -> qb.(i) <- Ir.Move (d, Ir.Cint 0)
+                      | None ->
+                        qb.(i) <- Ir.Move (0, Ir.Var 0) (* no-op placeholder *));
+                      q)
+                    :: !acc
+                | _ -> ())
+              b.Ir.instrs)
+          f.Ir.fn_blocks;
+        List.rev !acc)
+  in
+  (* flatten a try region: members rejoin the handler's own region *)
+  let flatten_regions =
+    per_func (fun f ->
+        List.map
+          (fun (r, h) ->
+            fun () ->
+              let q = Ir.copy_program p in
+              let qf = Ir.find_func q f.Ir.fn_name in
+              let parent = (Ir.block qf h).Ir.breg in
+              let blocks =
+                Array.map
+                  (fun (b : Ir.block) ->
+                    if b.Ir.breg = r then { b with breg = parent } else b)
+                  qf.Ir.fn_blocks
+              in
+              let qf =
+                {
+                  qf with
+                  fn_blocks = blocks;
+                  fn_handlers = List.remove_assoc r qf.Ir.fn_handlers;
+                }
+              in
+              replace_func q (drop_unreachable qf);
+              q)
+          f.Ir.fn_handlers)
+  in
+  (* straighten a branch: If/Ifnull -> Goto (both directions) *)
+  let straighten =
+    per_func (fun f ->
+        let acc = ref [] in
+        Array.iteri
+          (fun l (b : Ir.block) ->
+            match Ir.succs_of_term b.Ir.term with
+            | [ t1; t2 ] ->
+              List.iter
+                (fun t ->
+                  acc :=
+                    (fun () ->
+                      let q = Ir.copy_program p in
+                      let qf = Ir.find_func q f.Ir.fn_name in
+                      let blocks = qf.Ir.fn_blocks in
+                      blocks.(l) <- { blocks.(l) with term = Ir.Goto t };
+                      replace_func q (drop_unreachable qf);
+                      q)
+                    :: !acc)
+                [ t1; t2 ]
+            | _ -> ())
+          f.Ir.fn_blocks;
+        List.rev !acc)
+  in
+  (* delete instruction chunks: whole block, then halves, then singles *)
+  let delete_instrs =
+    per_func (fun f ->
+        let acc = ref [] in
+        Array.iteri
+          (fun l (b : Ir.block) ->
+            let len = Array.length b.Ir.instrs in
+            let cut lo n =
+              acc :=
+                (fun () ->
+                  let q = Ir.copy_program p in
+                  let qf = Ir.find_func q f.Ir.fn_name in
+                  let blk = Ir.block qf l in
+                  let keep = ref [] in
+                  Array.iteri
+                    (fun i instr ->
+                      if i < lo || i >= lo + n then keep := instr :: !keep)
+                    blk.Ir.instrs;
+                  blk.Ir.instrs <- Array.of_list (List.rev !keep);
+                  q)
+                :: !acc
+            in
+            if len > 0 then begin
+              cut 0 len;
+              if len > 1 then begin
+                let h = len / 2 in
+                cut 0 h;
+                cut h (len - h)
+              end;
+              if len > 2 then
+                for i = 0 to len - 1 do
+                  cut i 1
+                done
+            end)
+          f.Ir.fn_blocks;
+        List.rev !acc)
+  in
+  remove_funcs @ stub_calls @ flatten_regions @ straighten @ delete_instrs
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shrink ?(max_steps = 4000) ~(still_fails : Ir.program -> bool)
+    (p0 : Ir.program) : Ir.program * stats =
+  let steps = ref 0 and accepted = ref 0 in
+  let before = instr_count p0 in
+  let rec pass p =
+    let rec try_candidates = function
+      | [] -> p (* fixed point: no candidate is accepted *)
+      | c :: rest ->
+        if !steps >= max_steps then p
+        else begin
+          incr steps;
+          let q = c () in
+          if
+            Nullelim_ir.Ir_validate.validate_program q = []
+            && still_fails q
+          then begin
+            incr accepted;
+            pass q
+          end
+          else try_candidates rest
+        end
+    in
+    if !steps >= max_steps then p else try_candidates (candidates p)
+  in
+  let result = pass (Ir.copy_program p0) in
+  ( result,
+    {
+      sh_steps = !steps;
+      sh_accepted = !accepted;
+      sh_instrs_before = before;
+      sh_instrs_after = instr_count result;
+    } )

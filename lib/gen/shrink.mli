@@ -1,0 +1,33 @@
+(** Greedy structural minimizer for failing generated programs.
+
+    Tries size-reducing edits (function removal, call stubbing,
+    try-region flattening, branch straightening, instruction deletion)
+    and keeps an edit when the program still passes [Ir_validate] and
+    the caller's failure predicate still holds. *)
+
+module Ir = Nullelim_ir.Ir
+
+type stats = {
+  sh_steps : int;          (** candidates tried *)
+  sh_accepted : int;       (** candidates kept *)
+  sh_instrs_before : int;
+  sh_instrs_after : int;
+}
+
+val instr_count : Ir.program -> int
+(** Total instructions over all functions (terminators excluded). *)
+
+val drop_unreachable : Ir.func -> Ir.func
+(** Remove blocks unreachable from entry (following successor and
+    exceptional-handler edges), renumber labels, remap the handler
+    table, and drop handler entries whose region lost all its blocks. *)
+
+val shrink :
+  ?max_steps:int ->
+  still_fails:(Ir.program -> bool) ->
+  Ir.program ->
+  Ir.program * stats
+(** [shrink ~still_fails p] greedily minimizes [p] while [still_fails]
+    holds (it must hold for [p] itself to make progress).  [max_steps]
+    (default 4000) bounds the number of candidates *tried*.  The input
+    program is not mutated. *)

@@ -28,6 +28,7 @@ type t = {
   mutable cur : Ir.label;
   mutable handlers : (Ir.region * Ir.label) list;
   mutable cur_region : Ir.region;
+  mutable nregions : int;
   var_names : (Ir.var, string) Hashtbl.t;
 }
 
@@ -48,6 +49,7 @@ let create ~name ?(is_method = false) ~params () =
       cur = 0;
       handlers = [];
       cur_region = Ir.no_region;
+      nregions = 0;
       var_names;
     }
   in
@@ -112,7 +114,11 @@ let goto_new (b : t) : Ir.label =
     block built by [handler].  Control falls through to the returned join
     label both after the protected body and after the handler. *)
 let with_try (b : t) ~(handler : t -> unit) (body : t -> unit) : unit =
-  let region = List.length b.handlers + 1 in
+  (* a fresh id from a monotone counter: [List.length b.handlers + 1]
+     would collide for a try nested inside another try's body, whose
+     handler is only registered after the body finishes *)
+  let region = b.nregions + 1 in
+  b.nregions <- region;
   let saved_region = b.cur_region in
   b.cur_region <- region;
   let entry = goto_new b in

@@ -9,9 +9,180 @@
       blocks are tolerated by the optimizer but reported here);
     - virtual calls pass at least the receiver.
 
+    With [~strict:true] (used for generated programs before they reach
+    the solver; the fuzzer's shrinker also re-validates every candidate
+    edit), three deeper well-formedness properties are enforced:
+    - {b definite assignment}: on every path (including the exceptional
+      edge into a handler, which assumes {e none} of the region's block
+      effects happened) each variable is assigned before use;
+    - {b try-region entry discipline}: a try region is entered by normal
+      control flow at a single block — a jump from outside the region
+      into its middle would bypass the state the region's analyses
+      ([Edge_try], handler liveness) assume established at entry;
+    - {b handler placement}: a region's handler must not lie inside the
+      region itself (or a nested one) — an exception in the handler
+      would re-enter it.
+
     Returns a list of human-readable error strings; [\[\]] means valid. *)
 
-let validate_func (p : Ir.program option) (f : Ir.func) : string list =
+(* --- strict-mode helpers ------------------------------------------- *)
+
+(** The region lexically enclosing [r]: the region its handler block
+    lives in.  [no_region] when unknown. *)
+let region_parent (f : Ir.func) (r : Ir.region) : Ir.region =
+  match Ir.handler_of f r with
+  | Some h when h >= 0 && h < Ir.nblocks f -> (Ir.block f h).breg
+  | _ -> Ir.no_region
+
+(** [region_is_ancestor f ~anc r]: is [anc] equal to [r] or on [r]'s
+    parent chain?  Fuel-bounded so malformed (cyclic) handler tables
+    terminate. *)
+let region_is_ancestor (f : Ir.func) ~(anc : Ir.region) (r : Ir.region) : bool =
+  let rec go r fuel =
+    if r = anc then true
+    else if r = Ir.no_region || fuel <= 0 then false
+    else go (region_parent f r) (fuel - 1)
+  in
+  go r (List.length f.fn_handlers + 1)
+
+(** Definite assignment: iterate a forward must-be-assigned analysis to
+    a fixpoint, then report every use of a possibly-unassigned variable.
+    The exceptional edge into the handler of region [r] meets over the
+    {e entry} states of all blocks of [r] — an exception may fire before
+    any instruction of the faulting block has executed. *)
+let check_definite_assignment err (f : Ir.func) =
+  let n = Ir.nblocks f and nv = f.Ir.fn_nvars in
+  let entry_state () = Array.init nv (fun v -> v < f.fn_nparams) in
+  (* inb.(l) = None means "not yet reached" (top) *)
+  let inb = Array.make n None in
+  inb.(0) <- Some (entry_state ());
+  let transfer st (b : Ir.block) =
+    let st = Array.copy st in
+    Array.iter
+      (fun i -> match Ir.def_of_instr i with
+        | Some d when d < nv -> st.(d) <- true
+        | _ -> ())
+      b.instrs;
+    st
+  in
+  let meet_into dst src =
+    match !dst with
+    | None ->
+      dst := Some (Array.copy src);
+      true
+    | Some cur ->
+      let changed = ref false in
+      Array.iteri
+        (fun v s ->
+          if cur.(v) && not s then begin
+            cur.(v) <- false;
+            changed := true
+          end)
+        src;
+      !changed
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun l (b : Ir.block) ->
+        match inb.(l) with
+        | None -> ()
+        | Some st ->
+          let out = transfer st b in
+          List.iter
+            (fun s ->
+              let cell = ref inb.(s) in
+              if meet_into cell out then begin
+                inb.(s) <- !cell;
+                changed := true
+              end)
+            (Ir.succs_of_term b.term);
+          (* exceptional edge: handler sees the block's entry state *)
+          if b.breg <> Ir.no_region then
+            match Ir.handler_of f b.breg with
+            | Some h when h >= 0 && h < n ->
+              let cell = ref inb.(h) in
+              if meet_into cell st then begin
+                inb.(h) <- !cell;
+                changed := true
+              end
+            | _ -> ())
+      f.fn_blocks
+  done;
+  Array.iteri
+    (fun l (b : Ir.block) ->
+      match inb.(l) with
+      | None -> () (* unreachable: already reported *)
+      | Some st ->
+        let st = Array.copy st in
+        let use where v =
+          if v < nv && not st.(v) then
+            err (Printf.sprintf "B%d: %s: variable %s may be unassigned" l
+                   where (Ir.var_name f v))
+        in
+        Array.iteri
+          (fun i instr ->
+            let where = Printf.sprintf "instr %d" i in
+            List.iter (use where) (Ir.uses_of_instr instr);
+            match Ir.def_of_instr instr with
+            | Some d when d < nv -> st.(d) <- true
+            | _ -> ())
+          b.instrs;
+        List.iter (use "terminator") (Ir.uses_of_term b.term))
+    f.fn_blocks
+
+(** Try-region entry discipline and handler placement. *)
+let check_regions err (f : Ir.func) =
+  (* handler of r must not sit inside r (or a region nested in r) *)
+  List.iter
+    (fun (r, h) ->
+      if h >= 0 && h < Ir.nblocks f then
+        let hreg = (Ir.block f h).breg in
+        if region_is_ancestor f ~anc:r hreg then
+          err
+            (Printf.sprintf "handler B%d of region %d lies inside its own region"
+               h r))
+    f.fn_handlers;
+  (* collect, per region, the member blocks entered from outside it *)
+  let entries = Hashtbl.create 8 in
+  Array.iteri
+    (fun s (b : Ir.block) ->
+      List.iter
+        (fun t ->
+          if t >= 0 && t < Ir.nblocks f then begin
+            let treg = (Ir.block f t).breg in
+            (* an edge whose target region is neither the source's
+               region nor an ancestor of it enters [treg] from outside
+               (edges back out to an enclosing region are exits) *)
+            if
+              treg <> Ir.no_region && treg <> b.breg
+              && not (region_is_ancestor f ~anc:treg b.breg)
+            then begin
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt entries treg)
+              in
+              if not (List.mem t cur) then
+                Hashtbl.replace entries treg (t :: cur)
+            end;
+            ignore s
+          end)
+        (Ir.succs_of_term b.term))
+    f.fn_blocks;
+  Hashtbl.iter
+    (fun r targets ->
+      match targets with
+      | [] | [ _ ] -> ()
+      | _ ->
+        err
+          (Printf.sprintf "region %d entered from outside at multiple blocks: %s"
+             r
+             (String.concat ", "
+                (List.sort compare (List.map (Printf.sprintf "B%d") targets)))))
+    entries
+
+let validate_func ?(strict = false) (p : Ir.program option) (f : Ir.func) :
+    string list =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := (f.fn_name ^ ": " ^ s) :: !errs) fmt in
   let n = Ir.nblocks f in
@@ -68,17 +239,23 @@ let validate_func (p : Ir.program option) (f : Ir.func) : string list =
       (fun i s -> if not s then err "B%d unreachable from entry" i)
       seen
   end;
+  (* the deep checks assume structurally sound labels/handlers *)
+  if strict && n > 0 && !errs = [] then begin
+    let err_s s = errs := (f.fn_name ^ ": " ^ s) :: !errs in
+    check_regions err_s f;
+    check_definite_assignment err_s f
+  end;
   List.rev !errs
 
-let validate_program (p : Ir.program) : string list =
+let validate_program ?(strict = false) (p : Ir.program) : string list =
   let errs = ref [] in
   if not (Hashtbl.mem p.funcs p.prog_main) then
     errs := [ "missing main function " ^ p.prog_main ];
-  Ir.iter_funcs (fun f -> errs := validate_func (Some p) f @ !errs) p;
+  Ir.iter_funcs (fun f -> errs := validate_func ~strict (Some p) f @ !errs) p;
   !errs
 
 (** Raise [Invalid_argument] if the program is structurally invalid. *)
-let check_exn p =
-  match validate_program p with
+let check_exn ?(strict = false) p =
+  match validate_program ~strict p with
   | [] -> ()
   | errs -> invalid_arg ("invalid IR:\n" ^ String.concat "\n" errs)

@@ -89,10 +89,23 @@ let analyse (cfg : Cfg.t) : analysis =
     kill.(l) <- k
   done;
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  (* The optimistic [top] must cover only variables that are actually
+     checked in some reachable block.  With [top = full], a cycle with
+     no kill (most visibly: an infinite empty loop) sustains the whole
+     variable universe as "anticipated", and the insertion pass then
+     materializes checks at the entry even for variables the function
+     never checks — or never assigns.  Restricted to genuinely checked
+     variables the cycle can only sustain checks that exist downstream,
+     whose variables are defined at every candidate insertion point in
+     any validated program. *)
+  let checked = Bitset.empty nv in
+  for l = 0 to n - 1 do
+    if Cfg.is_reachable cfg l then Bitset.union_into checked gen.(l)
+  done;
   let empty = Bitset.empty nv in
   let r =
     Solver.solve ~name:"phase1.insertion-points" ~dir:Solver.Backward ~cfg
-      ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
+      ~boundary:(Bitset.empty nv) ~top:checked ~meet:Solver.Inter
       ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
       ~transfer:(fun l out ->
         let s = Bitset.copy out in

@@ -152,21 +152,48 @@ let walk_block ~arch (f : Ir.func) (l : Ir.label)
         emit i)
     (Ir.block f l).instrs
 
-(** Forward data-flow of Section 4.2.1. *)
+(** Forward data-flow of Section 4.2.1.
+
+    Floating checks are killed on retreating edges (RPO position of the
+    target not after the source — every cycle has one).  The optimistic
+    [top]/intersection fixpoint would otherwise let an unconsumed check
+    sustain itself around a loop: each block of the cycle sees every
+    successor "accepting" the check, nothing materializes it, and a
+    check on a variable never dereferenced again simply disappears —
+    observably so when the loop does not terminate (the NPE is traded
+    for divergence).  Killing the fact on the retreating edge makes the
+    materialization at the edge's source mandatory instead. *)
 let analyse ~arch (cfg : Cfg.t) : Solver.result =
   let f = Cfg.func cfg in
   let nv = f.fn_nvars in
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  let retreating m l = Cfg.rpo_pos cfg l <= Cfg.rpo_pos cfg m in
   let empty = Bitset.empty nv in
   Solver.solve ~name:"phase2.forward-motion" ~dir:Solver.Forward ~cfg
     ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
-    ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
+    ~edge:(fun ~src ~dst s ->
+      if same_region src dst && not (retreating src dst) then s else empty)
     ~boundary_blocks:(Cfg.handler_blocks f)
     ~transfer:(fun l inb ->
       let floating = Bitset.copy inb in
       walk_block ~arch f l ~floating ();
       floating)
     ()
+
+(** Mutation-testing hook (flipped only by the fuzzer's self-test; see
+    [Gen.Diff]): when set, the backward substitutable-check elimination
+    stops treating [Print] as a kill barrier, so a check can be deleted
+    as "covered later" across observable output.  The classic unsound
+    variant: the cover raises the same NullPointerException, but only
+    *after* the output between the two points has happened — exactly the
+    trace difference the differential oracle must catch and the shrinker
+    must minimize. *)
+let mutate_kill_barrier : bool Atomic.t = Atomic.make false
+
+let sub_barrier f l i =
+  match i with
+  | Ir.Print _ when Atomic.get mutate_kill_barrier -> false
+  | _ -> Opt_util.barrier f l i
 
 (** Stage 2 of the phase: backward substitutable-check elimination
     (Section 4.2.2).
@@ -203,7 +230,7 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
                  && not (Bitset.mem base killed) ->
             Bitset.add_mut gen base
           | Some _ | None -> ()));
-        if Opt_util.barrier f l i then blocked := true;
+        if sub_barrier f l i then blocked := true;
         match Ir.def_of_instr i with
         | Some d -> Bitset.add_mut killed d
         | None -> ())
@@ -220,11 +247,17 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
     kill.(l) <- k
   done;
   let same_region m l = (Ir.block f m).breg = (Ir.block f l).breg in
+  (* kill covers on retreating edges, as in {!analyse}: the optimistic
+     backward fixpoint would otherwise let a cycle certify itself as
+     "covered later" with no cover anywhere in it, deleting a check in
+     front of a non-terminating loop *)
+  let retreating m l = Cfg.rpo_pos cfg l <= Cfg.rpo_pos cfg m in
   let empty = Bitset.empty nv in
   let r =
     Solver.solve ~name:"phase2.substitutable" ~dir:Solver.Backward ~cfg
       ~boundary:(Bitset.empty nv) ~top:(Bitset.full nv) ~meet:Solver.Inter
-      ~edge:(fun ~src ~dst s -> if same_region src dst then s else empty)
+      ~edge:(fun ~src ~dst s ->
+        if same_region src dst && not (retreating src dst) then s else empty)
       ~transfer:(fun l out ->
         let s = Bitset.copy out in
         Bitset.diff_into s kill.(l);
@@ -251,7 +284,7 @@ let eliminate_substitutable ~arch ~(cfg : Cfg.t) (f : Ir.func)
         in
         if not deleted then out := i :: !out;
         (* update [sub] to the point before [i] *)
-        if Opt_util.barrier f l i then Bitset.clear_mut sub;
+        if sub_barrier f l i then Bitset.clear_mut sub;
         (match Ir.def_of_instr i with
         | Some d -> Bitset.remove_mut sub d
         | None -> ());

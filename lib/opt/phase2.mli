@@ -14,3 +14,11 @@ type stats = {
 }
 
 val run : arch:Arch.t -> Ir.func -> stats
+
+val mutate_kill_barrier : bool Atomic.t
+(** Mutation-testing hook, normally [false].  When set, the backward
+    substitutable-check elimination stops treating [Print] as a kill
+    barrier — an intentionally unsound weakening that lets a check be
+    deleted across observable output.  The fuzzer flips it to prove its
+    differential oracles catch (and its shrinker minimizes) a real
+    phase-2 kill-rule bug; nothing else may touch it. *)

@@ -118,3 +118,32 @@ let checks_in_loops prog fname =
         (Loops.members l))
     loops;
   !count
+
+(** {1 Fuzz corpus}
+
+    Regression entries live in [test/corpus/*.json] (schema
+    [nullelim-corpus/1]); each records [(gen_version, seed, size)] and a
+    human note.  The differential replay in [test_gen] regenerates and
+    re-checks every entry. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let corpus_entries () : (string * Fuzz_report.corpus_entry) list =
+  let dir = "corpus" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           match Json.of_string (read_file path) with
+           | Error e -> Alcotest.failf "%s: JSON parse error: %s" path e
+           | Ok j -> (
+             match Fuzz_report.corpus_entry_of_json j with
+             | Error e -> Alcotest.failf "%s: %s" path e
+             | Ok entry -> (f, entry)))
