@@ -354,7 +354,7 @@ let service_throughput () =
         let p = w.W.build ~scale:1 in
         List.map
           (fun cfg ->
-            { Svc.jb_program = p; jb_config = cfg; jb_arch = Arch.ia32_windows })
+            Svc.job ~config:cfg ~arch:Arch.ia32_windows p)
           Config.windows_suite)
       (Registry.all ())
   in
@@ -398,6 +398,106 @@ let service_throughput () =
     th_warm_seconds = warm;
     th_cache = st;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Code-cache lock contention: single shard vs hash-sharded             *)
+(* ------------------------------------------------------------------ *)
+
+type contention = {
+  cc_domains : int;
+  cc_ops : int;  (* total operations per configuration *)
+  cc_shards : int;
+  cc_single_seconds : float;
+  cc_sharded_seconds : float;
+}
+
+(** Hammer one cache from several domains with a find-heavy mix (1 add
+    per 64 finds over a fixed digest key set) and compare a single
+    global LRU against the hash-sharded layout.  Speedup needs hardware
+    parallelism — on a single-core runner both columns converge, which
+    is the honest number. *)
+let cache_contention () =
+  section "Code cache: sharded vs single-lock contention" "perf harness";
+  let domains = 4 in
+  let ops_per_domain = 200_000 in
+  let keys =
+    Array.init 256 (fun i -> Digest.to_hex (Digest.string (string_of_int i)))
+  in
+  let time ~shards =
+    let cache =
+      Codecache.create ~budget_bytes:(1 lsl 20) ~shards ~size:(fun _ -> 64) ()
+    in
+    Array.iter (fun k -> Codecache.add cache ~key:k 0) keys;
+    let t0 = Unix.gettimeofday () in
+    let worker d =
+      Domain.spawn (fun () ->
+          let n = Array.length keys in
+          for i = 0 to ops_per_domain - 1 do
+            let k = keys.((i * 7 + d) mod n) in
+            if i land 63 = 0 then Codecache.add cache ~key:k i
+            else ignore (Codecache.find cache k)
+          done)
+    in
+    let ds = List.init domains worker in
+    List.iter Domain.join ds;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time ~shards:1) (* warm up *);
+  let single = time ~shards:1 in
+  let shards = 8 in
+  let sharded = time ~shards in
+  let total = domains * ops_per_domain in
+  let rate s = float_of_int total /. Float.max 1e-9 s in
+  Fmt.pr "%d domains x %d ops (1 add / 64 finds), %d keys@." domains
+    ops_per_domain (Array.length keys);
+  Fmt.pr "%-16s %12s %14s@." "layout" "seconds" "ops/sec";
+  Fmt.pr "%-16s %12.4f %14.0f@." "1 shard" single (rate single);
+  Fmt.pr "%-16s %12.4f %14.0f@."
+    (Printf.sprintf "%d shards" shards)
+    sharded (rate sharded);
+  Fmt.pr "sharded speedup: %.2fx@." (single /. Float.max 1e-9 sharded);
+  {
+    cc_domains = domains;
+    cc_ops = total;
+    cc_shards = shards;
+    cc_single_seconds = single;
+    cc_sharded_seconds = sharded;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tiered execution: time-to-peak and steady-state check counts         *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Nullelim_experiments.Steady_state
+
+(** Run every registry workload through the tiered manager in sync mode
+    (deterministic counters — the document the committed baseline
+    regresses against) and force one trap-triggered deoptimization.
+    The steady-state gate (strictly fewer explicit checks than tier 0
+    wherever the full pipeline eliminates any, no serving-thread
+    blocking) aborts the bench on failure. *)
+let tiered_steady_state () =
+  section "Tiered execution: time-to-peak and steady-state checks"
+    "tiered harness";
+  let arch = Arch.ia32_windows in
+  let rows = SS.collect_all ~arch () in
+  let fd = SS.forced_deopt ~arch () in
+  (match SS.check_rows rows with
+  | Ok () -> ()
+  | Error es -> failwith ("tiered bench: " ^ String.concat "; " es));
+  if not (fd.SS.fd_only_offending && fd.SS.fd_reconciled) then
+    failwith "tiered bench: forced deopt touched more than the trapping site";
+  Fmt.pr "%-18s %6s %10s %10s %6s %6s %10s@." "workload" "peak" "tier0"
+    "steady" "promo" "deopt" "recomp(s)";
+  List.iter
+    (fun (r : SS.row) ->
+      Fmt.pr "%-18s %6d %10d %10d %6d %6d %10.4f@." r.SS.ss_workload
+        r.SS.ss_time_to_peak r.SS.ss_tier0 r.SS.ss_steady r.SS.ss_promotions
+        r.SS.ss_deopts r.SS.ss_recompile_seconds)
+    rows;
+  Fmt.pr "forced deopt: trapped site %d -> deoptimized [%s]@." fd.SS.fd_trapped
+    (String.concat "; " (List.map string_of_int fd.SS.fd_deopted));
+  (rows, fd)
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput                                      *)
@@ -540,7 +640,8 @@ let bechamel_suite () =
 
 let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
     ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on)
-    ~throughput:(th : throughput) ~fuzz:(fb : fuzz_bench) =
+    ~throughput:(th : throughput) ~contention:(cc : contention)
+    ~tiered:(ss_rows, fd) ~fuzz:(fb : fuzz_bench) =
   let open Json in
   let compile_row_json (r : E.compile_row) =
     Obj
@@ -667,6 +768,25 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
                     ("evictions", Int th.th_cache.Codecache.evictions);
                   ] );
             ] );
+        (* code-cache lock contention: single global LRU vs hash-sharded
+           under a find-heavy multi-domain mix *)
+        ( "cache_contention",
+          Obj
+            [
+              ("domains", Int cc.cc_domains);
+              ("ops", Int cc.cc_ops);
+              ("shards", Int cc.cc_shards);
+              ("single_shard_seconds", Float cc.cc_single_seconds);
+              ("sharded_seconds", Float cc.cc_sharded_seconds);
+              ( "speedup",
+                Float
+                  (cc.cc_single_seconds
+                  /. Float.max 1e-9 cc.cc_sharded_seconds) );
+            ] );
+        (* tiered steady-state document (versioned nullelim-tiered
+           schema, sync mode — the member BENCH_baseline.json gates
+           promotion/deopt counter drift against) *)
+        ("tiered", SS.tiered_json ~mode:"sync" ss_rows fd);
         (* differential-fuzzing throughput: generated programs/sec
            through the full serial oracle set, the cost model for the
            nightly fuzz budget *)
@@ -715,6 +835,8 @@ let () =
   let dynamic = dynamic_profile () in
   let overhead = profiling_overhead () in
   let throughput = service_throughput () in
+  let contention = cache_contention () in
+  let tiered = tiered_steady_state () in
   let fuzz = fuzz_throughput () in
   let solver = solver_comparison () in
   let bech = bechamel_suite () in
@@ -731,5 +853,5 @@ let () =
           ("ablation", "cycles", abl);
         ]
       ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech
-      ~dynamic ~overhead ~throughput ~fuzz);
+      ~dynamic ~overhead ~throughput ~contention ~tiered ~fuzz);
   Fmt.pr "@.done.@."

@@ -5,6 +5,7 @@ open Nullelim
 module W = Nullelim_workloads.Workload
 module Registry = Nullelim_workloads.Registry
 module PR = Nullelim_experiments.Profile_report
+module SS = Nullelim_experiments.Steady_state
 
 let arch_conv =
   let parse s =
@@ -272,6 +273,12 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+(* replace-or-append one member of a JSON object document *)
+let set_member name v = function
+  | Json.Obj fields ->
+    Json.Obj (List.filter (fun (k, _) -> k <> name) fields @ [ (name, v) ])
+  | _ -> Json.Obj [ (name, v) ]
+
 let profile_cmd =
   let doc =
     "Profile every registry workload under the \
@@ -321,11 +328,6 @@ let profile_cmd =
       & opt (some string) None
       & info [ "write-baseline" ] ~docv:"FILE"
           ~doc:"Record the fresh dynamic counts as the new baseline.")
-  in
-  let set_member name v = function
-    | Json.Obj fields ->
-      Json.Obj (List.filter (fun (k, _) -> k <> name) fields @ [ (name, v) ])
-    | _ -> Json.Obj [ (name, v) ]
   in
   let run arch scale out json_out merge baseline write_baseline =
     let all = PR.collect_all ~scale ~arch () in
@@ -386,6 +388,10 @@ let profile_cmd =
         Fmt.epr "%s: JSON parse error: %s@." path e;
         exit 1
       | Ok b -> (
+        (* the committed baseline groups the per-schema documents under
+           member keys (like BENCH_results.json); bare dynamic docs
+           from older baselines still work *)
+        let b = match Json.member "dynamic" b with Some d -> d | None -> b in
         match PR.check_against_baseline ~baseline:b all with
         | Ok [] -> Fmt.pr "@.baseline check: OK (no regressions, no drift)@."
         | Ok drift ->
@@ -450,7 +456,7 @@ let batch_cmd =
       List.concat_map
         (fun p ->
           List.map
-            (fun cfg -> { Svc.jb_program = p; jb_config = cfg; jb_arch = arch })
+            (fun cfg -> Svc.job ~config:cfg ~arch p)
             configs)
         programs
     in
@@ -506,6 +512,205 @@ let batch_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "batch" ~doc)
     Cmdliner.Term.(
       const run $ arch_arg $ scale_arg $ jobs_arg $ repeat_arg $ cache_arg)
+
+(* --- tiered -------------------------------------------------------- *)
+
+let tiered_cmd =
+  let doc =
+    "Steady-state benchmark of the tiered execution manager over every \
+     registry workload: each program starts at tier 0 (instant compile, \
+     every null check explicit), hit counters promote hot functions to \
+     the full phase1+2 pipeline, and the report records time-to-peak, \
+     executed explicit checks per call at tier 0 versus steady state, \
+     and recompile latency.  A forced-trap scenario additionally proves \
+     that deoptimization re-materializes exactly the offending site.  \
+     Every tier's decision log is reconciled before anything is emitted."
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Recompile asynchronously on $(docv) worker domains while \
+             execution continues (mode `async').  0 compiles at the \
+             submission point on the serving thread (mode `sync', \
+             deterministic counters -- what the committed baseline \
+             records).")
+  in
+  let runs_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int SS.default_runs
+      & info [ "runs" ] ~docv:"N"
+          ~doc:
+            "Tiered runs per workload.  Promotion fires once a \
+             function's call count crosses the threshold, so $(docv) \
+             must exceed it for the steady state to be reached.")
+  in
+  let promote_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "promote-calls" ] ~docv:"N"
+          ~doc:
+            "Override the promotion threshold (calls before tier-2 \
+             recompilation).  0 keeps the configuration default; CI \
+             smoke runs lower it together with --runs.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt string "TIERED_report.md"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Markdown report output path.")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the tiered document (versioned nullelim-tiered \
+             schema) to $(docv).")
+  in
+  let merge_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "merge" ] ~docv:"FILE"
+          ~doc:
+            "Merge the tiered document into an existing bench report \
+             (e.g. BENCH_results.json) under the `tiered' key, creating \
+             the file if absent.")
+  in
+  let baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Check fresh steady-state check counts and promotion/deopt \
+             counters against a committed baseline document (its \
+             `tiered' member if present); exit 1 on any steady-state \
+             regression or counter drift.")
+  in
+  let write_baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Record the fresh tiered document as the new baseline.")
+  in
+  let run arch jobs runs promote_calls out json_out merge baseline
+      write_baseline =
+    let config =
+      if promote_calls <= 0 then Config.new_full
+      else { Config.new_full with Config.promote_calls }
+    in
+    let mode = if jobs > 0 then "async" else "sync" in
+    let rows, fd =
+      let collect svc =
+        let rows = SS.collect_all ?svc ~config ~runs ~arch () in
+        let fd = SS.forced_deopt ~config ~arch () in
+        (rows, fd)
+      in
+      try
+        if jobs > 0 then
+          Svc.with_service ~domains:jobs (fun svc -> collect (Some svc))
+        else collect None
+      with Failure e ->
+        Fmt.epr "tiered benchmark failed: %s@." e;
+        exit 1
+    in
+    (* headline gate: steady state strictly beats tier 0 wherever the
+       full pipeline eliminates checks, and the serving thread never
+       blocked on a compile *)
+    (match SS.check_rows rows with
+    | Ok () -> ()
+    | Error errs ->
+      Fmt.epr "steady-state gate FAILED:@.";
+      List.iter (fun e -> Fmt.epr "  %s@." e) errs;
+      exit 1);
+    if not (fd.SS.fd_only_offending && fd.SS.fd_reconciled) then begin
+      Fmt.epr
+        "forced-deopt gate FAILED: trapped site %d, deoptimized %s, \
+         reconciled %b@."
+        fd.SS.fd_trapped
+        (String.concat "," (List.map string_of_int fd.SS.fd_deopted))
+        fd.SS.fd_reconciled;
+      exit 1
+    end;
+    write_file out (SS.report_md rows fd);
+    Fmt.pr "markdown report written to %s@." out;
+    let doc = SS.tiered_json ~mode rows fd in
+    (match SS.validate_tiered doc with
+    | Ok () -> ()
+    | Error e ->
+      Fmt.epr "internal error: tiered document fails its own schema: %s@." e;
+      exit 1);
+    (match json_out with
+    | Some path ->
+      write_file path (Json.to_string doc ^ "\n");
+      Fmt.pr "tiered document written to %s@." path
+    | None -> ());
+    (match merge with
+    | Some path ->
+      let report =
+        if Sys.file_exists path then
+          match Json.of_string (read_file path) with
+          | Ok j -> j
+          | Error e ->
+            Fmt.epr "%s: JSON parse error: %s@." path e;
+            exit 1
+        else Json.Obj [ ("schema", Json.Str "nullelim-bench/1") ]
+      in
+      write_file path (Json.to_string (set_member "tiered" doc report) ^ "\n");
+      Fmt.pr "tiered section merged into %s@." path
+    | None -> ());
+    (* summary table on stdout *)
+    Fmt.pr "@.%-12s %6s %8s %8s %8s %6s %6s %6s %9s@." "workload" "peak"
+      "tier0" "steady" "full" "promo" "deopt" "traps" "recomp(s)";
+    List.iter
+      (fun (r : SS.row) ->
+        Fmt.pr "%-12s %6d %8d %8d %8d %6d %6d %6d %9.4f@." r.SS.ss_workload
+          r.SS.ss_time_to_peak r.SS.ss_tier0 r.SS.ss_steady r.SS.ss_full
+          r.SS.ss_promotions r.SS.ss_deopts r.SS.ss_traps
+          r.SS.ss_recompile_seconds)
+      rows;
+    Fmt.pr
+      "forced deopt: trapped site %d -> deoptimized [%s] (only offending: \
+       %b)@."
+      fd.SS.fd_trapped
+      (String.concat "; " (List.map string_of_int fd.SS.fd_deopted))
+      fd.SS.fd_only_offending;
+    (match write_baseline with
+    | Some path ->
+      write_file path (Json.to_string doc ^ "\n");
+      Fmt.pr "@.baseline written to %s@." path
+    | None -> ());
+    match baseline with
+    | None -> ()
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | Error e ->
+        Fmt.epr "%s: JSON parse error: %s@." path e;
+        exit 1
+      | Ok b -> (
+        let b = match Json.member "tiered" b with Some t -> t | None -> b in
+        match SS.check_against_baseline ~baseline:b rows with
+        | Ok [] -> Fmt.pr "@.baseline check: OK (no regressions, no drift)@."
+        | Ok drift ->
+          Fmt.pr "@.baseline check: OK, with drift:@.";
+          List.iter (fun d -> Fmt.pr "  %s@." d) drift
+        | Error regs ->
+          Fmt.epr "@.baseline check FAILED:@.";
+          List.iter (fun r -> Fmt.epr "  %s@." r) regs;
+          exit 1))
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "tiered" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ jobs_arg $ runs_arg $ promote_arg $ out_arg
+      $ json_arg $ merge_arg $ baseline_arg $ write_baseline_arg)
 
 (* --- fuzz ---------------------------------------------------------- *)
 
@@ -818,16 +1023,21 @@ let validate_json_cmd =
             Fmt.pr "%s: OK (dynamic schema v%d)@." path
               PR.dynamic_schema_version
           | Error _ -> (
-            match Fuzz_report.validate (sub "fuzz") with
+            match SS.validate_tiered (sub "tiered") with
             | Ok () ->
-              Fmt.pr "%s: OK (fuzz schema v%d)@." path
-                Fuzz_report.schema_version
+              Fmt.pr "%s: OK (tiered schema v%d)@." path
+                SS.tiered_schema_version
             | Error _ -> (
-              match validate_trace j with
-              | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
-              | Error _ ->
-                Fmt.epr "%s: invalid: %s@." path metrics_err;
-                exit 1)))))
+              match Fuzz_report.validate (sub "fuzz") with
+              | Ok () ->
+                Fmt.pr "%s: OK (fuzz schema v%d)@." path
+                  Fuzz_report.schema_version
+              | Error _ -> (
+                match validate_trace j with
+                | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+                | Error _ ->
+                  Fmt.epr "%s: invalid: %s@." path metrics_err;
+                  exit 1))))))
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
     Cmdliner.Term.(const run $ file_arg)
@@ -840,5 +1050,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            batch_cmd; fuzz_cmd; validate_json_cmd;
+            batch_cmd; tiered_cmd; fuzz_cmd; validate_json_cmd;
           ]))

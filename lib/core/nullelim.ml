@@ -89,6 +89,14 @@ module Svc = Nullelim_svc.Svc
 module Chan = Nullelim_svc.Chan
 module Codecache = Nullelim_svc.Codecache
 
+(** {1 Tiered execution}
+
+    The adaptive recompilation manager: tier-0 instant compiles,
+    profile-triggered promotion to the full pipeline on the compile
+    pool, and trap-triggered per-site deoptimization ([Tier]). *)
+
+module Tier = Nullelim_tier.Tier
+
 (** {1 Random program generation and differential fuzzing}
 
     A seeded, deterministic IR program generator ([Gen]), a structural

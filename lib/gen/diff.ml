@@ -20,6 +20,12 @@
     - {b profile}: on the baseline configuration, per-site profile
       counts must sum exactly to the aggregate interpreter counters and
       every executed site must have a provenance story;
+    - {b tier}: the tier-0 entry compile, a forced mid-run promotion
+      under the synchronous tiered manager (promote on the first call,
+      traps deoptimizing as they fire) and its steady-state second run
+      must all be observationally equivalent to the raw program, and
+      every artifact the manager compiled must reconcile its decision
+      log;
     - {b serial-parallel} (batched, see {!compare_artifacts}): the
       compile service's pool must produce byte-identical artifacts to
       the serial reference path.
@@ -39,6 +45,7 @@ module Interp = Nullelim_vm.Interp
 module Profile = Nullelim_obs.Profile
 module Decision = Nullelim_obs.Decision
 module Svc = Nullelim_svc.Svc
+module Tier = Nullelim_tier.Tier
 
 type failure = {
   fl_oracle : string;  (** which oracle tripped (names above) *)
@@ -69,11 +76,8 @@ let default_fuel = 2_000_000
     fingerprint.  Equal digests mean byte-identical optimized code. *)
 let code_digest (c : Compiler.compiled) : string =
   Svc.job_key
-    {
-      Svc.jb_program = c.Compiler.program;
-      jb_config = c.Compiler.config;
-      jb_arch = c.Compiler.arch;
-    }
+    (Svc.job ~config:c.Compiler.config ~arch:c.Compiler.arch
+       c.Compiler.program)
 
 (* ------------------------------------------------------------------ *)
 (* Serial oracles                                                      *)
@@ -197,6 +201,38 @@ let check_profile ~arch ~fuel (p : Ir.program) =
              s.Profile.sr_site s.Profile.sr_func))
     sites
 
+(** Tier-equivalence oracle.  Tier 0 (the instant entry compile), a
+    tiered run that promotes every function on its first call — so the
+    mid-run installation path is exercised, and any hardware trap
+    triggers a deoptimization — and the steady-state run after it must
+    all behave as the raw program.  Runs the synchronous manager: no
+    domains, deterministic. *)
+let check_tier ~arch ~fuel ~reference (p : Ir.program) =
+  let fail config detail =
+    raise (Found { fl_oracle = "tier"; fl_config = config; fl_detail = detail })
+  in
+  let behave config (r : Interp.result) =
+    if not (Interp.equivalent reference r) then
+      fail config
+        (Fmt.str "raw=%a tiered=%a" Interp.pp_outcome reference.Interp.outcome
+           Interp.pp_outcome r.Interp.outcome)
+  in
+  let cfg = { Config.new_full with Config.promote_calls = 1 } in
+  let c0 =
+    compile_or_fail ~oracle_config:"tier0" (Config.tier0 cfg) ~arch p
+  in
+  behave "tier0" (Interp.run ~fuel ~arch c0.Compiler.program []);
+  let t = Tier.create ~config:cfg ~arch p in
+  behave "promotion" (Tier.run ~fuel t []);
+  behave "steady-state" (Tier.run ~fuel t []);
+  Tier.drain t;
+  List.iter
+    (fun (tier, (c : Compiler.compiled)) ->
+      match Compiler.reconcile c with
+      | Ok () -> ()
+      | Error m -> fail (Printf.sprintf "tier%d" tier) ("reconcile: " ^ m))
+    (Tier.artifacts t)
+
 let check ?(arch = Arch.ia32_windows) ?(configs = default_configs)
     ?(fuel = default_fuel) (p : Ir.program) : verdict =
   match Ir_validate.validate_program ~strict:true p with
@@ -215,6 +251,7 @@ let check ?(arch = Arch.ia32_windows) ?(configs = default_configs)
       try
         List.iter (check_config ~arch ~fuel ~reference p) configs;
         check_profile ~arch ~fuel p;
+        check_tier ~arch ~fuel ~reference p;
         Pass
       with Found f -> Fail f))
 
@@ -232,7 +269,7 @@ let still_fails ?arch ?configs ?fuel (f0 : failure) (p : Ir.program) : bool =
 let jobs ?(arch = Arch.ia32_windows) ?(configs = default_configs)
     (p : Ir.program) : Svc.job list =
   List.map
-    (fun cfg -> { Svc.jb_program = p; jb_config = cfg; jb_arch = arch })
+    (fun cfg -> Svc.job ~config:cfg ~arch p)
     configs
 
 let compare_artifacts ~(serial : Svc.outcome list)

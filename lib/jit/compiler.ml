@@ -42,8 +42,36 @@ let count_all_checks p =
     p;
   (!e, !i)
 
+(* Deoptimization: re-materialize the explicit check at every implicit
+   site in [sites].  The tiered manager requests this after a site's
+   hardware trap actually fired — the implicit check was free only
+   until then (recovery through the OS trap handler costs orders of
+   magnitude more than the 2-instruction explicit sequence), so the
+   losing bets are individually taken back.  Implicit→explicit is
+   always sound: the explicit check raises exactly where the trap
+   would have.  Sites are program-unique, so a flat site set
+   addresses the offending checks and nothing else. *)
+let deopt_pass (sites : Ir.site list) : Pipeline.pass =
+  let set = Hashtbl.create (List.length sites) in
+  List.iter (fun s -> Hashtbl.replace set s ()) sites;
+  Pipeline.per_func "nullcheck:deopt" (fun (f : Ir.func) ->
+      Array.iteri
+        (fun l (b : Ir.block) ->
+          Array.iteri
+            (fun k instr ->
+              match instr with
+              | Ir.Null_check (Ir.Implicit, v, s) when Hashtbl.mem set s ->
+                b.instrs.(k) <- Ir.Null_check (Ir.Explicit, v, s);
+                Decision.record ~d_explicit:1 ~d_implicit:(-1) ~block:l
+                  ~var:v ~site:s ~kind:Decision.Kexplicit
+                  ~action:Decision.Deoptimized ~just:Decision.Trap_fired ()
+              | _ -> ())
+            b.instrs)
+        f.fn_blocks)
+
 (** Build the pass list for a configuration. *)
-let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
+let passes ?(deopt_sites = []) (cfg : Config.t) ~(arch : Arch.t) :
+    Pipeline.pass list =
   let normalize =
     (* log:true — dropped code here is original, not a duplicate, so its
        checks must leave the decision log balanced *)
@@ -123,7 +151,12 @@ let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
         (List.init (cfg.heavy_factor - 1) (fun _ ->
              null_pass @ helpers @ cleanup))
   in
-  (normalize :: inline_passes) @ iterated @ heavy @ arch_dep
+  (* Deopt runs after the arch-dependent phase so it undoes whatever
+     implicit form the offending site ended up in, and before the final
+     DCE/codegen so the re-materialized check is register-allocated like
+     any other. *)
+  let deopt = if deopt_sites = [] then [] else [ deopt_pass deopt_sites ] in
+  (normalize :: inline_passes) @ iterated @ heavy @ arch_dep @ deopt
   @ [
       Pipeline.per_func "other:dce-final" (fun f ->
           ignore (Opt.Dce.run ~keep_derefs:true f));
@@ -135,7 +168,8 @@ let passes (cfg : Config.t) ~(arch : Arch.t) : Pipeline.pass list =
     ]
 
 (** Compile a copy of [p]; the input program is left untouched. *)
-let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
+let compile ?(tier = -1) ?(deopt_sites = []) (cfg : Config.t)
+    ~(arch : Arch.t) (p : Ir.program) : compiled =
   let p' = Ir.copy_program p in
   (* provenance determinism: sites minted during optimization depend only
      on the input program, not on what was compiled before *)
@@ -148,8 +182,10 @@ let compile (cfg : Config.t) ~(arch : Arch.t) (p : Ir.program) : compiled =
   let t0 = Sys.time () in
   let (), decisions =
     Decision.with_log (fun () ->
+        Decision.set_tier tier;
         let run () =
-          Pipeline.run ~timings ~counters ~metrics (passes cfg ~arch) p'
+          Pipeline.run ~timings ~counters ~metrics
+            (passes ~deopt_sites cfg ~arch) p'
         in
         if Trace.enabled () then
           Trace.span ~cat:"compile"

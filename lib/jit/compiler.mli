@@ -34,9 +34,24 @@ type compiled = {
       (** per-check decision log of this compilation, in record order *)
 }
 
-val passes : Config.t -> arch:Arch.t -> Pipeline.pass list
-val compile : Config.t -> arch:Arch.t -> Ir.program -> compiled
-(** Compiles a copy; the input program is left untouched. *)
+val passes :
+  ?deopt_sites:Ir.site list -> Config.t -> arch:Arch.t -> Pipeline.pass list
+(** [deopt_sites] appends a deoptimization pass (after the
+    architecture-dependent phase, before final DCE/codegen) that
+    re-materializes the explicit check at each listed implicit site,
+    recording a [Deoptimized]/[Trap_fired] decision event per site so
+    the log still reconciles. *)
+
+val compile :
+  ?tier:int ->
+  ?deopt_sites:Ir.site list ->
+  Config.t ->
+  arch:Arch.t ->
+  Ir.program ->
+  compiled
+(** Compiles a copy; the input program is left untouched.  [tier]
+    (default -1 = untiered) tags every decision event of this
+    compilation; [deopt_sites] is threaded to {!passes}. *)
 
 val reconcile : compiled -> (unit, string) result
 (** Verify that folding the decision log's deltas over the raw check

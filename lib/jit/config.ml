@@ -53,6 +53,12 @@ type t = {
       (** disable loop-invariant bound-check and load hoisting (HotSpot
           stand-in: the paper attributes its jBYTEmark deficit to array
           optimizations) *)
+  promote_calls : int;
+      (** tiered execution: invocations of a tier-0 function before the
+          manager submits a tier-2 recompilation *)
+  deopt_traps : int;
+      (** tiered execution: hardware traps at one implicit site before
+          it is deoptimized back to an explicit check *)
 }
 
 let base =
@@ -66,6 +72,8 @@ let base =
     inline = true;
     heavy_factor = 1;
     weak_arrays = false;
+    promote_calls = 10;
+    deopt_traps = 1;
   }
 
 let no_null_opt_no_trap =
@@ -113,6 +121,26 @@ let windows_suite =
 let aix_suite =
   [ aix_speculation; aix_no_speculation; aix_no_null_opt;
     aix_illegal_implicit ]
+
+(* --- tiered execution --------------------------------------------- *)
+
+(* The entry tier compiles instantly and leaves every raw check as an
+   explicit instruction: no elimination, no trap conversion, no
+   speculation, single pipeline round, no inlining.  Correctness is
+   trivially the baseline's, and any function the profile proves hot is
+   recompiled with the original (tier-2) configuration. *)
+let tier0 cfg =
+  {
+    cfg with
+    name = cfg.name ^ "@tier0";
+    null_opt = No_null_opt;
+    use_trap = false;
+    speculate = false;
+    phase2_arch_override = None;
+    iterations = 1;
+    inline = false;
+    heavy_factor = 1;
+  }
 
 let by_name n =
   List.find_opt

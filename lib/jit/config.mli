@@ -20,6 +20,8 @@ type t = {
   inline : bool;                        (** CHA devirtualization + inlining *)
   heavy_factor : int;                   (** extra pipeline weight (HotSpot-model compile-time handicap) *)
   weak_arrays : bool;                   (** disable loop-invariant array optimizations *)
+  promote_calls : int;                  (** tiered: calls before tier-2 promotion *)
+  deopt_traps : int;                    (** tiered: traps at a site before deopt *)
 }
 
 val base : t
@@ -47,6 +49,15 @@ val windows_suite : t list
 
 val aix_suite : t list
 (** The four AIX configurations, in table order. *)
+
+val tier0 : t -> t
+(** [tier0 cfg] is the instant-compile entry tier of [cfg]: naive
+    explicit checks (no elimination, no trap conversion, no
+    speculation, one pipeline round, no inlining), named
+    ["<name>@tier0"].  The tiered manager compiles every function with
+    this first and promotes hot functions to the unmodified [cfg].
+    [promote_calls]/[deopt_traps] are kept, so the policy rides with
+    the configuration. *)
 
 val by_name : string -> t option
 (** Look a configuration up by its [name] (the CLI's [-c] values). *)

@@ -31,6 +31,9 @@ type action =
   | Speculated            (** a load was hoisted above this check *)
   | Duplicated            (** copied by inlining *)
   | Dropped_unreachable   (** its block was unreachable *)
+  | Deoptimized           (** implicit check re-materialized as explicit
+                              after its trap actually fired (tiered
+                              recompilation) *)
 
 (** The justifying fact. *)
 type justification =
@@ -49,6 +52,9 @@ type justification =
   | Speculative_read         (** non-trapping read moved above the check *)
   | Inline_copy of string    (** callee the check was copied from *)
   | Unreachable_code
+  | Trap_fired               (** runtime observed a hardware trap at this
+                                 site, so the free-until-it-fires bet
+                                 lost — re-materialize the explicit check *)
 
 type kind = Kexplicit | Kimplicit | Kbound | Kother
 
@@ -70,6 +76,10 @@ type event = {
       (** when a fresh site was materialized from an existing check
           (inline copy, phase-2 rematerialization), the originating site;
           -1 otherwise *)
+  tier : int;
+      (** execution tier of the compilation that recorded the event
+          (0 = entry tier, 2 = full pipeline); -1 for untiered
+          compilations *)
 }
 
 type collector = {
@@ -77,6 +87,7 @@ type collector = {
   mutable n : int;
   mutable cur_pass : string;
   mutable cur_func : string;
+  mutable cur_tier : int;
 }
 
 (* Domain-local: each domain of the compile service collects its own
@@ -93,6 +104,9 @@ let set_pass name =
 
 let set_func name =
   match !(current ()) with Some c -> c.cur_func <- name | None -> ()
+
+let set_tier tier =
+  match !(current ()) with Some c -> c.cur_tier <- tier | None -> ()
 
 let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
     ?(site = -1) ?(parent = -1) ~(kind : kind) ~(action : action)
@@ -114,6 +128,7 @@ let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
         d_implicit;
         site;
         parent;
+        tier = c.cur_tier;
       }
     in
     c.n <- c.n + 1;
@@ -125,7 +140,7 @@ let record ?(d_explicit = 0) ?(d_implicit = 0) ?(block = -1) ?(var = -1)
 let with_log (f : unit -> 'a) : 'a * event list =
   let cur = current () in
   let saved = !cur in
-  let c = { evs = []; n = 0; cur_pass = ""; cur_func = "" } in
+  let c = { evs = []; n = 0; cur_pass = ""; cur_func = ""; cur_tier = -1 } in
   cur := Some c;
   let restore () = cur := saved in
   match f () with
@@ -155,6 +170,7 @@ let action_to_string = function
   | Speculated -> "speculated"
   | Duplicated -> "duplicated"
   | Dropped_unreachable -> "dropped-unreachable"
+  | Deoptimized -> "deoptimized"
 
 let justification_to_string = function
   | Nonnull_dominating -> "nonnull-dominating"
@@ -172,6 +188,7 @@ let justification_to_string = function
   | Speculative_read -> "speculative-read"
   | Inline_copy callee -> "inline-copy:" ^ callee
   | Unreachable_code -> "unreachable-code"
+  | Trap_fired -> "trap-fired"
 
 let kind_to_string = function
   | Kexplicit -> "explicit"
@@ -194,6 +211,7 @@ let event_to_json (ev : event) : Obs_json.t =
       ("d_implicit", Obs_json.Int ev.d_implicit);
       ("site", Obs_json.Int ev.site);
       ("parent", Obs_json.Int ev.parent);
+      ("tier", Obs_json.Int ev.tier);
     ]
 
 let to_json (evs : event list) : Obs_json.t =

@@ -12,6 +12,7 @@ type action =
   | Speculated
   | Duplicated
   | Dropped_unreachable
+  | Deoptimized
 
 type justification =
   | Nonnull_dominating
@@ -28,6 +29,7 @@ type justification =
   | Speculative_read
   | Inline_copy of string
   | Unreachable_code
+  | Trap_fired
 
 type kind = Kexplicit | Kimplicit | Kbound | Kother
 
@@ -44,6 +46,7 @@ type event = {
   d_implicit : int;
   site : int;    (** provenance id of the check acted on; -1 when unknown *)
   parent : int;  (** originating site for fresh materializations; -1 otherwise *)
+  tier : int;    (** execution tier of the recording compilation; -1 untiered *)
 }
 
 val active : unit -> bool
@@ -53,6 +56,11 @@ val active : unit -> bool
 val set_pass : string -> unit
 val set_func : string -> unit
 (** Context maintained by the pass manager; no-ops when inactive. *)
+
+val set_tier : int -> unit
+(** Tier context set once per compilation by the JIT driver (before any
+    pass runs); events record it in their [tier] field.  No-op when
+    inactive; a fresh collector starts at -1 (untiered). *)
 
 val record :
   ?d_explicit:int ->

@@ -1,8 +1,9 @@
 (** Per-site dynamic execution profile collector.  See the interface for
     the model.  Implementation notes: the hot paths ([hit_block],
     [hit_check]) run once per executed block / check, so cells are
-    cached in hash tables keyed by [(func, block)] and [(site, kind)]
-    and bumped in place; everything else is event-rate (exceptions). *)
+    cached in hash tables keyed by [(func, block)] and
+    [(site, kind, tier)] and bumped in place; everything else is
+    event-rate (exceptions). *)
 
 type check_kind = Cexplicit | Cimplicit | Cbound
 
@@ -10,6 +11,7 @@ type site_row = {
   sr_site : int;
   sr_func : string;
   sr_kind : check_kind;
+  sr_tier : int;
   sr_hits : int;
   sr_npe : int;
   sr_traps : int;
@@ -34,7 +36,7 @@ type site_cell = {
 type block_cell = { mutable count : int; mutable spec_reads : int }
 
 type t = {
-  site_tbl : (int * check_kind, site_cell) Hashtbl.t;
+  site_tbl : (int * check_kind * int, site_cell) Hashtbl.t;
   block_tbl : (string * int, block_cell) Hashtbl.t;
   mutable other : int;
 }
@@ -51,8 +53,11 @@ let block_cell t ~func ~block =
     Hashtbl.add t.block_tbl key c;
     c
 
-let site_cell t ~func ~site ~kind =
-  let key = (site, kind) in
+(* [tier] defaults to 0 at the recording entry points so untiered
+   callers (the plain `run`/`profile` paths) keep working unchanged;
+   the tiered manager passes the executing variant's tier. *)
+let site_cell t ~func ~site ~kind ~tier =
+  let key = (site, kind, tier) in
   match Hashtbl.find_opt t.site_tbl key with
   | Some c -> c
   | None ->
@@ -64,20 +69,20 @@ let hit_block t ~func ~block =
   let c = block_cell t ~func ~block in
   c.count <- c.count + 1
 
-let hit_check t ~func ~site ~kind =
-  let c = site_cell t ~func ~site ~kind in
+let hit_check ?(tier = 0) t ~func ~site ~kind =
+  let c = site_cell t ~func ~site ~kind ~tier in
   c.hits <- c.hits + 1
 
-let record_npe t ~func ~site =
-  let c = site_cell t ~func ~site ~kind:Cexplicit in
+let record_npe ?(tier = 0) t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cexplicit ~tier in
   c.npe <- c.npe + 1
 
-let record_trap t ~func ~site =
-  let c = site_cell t ~func ~site ~kind:Cimplicit in
+let record_trap ?(tier = 0) t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cimplicit ~tier in
   c.traps <- c.traps + 1
 
-let record_miss t ~func ~site =
-  let c = site_cell t ~func ~site ~kind:Cimplicit in
+let record_miss ?(tier = 0) t ~func ~site =
+  let c = site_cell t ~func ~site ~kind:Cimplicit ~tier in
   c.misses <- c.misses + 1
 
 let record_spec_read t ~func ~block =
@@ -101,11 +106,12 @@ let kind_of_string = function
 
 let sites t =
   Hashtbl.fold
-    (fun (site, kind) (c : site_cell) acc ->
+    (fun (site, kind, tier) (c : site_cell) acc ->
       {
         sr_site = site;
         sr_func = c.func;
         sr_kind = kind;
+        sr_tier = tier;
         sr_hits = c.hits;
         sr_npe = c.npe;
         sr_traps = c.traps;
@@ -115,8 +121,8 @@ let sites t =
     t.site_tbl []
   |> List.sort (fun a b ->
          compare
-           (a.sr_func, a.sr_site, kind_order a.sr_kind)
-           (b.sr_func, b.sr_site, kind_order b.sr_kind))
+           (a.sr_func, a.sr_site, kind_order a.sr_kind, a.sr_tier)
+           (b.sr_func, b.sr_site, kind_order b.sr_kind, b.sr_tier))
 
 let blocks t =
   Hashtbl.fold
@@ -136,15 +142,15 @@ let other_traps t = t.other
 
 let total_hits t kind =
   Hashtbl.fold
-    (fun (_, k) (c : site_cell) acc -> if k = kind then acc + c.hits else acc)
+    (fun (_, k, _) (c : site_cell) acc -> if k = kind then acc + c.hits else acc)
     t.site_tbl 0
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "nullelim-profile/1"
-let schema_version = 1
+let schema = "nullelim-profile/2"
+let schema_version = 2
 
 let to_json t : Obs_json.t =
   let site_json (r : site_row) =
@@ -153,6 +159,7 @@ let to_json t : Obs_json.t =
         ("site", Obs_json.Int r.sr_site);
         ("func", Obs_json.Str r.sr_func);
         ("kind", Obs_json.Str (kind_to_string r.sr_kind));
+        ("tier", Obs_json.Int r.sr_tier);
         ("hits", Obs_json.Int r.sr_hits);
         ("npe", Obs_json.Int r.sr_npe);
         ("traps", Obs_json.Int r.sr_traps);
@@ -226,6 +233,7 @@ let validate (j : Obs_json.t) : (unit, string) result =
               | None -> Error (Printf.sprintf "unknown check kind %S" k))
             | _ -> Error "site row: field \"kind\" must be a string"
           in
+          let* () = int_field row "tier" in
           let* () = int_field row "hits" in
           let* () = int_field row "npe" in
           let* () = int_field row "traps" in

@@ -21,6 +21,8 @@ type site_row = {
   sr_site : int;     (** provenance id; -1 groups checks with no site *)
   sr_func : string;
   sr_kind : check_kind;
+  sr_tier : int;     (** tier of the code version executing the check;
+                         0 for untiered runs *)
   sr_hits : int;     (** dynamic executions of the check *)
   sr_npe : int;      (** nulls caught by this (explicit) check *)
   sr_traps : int;    (** hardware traps fired at this (implicit) site *)
@@ -39,10 +41,18 @@ val create : unit -> t
 (** {1 Recording — called by the interpreter} *)
 
 val hit_block : t -> func:string -> block:int -> unit
-val hit_check : t -> func:string -> site:int -> kind:check_kind -> unit
-val record_npe : t -> func:string -> site:int -> unit
-val record_trap : t -> func:string -> site:int -> unit
-val record_miss : t -> func:string -> site:int -> unit
+
+val hit_check :
+  ?tier:int -> t -> func:string -> site:int -> kind:check_kind -> unit
+
+val record_npe : ?tier:int -> t -> func:string -> site:int -> unit
+val record_trap : ?tier:int -> t -> func:string -> site:int -> unit
+val record_miss : ?tier:int -> t -> func:string -> site:int -> unit
+(** Site events are accumulated per [(site, kind, tier)]; [tier]
+    defaults to 0, so untiered callers see the pre-tier behavior.  The
+    tiered manager passes the tier of the executing code version, which
+    splits a site's counts across the versions that executed it. *)
+
 val record_spec_read : t -> func:string -> block:int -> unit
 
 val record_other_trap : t -> unit
@@ -52,7 +62,7 @@ val record_other_trap : t -> unit
 (** {1 Reading} *)
 
 val sites : t -> site_row list
-(** Sorted by (func, site, kind). *)
+(** Sorted by (func, site, kind, tier). *)
 
 val blocks : t -> block_row list
 (** Sorted by (func, block). *)
@@ -65,12 +75,12 @@ val total_hits : t -> check_kind -> int
 (** {1 Snapshot schema} *)
 
 val schema : string
-(** ["nullelim-profile/1"]. *)
+(** ["nullelim-profile/2"] — /2 added the per-site [tier] dimension. *)
 
 val schema_version : int
 
 val to_json : t -> Obs_json.t
-(** [{"schema": "nullelim-profile/1", "schema_version": 1,
+(** [{"schema": "nullelim-profile/2", "schema_version": 2,
       "sites": [...], "blocks": [...], "other_traps": n}] with rows in
     the {!sites}/{!blocks} order — deterministic for a deterministic
     run. *)

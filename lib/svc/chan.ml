@@ -47,6 +47,16 @@ let push t x =
       Queue.push x t.buf;
       Condition.signal t.nonempty)
 
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.buf >= t.capacity then false
+      else begin
+        Queue.push x t.buf;
+        Condition.signal t.nonempty;
+        true
+      end)
+
 let pop t =
   with_lock t (fun () ->
       while Queue.is_empty t.buf && not t.closed do

@@ -26,6 +26,14 @@ val push : 'a t -> 'a -> unit
     @raise Closed if the channel is closed — including when the close
     happens while the push is blocked waiting for space. *)
 
+val try_push : 'a t -> 'a -> bool
+(** [try_push t x] appends [x] and returns [true] if the channel has
+    space, returns [false] immediately when it is full — it never
+    blocks.  The tiered manager uses this on the serving thread so a
+    saturated compile queue can't stall interpretation.
+
+    @raise Closed if the channel is closed. *)
+
 val pop : 'a t -> 'a option
 (** [pop t] removes the oldest item, blocking while the channel is
     empty and still open.  Returns [None] once the channel is closed

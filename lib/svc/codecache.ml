@@ -1,78 +1,136 @@
-(** Content-addressed LRU artifact cache (see the interface for the
-    contract).
+(** Sharded content-addressed LRU artifact cache (see the interface
+    for the contract).
 
-    Recency is tracked with a monotonic stamp per entry; eviction scans
-    for the minimum stamp.  The scan is O(entries), which is the right
-    trade-off here: evictions only happen when the byte budget
-    overflows, and a compile cache holds at most a few hundred entries
-    (workloads × configurations), so a doubly-linked LRU list would be
-    bookkeeping without a measurable win. *)
+    The cache is split into [shards] independent LRUs, each with its
+    own mutex, hash table and byte budget (an equal slice of the
+    total).  A key is routed to a shard by its digest prefix — job
+    keys are hex MD5 digests, so the first two hex characters give a
+    uniform 8-bit value; non-hex keys fall back to [Hashtbl.hash].
+    Routing is stateless, so the hot [find] path only ever contends on
+    one shard's lock instead of a single global one.
+
+    Within a shard, recency is tracked with a monotonic stamp per
+    entry; eviction scans for the minimum stamp.  The scan is
+    O(entries-per-shard), which is the right trade-off here: evictions
+    only happen when the byte budget overflows, and a compile cache
+    holds at most a few hundred entries (workloads × configurations ×
+    tiers), so a doubly-linked LRU list would be bookkeeping without a
+    measurable win. *)
 
 type 'a entry = { value : 'a; ebytes : int; mutable stamp : int }
 
-type 'a t = {
+type 'a shard = {
   tbl : (string, 'a entry) Hashtbl.t;
-  size : 'a -> int;
-  budget_bytes : int;
   m : Mutex.t;
+  sh_budget : int;
   mutable bytes : int;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable rejections : int;
+  mutable invalidations : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  rejections : int;
+  invalidations : int;
   entries : int;
   bytes : int;
+  budget_bytes : int;
+  shards : int;
+}
+
+(* [t] is defined after [stats] on purpose: both have a [shards] field
+   (and [shard] shares the counter labels), and the most recent
+   definition wins unqualified label lookup on the hot paths. *)
+type 'a t = {
+  shards : 'a shard array;
+  size : 'a -> int;
   budget_bytes : int;
 }
 
 let default_budget = 64 * 1024 * 1024
+let default_shards () = max 1 (min 16 (Domain.recommended_domain_count ()))
 
-let create ?(budget_bytes = default_budget) ~size () =
+let create ?(budget_bytes = default_budget) ?shards ~size () =
+  let n =
+    match shards with Some n -> max 1 n | None -> default_shards ()
+  in
+  let budget_bytes = max 0 budget_bytes in
+  (* Ceiling division so n shards never budget fewer total bytes than
+     requested; a 0 budget stays 0 in every shard (pass-through). *)
+  let sh_budget = if budget_bytes = 0 then 0 else (budget_bytes + n - 1) / n in
   {
-    tbl = Hashtbl.create 64;
+    shards =
+      Array.init n (fun _ ->
+          {
+            tbl = Hashtbl.create 64;
+            m = Mutex.create ();
+            sh_budget;
+            bytes = 0;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+            rejections = 0;
+            invalidations = 0;
+          });
     size;
-    budget_bytes = max 1 budget_bytes;
-    m = Mutex.create ();
-    bytes = 0;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    budget_bytes;
   }
 
-let with_lock t f =
-  Mutex.lock t.m;
+(* Route by digest prefix: job keys are hex MD5 strings, so the first
+   two characters are a uniform byte.  Anything else (tests, ad-hoc
+   keys) routes through [Hashtbl.hash]. *)
+let shard_of t key =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let idx =
+    if String.length key >= 2 then
+      match (hex key.[0], hex key.[1]) with
+      | Some a, Some b -> (a * 16) + b
+      | _ -> Hashtbl.hash key
+    else Hashtbl.hash key
+  in
+  t.shards.(idx mod Array.length t.shards)
+
+let with_lock (s : _ shard) f =
+  Mutex.lock s.m;
   match f () with
   | v ->
-    Mutex.unlock t.m;
+    Mutex.unlock s.m;
     v
   | exception e ->
-    Mutex.unlock t.m;
+    Mutex.unlock s.m;
     raise e
 
-let next_tick t =
-  t.tick <- t.tick + 1;
-  t.tick
+let next_tick (s : _ shard) =
+  s.tick <- s.tick + 1;
+  s.tick
 
 let find t key =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.tbl key with
+  let s = shard_of t key in
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.tbl key with
       | Some e ->
-        e.stamp <- next_tick t;
-        t.hits <- t.hits + 1;
+        e.stamp <- next_tick s;
+        s.hits <- s.hits + 1;
         Some e.value
       | None ->
-        t.misses <- t.misses + 1;
+        s.misses <- s.misses + 1;
         None)
 
 (* the least recently used entry, excluding [keep] *)
-let lru_key t ~keep =
+let lru_key (s : _ shard) ~keep =
   Hashtbl.fold
     (fun k (e : _ entry) acc ->
       if k = keep then acc
@@ -80,45 +138,86 @@ let lru_key t ~keep =
         match acc with
         | Some (_, stamp) when stamp <= e.stamp -> acc
         | _ -> Some (k, e.stamp))
-    t.tbl None
+    s.tbl None
 
-let remove_entry t key =
-  match Hashtbl.find_opt t.tbl key with
-  | None -> ()
+let remove_entry (s : _ shard) key =
+  match Hashtbl.find_opt s.tbl key with
+  | None -> false
   | Some e ->
-    Hashtbl.remove t.tbl key;
-    t.bytes <- t.bytes - e.ebytes
+    Hashtbl.remove s.tbl key;
+    s.bytes <- s.bytes - e.ebytes;
+    true
 
 let add t ~key v =
-  with_lock t (fun () ->
-      remove_entry t key;
+  let s = shard_of t key in
+  with_lock s (fun () ->
       let ebytes = max 1 (t.size v) in
-      Hashtbl.replace t.tbl key { value = v; ebytes; stamp = next_tick t };
-      t.bytes <- t.bytes + ebytes;
-      let rec evict () =
-        if t.bytes > t.budget_bytes then
-          match lru_key t ~keep:key with
-          | Some (k, _) ->
-            remove_entry t k;
-            t.evictions <- t.evictions + 1;
-            evict ()
-          | None -> () (* only the fresh entry is left; keep it *)
-      in
-      evict ())
+      if ebytes > s.sh_budget then begin
+        (* An artifact that can never fit is rejected outright instead
+           of being cached and immediately evicted — caching it would
+           flush the whole shard and skew the eviction counter.  A
+           zero budget therefore rejects everything: pass-through. *)
+        ignore (remove_entry s key);
+        s.rejections <- s.rejections + 1
+      end
+      else begin
+        ignore (remove_entry s key);
+        Hashtbl.replace s.tbl key { value = v; ebytes; stamp = next_tick s };
+        s.bytes <- s.bytes + ebytes;
+        let rec evict () =
+          if s.bytes > s.sh_budget then
+            match lru_key s ~keep:key with
+            | Some (k, _) ->
+              ignore (remove_entry s k);
+              s.evictions <- s.evictions + 1;
+              evict ()
+            | None -> ()
+        in
+        evict ()
+      end)
+
+let remove t key =
+  let s = shard_of t key in
+  with_lock s (fun () ->
+      let removed = remove_entry s key in
+      if removed then s.invalidations <- s.invalidations + 1;
+      removed)
 
 let stats t =
-  with_lock t (fun () ->
-      {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        entries = Hashtbl.length t.tbl;
-        bytes = t.bytes;
-        budget_bytes = t.budget_bytes;
-      })
+  (* Aggregate across shards; each shard snapshot is taken under its
+     own lock, so the total is consistent per shard (the usual moment-
+     in-time caveat applies across shards). *)
+  Array.fold_left
+    (fun acc s ->
+      with_lock s (fun () ->
+          {
+            acc with
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            rejections = acc.rejections + s.rejections;
+            invalidations = acc.invalidations + s.invalidations;
+            entries = acc.entries + Hashtbl.length s.tbl;
+            bytes = acc.bytes + s.bytes;
+          }))
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      rejections = 0;
+      invalidations = 0;
+      entries = 0;
+      bytes = 0;
+      budget_bytes = t.budget_bytes;
+      shards = Array.length t.shards;
+    }
+    t.shards
 
 let clear t =
-  with_lock t (fun () ->
-      t.evictions <- t.evictions + Hashtbl.length t.tbl;
-      Hashtbl.reset t.tbl;
-      t.bytes <- 0)
+  Array.iter
+    (fun s ->
+      with_lock s (fun () ->
+          s.evictions <- s.evictions + Hashtbl.length s.tbl;
+          Hashtbl.reset s.tbl;
+          s.bytes <- 0))
+    t.shards

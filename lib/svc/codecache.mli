@@ -1,16 +1,24 @@
-(** Content-addressed compiled-code cache with an LRU byte budget.
+(** Sharded content-addressed compiled-code cache with an LRU byte
+    budget.
 
     The cache maps a content digest (see {!Svc.job_key}: structural
-    hash of IR program × JIT configuration × target architecture) to a
-    compiled artifact, the way a production JIT's code cache keys
-    installed code.  It is generic in the artifact type; the byte cost
-    of an artifact is estimated by the [size] function supplied at
-    {!create} time, and once the resident total exceeds the budget the
-    least-recently-used entries are evicted.
+    hash of IR program × JIT configuration × tier × deopt set × target
+    architecture) to a compiled artifact, the way a production JIT's
+    code cache keys installed code.  It is generic in the artifact
+    type; the byte cost of an artifact is estimated by the [size]
+    function supplied at {!create} time, and once a shard's resident
+    total exceeds its budget slice the least-recently-used entries are
+    evicted.
 
-    Thread-safe: every operation takes an internal mutex, so any number
-    of compile-service domains may share one cache.  Hit, miss and
-    eviction counts are tracked and exposed through {!stats}. *)
+    Internally the cache is split into N independent LRU shards, each
+    behind its own mutex, with keys routed by digest prefix — so
+    concurrent {!find}s from the compile-service domains contend on a
+    single shard's lock rather than one global lock.  {!stats}
+    aggregates over all shards.
+
+    Thread-safe: any number of compile-service domains may share one
+    cache.  Hit, miss, eviction, rejection and invalidation counts are
+    tracked and exposed through {!stats}. *)
 
 type 'a t
 (** A cache holding artifacts of type ['a]. *)
@@ -19,32 +27,55 @@ type stats = {
   hits : int;        (** successful {!find}s *)
   misses : int;      (** {!find}s that returned [None] *)
   evictions : int;   (** entries removed by the byte budget *)
+  rejections : int;  (** {!add}s refused because the artifact exceeds
+                         a shard's whole budget (see {!add}) *)
+  invalidations : int;
+                     (** entries dropped through {!remove} *)
   entries : int;     (** entries currently resident *)
   bytes : int;       (** estimated resident bytes *)
-  budget_bytes : int;(** the configured budget *)
+  budget_bytes : int;(** the configured total budget *)
+  shards : int;      (** number of independent LRU shards *)
 }
-(** A consistent snapshot of the cache's counters and occupancy. *)
+(** An aggregate snapshot of the cache's counters and occupancy across
+    all shards. *)
 
-val create : ?budget_bytes:int -> size:('a -> int) -> unit -> 'a t
+val create :
+  ?budget_bytes:int -> ?shards:int -> size:('a -> int) -> unit -> 'a t
 (** [create ~size ()] is an empty cache.  [size a] must return an
     estimate (in bytes) of keeping [a] resident; it is called once per
-    {!add}.  [budget_bytes] defaults to 64 MiB; it bounds the sum of
-    the size estimates, except that the most recently added entry is
-    never evicted (a single oversized artifact may therefore keep the
-    cache above budget until the next {!add}). *)
+    {!add}.  [budget_bytes] defaults to 64 MiB and bounds the sum of
+    the size estimates; [budget_bytes:0] makes the cache a pass-through
+    that caches nothing (every {!add} is a rejection, every {!find} a
+    miss).  [shards] defaults to [Domain.recommended_domain_count]
+    clamped to [1..16]; each shard owns an equal slice of the budget.
+    Pass [~shards:1] when deterministic global LRU order matters (the
+    unit tests do). *)
 
 val find : 'a t -> string -> 'a option
 (** [find t key] returns the cached artifact and marks it most recently
-    used, counting a hit; [None] counts a miss. *)
+    used, counting a hit; [None] counts a miss.  Only the owning
+    shard's lock is taken. *)
 
 val add : 'a t -> key:string -> 'a -> unit
 (** [add t ~key a] installs [a] under [key] as the most recently used
-    entry, replacing any previous entry with that key (replacement does
-    not count as an eviction), then evicts least-recently-used entries
-    until the cache is back within budget. *)
+    entry of its shard, replacing any previous entry with that key
+    (replacement does not count as an eviction), then evicts
+    least-recently-used entries until the shard is back within its
+    budget slice.  An artifact whose size estimate exceeds the shard's
+    whole budget slice is rejected instead of cached-then-evicted: the
+    cache is left without the key and the [rejections] counter is
+    bumped — this keeps a single oversized artifact from flushing the
+    shard and skewing the eviction stats. *)
+
+val remove : 'a t -> string -> bool
+(** [remove t key] invalidates the entry under [key], returning whether
+    an entry was resident.  Used by the tiered manager to drop stale
+    code versions (superseded tiers, pre-deopt variants) ahead of LRU
+    pressure; counted under [invalidations], not [evictions]. *)
 
 val stats : 'a t -> stats
-(** Counter snapshot, consistent under the cache lock. *)
+(** Aggregate counter snapshot over all shards; each shard is read
+    under its own lock. *)
 
 val clear : 'a t -> unit
 (** Drop every entry (counted as evictions); counters are retained. *)

@@ -15,7 +15,22 @@ module Arch = Nullelim_arch.Arch
 module Config = Nullelim_jit.Config
 module Compiler = Nullelim_jit.Compiler
 
-type job = { jb_program : Ir.program; jb_config : Config.t; jb_arch : Arch.t }
+type job = {
+  jb_program : Ir.program;
+  jb_config : Config.t;
+  jb_arch : Arch.t;
+  jb_tier : int;
+  jb_deopt : Ir.site list;
+}
+
+let job ?(tier = -1) ?(deopt = []) ~config ~arch program =
+  {
+    jb_program = program;
+    jb_config = config;
+    jb_arch = arch;
+    jb_tier = tier;
+    jb_deopt = deopt;
+  }
 
 type outcome = {
   oc_job : job;
@@ -55,6 +70,16 @@ let fingerprint (b : Buffer.t) (j : job) =
        | Some a -> a.Arch.name)
        cfg.Config.iterations cfg.Config.inline cfg.Config.heavy_factor
        cfg.Config.weak_arrays);
+  (* tier and deopt sites change the artifact (decision-event tags, the
+     re-materialized checks), so they are part of the key; the sorted
+     deopt list makes the set canonical.  The promotion/deopt policy
+     knobs deliberately are NOT part of the key — they steer the
+     manager, not the compiler. *)
+  Buffer.add_string b (Printf.sprintf "t%d[" j.jb_tier);
+  List.iter
+    (fun s -> Buffer.add_string b (string_of_int s ^ ","))
+    (List.sort_uniq compare j.jb_deopt);
+  Buffer.add_string b "]\x00";
   Buffer.add_string b p.Ir.prog_main;
   Buffer.add_char b '\x00';
   let sorted_keys tbl =
@@ -113,8 +138,8 @@ let artifact_bytes (c : Compiler.compiled) : int =
   in
   program_bytes + (64 * List.length c.Compiler.decisions) + 1024
 
-let create_cache ?budget_bytes () : cache =
-  Codecache.create ?budget_bytes ~size:artifact_bytes ()
+let create_cache ?budget_bytes ?shards () : cache =
+  Codecache.create ?budget_bytes ?shards ~size:artifact_bytes ()
 
 (* ------------------------------------------------------------------ *)
 (* Compiling one job                                                   *)
@@ -122,17 +147,19 @@ let create_cache ?budget_bytes () : cache =
 
 let compile_job ?cache ~worker (j : job) : outcome =
   let t0 = Unix.gettimeofday () in
+  let compile () =
+    Compiler.compile ~tier:j.jb_tier ~deopt_sites:j.jb_deopt j.jb_config
+      ~arch:j.jb_arch j.jb_program
+  in
   let hit, compiled =
     match cache with
-    | None -> (false, Compiler.compile j.jb_config ~arch:j.jb_arch j.jb_program)
+    | None -> (false, compile ())
     | Some c -> (
       let key = job_key j in
       match Codecache.find c key with
       | Some artifact -> (true, artifact)
       | None ->
-        let artifact =
-          Compiler.compile j.jb_config ~arch:j.jb_arch j.jb_program
-        in
+        let artifact = compile () in
         Codecache.add c ~key artifact;
         (false, artifact))
   in
@@ -293,6 +320,57 @@ let compile_fold (t : t) ?(flight = 8) ~(count : int) ~(init : 'a)
     base := hi
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous single-job recompilation (tiered execution)            *)
+(* ------------------------------------------------------------------ *)
+
+(* A future is a one-slot batch: the worker that picks the task up
+   fills slot 0 and broadcasts, exactly as for [compile_all]; the
+   serving thread only ever [poll]s, which is a lock/read/unlock.  The
+   submission uses [Chan.try_push], so a saturated queue is reported to
+   the caller (who retries later) instead of blocking interpretation —
+   this is what "no stop-the-world" means operationally. *)
+type future = { f_batch : batch }
+
+let recompile_async (t : t) (j : job) : future option =
+  let batch =
+    {
+      results = Array.make 1 None;
+      bm = Mutex.create ();
+      bdone = Condition.create ();
+      remaining = 1;
+    }
+  in
+  match Chan.try_push t.queue { t_index = 0; t_job = j; t_batch = batch } with
+  | true -> Some { f_batch = batch }
+  | false -> None
+  | exception Chan.Closed ->
+    invalid_arg "Svc.recompile_async: service has been shut down"
+
+let poll (f : future) : outcome option =
+  let b = f.f_batch in
+  Mutex.lock b.bm;
+  let r = b.results.(0) in
+  Mutex.unlock b.bm;
+  (* raise outside the lock *)
+  match r with
+  | None -> None
+  | Some (Ok o) -> Some o
+  | Some (Error e) -> raise e
+
+let await (f : future) : outcome =
+  let b = f.f_batch in
+  Mutex.lock b.bm;
+  while b.remaining > 0 do
+    Condition.wait b.bdone b.bm
+  done;
+  let r = b.results.(0) in
+  Mutex.unlock b.bm;
+  match r with
+  | Some (Ok o) -> o
+  | Some (Error e) -> raise e
+  | None -> assert false (* remaining = 0 implies the slot is filled *)
 
 let shutdown (t : t) =
   let do_join =

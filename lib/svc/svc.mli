@@ -45,10 +45,21 @@ type job = {
   jb_program : Ir.program;  (** compiled via a copy; never mutated *)
   jb_config : Config.t;
   jb_arch : Arch.t;
+  jb_tier : int;            (** tier tag for decision events; -1 = untiered *)
+  jb_deopt : Ir.site list;  (** implicit sites to re-materialize explicitly *)
 }
 (** One compile request.  The program may be shared by many jobs (the
     batch driver compiles each workload under several configurations);
-    jobs only ever read it. *)
+    jobs only ever read it.  [jb_tier]/[jb_deopt] are threaded to
+    [Compiler.compile] and are part of {!job_key} — the policy knobs in
+    the configuration ([promote_calls], [deopt_traps]) are not, since
+    they never change the artifact. *)
+
+val job :
+  ?tier:int -> ?deopt:Ir.site list -> config:Config.t -> arch:Arch.t ->
+  Ir.program -> job
+(** Smart constructor with the untiered defaults ([tier] -1, no deopt
+    sites). *)
 
 type outcome = {
   oc_job : job;           (** the request, physically equal to the input *)
@@ -73,9 +84,10 @@ val artifact_bytes : Compiler.compiled -> int
     cache [size] function): dominated by the pretty-printed size of the
     optimized program plus the decision log. *)
 
-val create_cache : ?budget_bytes:int -> unit -> cache
+val create_cache : ?budget_bytes:int -> ?shards:int -> unit -> cache
 (** A cache keyed for {!job_key}, sized by {!artifact_bytes};
-    [budget_bytes] defaults to {!Codecache.create}'s 64 MiB. *)
+    [budget_bytes] and [shards] default to {!Codecache.create}'s 64 MiB
+    and clamped recommended-domain-count sharding. *)
 
 type t
 (** A running service: worker domains + job queue + optional cache. *)
@@ -137,6 +149,30 @@ val compile_fold :
     @raise Invalid_argument if [flight <= 0] or the service has been
     shut down; a job whose compilation raised re-raises as in
     {!compile_all}. *)
+
+type future
+(** An in-flight single-job recompilation submitted with
+    {!recompile_async}. *)
+
+val recompile_async : t -> job -> future option
+(** Submit one job to the pool without ever blocking: returns [None]
+    when the queue is full (the caller retries at a later call
+    boundary).  This is the tiered manager's promotion/deoptimization
+    entry point — the serving (interpreter) thread must never wait on
+    the compile pool, so installation happens whenever a later {!poll}
+    finds the artifact ready.
+
+    @raise Invalid_argument if the service has been shut down. *)
+
+val poll : future -> outcome option
+(** Non-blocking completion check: [Some outcome] once the worker has
+    finished, [None] while the job is queued or compiling.  Re-raises
+    the job's exception if its compilation failed. *)
+
+val await : future -> outcome
+(** Block until the job completes (test/benchmark helper — the serving
+    thread uses {!poll}).  Re-raises the job's exception if its
+    compilation failed. *)
 
 val shutdown : t -> unit
 (** Close the queue and join every worker.  Queued-but-unstarted work

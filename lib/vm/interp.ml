@@ -78,6 +78,16 @@ type state = {
       (** per-site/per-block collection; [None] keeps every hook down to
           one option match so disabled profiling costs nothing
           measurable *)
+  resolve : string -> Ir.func * int;
+      (** call-boundary dispatch: maps a (resolved) function name to the
+          code version to execute and its tier.  The default looks the
+          function up in [prog] at tier 0; the tiered manager installs
+          newly compiled versions here, which is why promotion never
+          needs to patch running frames *)
+  on_trap : (func:string -> site:int -> unit) option;
+      (** runtime feedback: called when a hardware trap fires at an
+          implicit check site, before the NPE propagates — the tiered
+          manager's deoptimization trigger *)
 }
 
 let record st e = st.trace_rev <- e :: st.trace_rev
@@ -119,8 +129,8 @@ let eval vars = function
     soundness violation and to attribute the event to the implicit
     check's provenance site.  [fname]/[blk] locate the access for the
     profile. *)
-let null_deref st ~fname ~blk ~(prev : Ir.instr option) ~(base : Ir.var)
-    ~offset ~access : value =
+let null_deref st ~fname ~tier ~blk ~(prev : Ir.instr option)
+    ~(base : Ir.var) ~offset ~access : value =
   (* the site of the implicit check guarding this access, if any *)
   let guard_site =
     match prev with
@@ -132,9 +142,12 @@ let null_deref st ~fname ~blk ~(prev : Ir.instr option) ~(base : Ir.var)
     (match st.profile with
     | Some p -> (
       match guard_site with
-      | Some s -> Profile.record_trap p ~func:fname ~site:s
+      | Some s -> Profile.record_trap ~tier p ~func:fname ~site:s
       | None -> Profile.record_other_trap p)
     | None -> ());
+    (match (st.on_trap, guard_site) with
+    | Some h, Some s -> h ~func:fname ~site:s
+    | _ -> ());
     raise (Jexn Ir.Npe)
   end
   else begin
@@ -142,7 +155,7 @@ let null_deref st ~fname ~blk ~(prev : Ir.instr option) ~(base : Ir.var)
     | Some s ->
       st.c.implicit_miss <- st.c.implicit_miss + 1;
       (match st.profile with
-      | Some p -> Profile.record_miss p ~func:fname ~site:s
+      | Some p -> Profile.record_miss ~tier p ~func:fname ~site:s
       | None -> ());
       Log.debug
         "implicit check missed: null deref of v%d at offset %d not trapped"
@@ -183,7 +196,9 @@ let apply_intrinsic u x =
   | Ir.Fcos -> cos x
   | Ir.Neg | Ir.Fneg | Ir.I2f | Ir.F2i -> assert false
 
-let rec exec_func st (f : Ir.func) (args : value list) : value option =
+(* [tier] is the tier of the code version being executed; it only
+   flows into profile events (and stays 0 for untiered runs). *)
+let rec exec_func st ~tier (f : Ir.func) (args : value list) : value option =
   st.depth <- st.depth + 1;
   if st.depth > 2000 then raise (Sim "call depth exceeded");
   let vars = Array.make (max f.fn_nvars 1) Vundef in
@@ -193,7 +208,7 @@ let rec exec_func st (f : Ir.func) (args : value list) : value option =
   let rec run l =
     let b = Ir.block f l in
     let next =
-      try `Flow (exec_block st f vars l b)
+      try `Flow (exec_block st ~tier f vars l b)
       with Jexn k -> (
         match Ir.handler_of f b.breg with
         | Some h ->
@@ -209,7 +224,7 @@ let rec exec_func st (f : Ir.func) (args : value list) : value option =
   st.depth <- st.depth - 1;
   r
 
-and exec_block st f vars (l : Ir.label) (b : Ir.block) :
+and exec_block st ~tier f vars (l : Ir.label) (b : Ir.block) :
     [ `Jump of Ir.label | `Return of value option ] =
   let cost = st.arch.cost in
   (match st.profile with
@@ -218,7 +233,7 @@ and exec_block st f vars (l : Ir.label) (b : Ir.block) :
   let prev = ref None in
   Array.iter
     (fun i ->
-      exec_instr st f vars ~blk:l ~prev:!prev i;
+      exec_instr st ~tier f vars ~blk:l ~prev:!prev i;
       prev := Some i)
     b.instrs;
   tick st;
@@ -240,7 +255,7 @@ and exec_block st f vars (l : Ir.label) (b : Ir.block) :
     `Return (Some (eval vars o))
   | Throw s -> raise (Jexn (User s))
 
-and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
+and exec_instr st ~tier f vars ~blk ~prev (i : Ir.instr) : unit =
   let cost = st.arch.cost in
   let fname = f.Ir.fn_name in
   tick st;
@@ -295,13 +310,14 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     charge st cost.c_explicit_check;
     st.c.explicit_checks <- st.c.explicit_checks + 1;
     (match st.profile with
-    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cexplicit
+    | Some p ->
+      Profile.hit_check ~tier p ~func:fname ~site:s ~kind:Profile.Cexplicit
     | None -> ());
     match as_ref vars.(v) with
     | Null ->
       st.c.npe_explicit <- st.c.npe_explicit + 1;
       (match st.profile with
-      | Some p -> Profile.record_npe p ~func:fname ~site:s
+      | Some p -> Profile.record_npe ~tier p ~func:fname ~site:s
       | None -> ());
       raise (Jexn Npe)
     | Obj _ | Arr _ -> ())
@@ -309,14 +325,16 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     (* free: the following instruction is the exception site *)
     st.c.implicit_checks <- st.c.implicit_checks + 1;
     (match st.profile with
-    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cimplicit
+    | Some p ->
+      Profile.hit_check ~tier p ~func:fname ~site:s ~kind:Profile.Cimplicit
     | None -> ());
     ignore (as_ref vars.(v))
   | Bound_check (io, lo, s) ->
     charge st cost.c_bound_check;
     st.c.bound_checks <- st.c.bound_checks + 1;
     (match st.profile with
-    | Some p -> Profile.hit_check p ~func:fname ~site:s ~kind:Profile.Cbound
+    | Some p ->
+      Profile.hit_check ~tier p ~func:fname ~site:s ~kind:Profile.Cbound
     | None -> ());
     let idx = as_int (eval vars io) and len = as_int (eval vars lo) in
     if idx < 0 || idx >= len then raise (Jexn Oob)
@@ -330,7 +348,7 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
       | None -> raise (Sim ("field " ^ fld.fname ^ " missing from object")))
     | Null ->
       vars.(d) <-
-        null_deref st ~fname ~blk ~prev ~base:o ~offset:fld.foffset
+        null_deref st ~fname ~tier ~blk ~prev ~base:o ~offset:fld.foffset
           ~access:Arch.Read
     | Arr _ -> raise (Sim "field access on array"))
   | Put_field (o, fld, s) -> (
@@ -341,7 +359,7 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     | Obj obj -> Hashtbl.replace obj.o_slots fld.foffset v
     | Null ->
       ignore
-        (null_deref st ~fname ~blk ~prev ~base:o ~offset:fld.foffset
+        (null_deref st ~fname ~tier ~blk ~prev ~base:o ~offset:fld.foffset
            ~access:Arch.Write)
     | Arr _ -> raise (Sim "field store on array"))
   | Array_load (d, a, io, k) -> (
@@ -357,7 +375,7 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     | Null ->
       let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
       vars.(d) <-
-        null_deref st ~fname ~blk ~prev ~base:a ~offset ~access:Arch.Read
+        null_deref st ~fname ~tier ~blk ~prev ~base:a ~offset ~access:Arch.Read
     | Obj _ -> raise (Sim "array read on object"))
   | Array_store (a, io, s, k) -> (
     charge st cost.c_store;
@@ -373,7 +391,7 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     | Null ->
       let offset = Ir.array_elem_base + (idx * Ir.slot_size) in
       ignore
-        (null_deref st ~fname ~blk ~prev ~base:a ~offset ~access:Arch.Write)
+        (null_deref st ~fname ~tier ~blk ~prev ~base:a ~offset ~access:Arch.Write)
     | Obj _ -> raise (Sim "array write on object"))
   | Array_length (d, a) -> (
     charge st cost.c_load;
@@ -382,7 +400,7 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     | Arr arr -> vars.(d) <- Vint (Array.length arr.a_elems)
     | Null ->
       vars.(d) <-
-        null_deref st ~fname ~blk ~prev ~base:a
+        null_deref st ~fname ~tier ~blk ~prev ~base:a
           ~offset:Ir.array_length_offset ~access:Arch.Read
     | Obj _ -> raise (Sim "arraylength on object"))
   | New_object (d, cname) ->
@@ -432,8 +450,8 @@ and exec_instr st f vars ~blk ~prev (i : Ir.instr) : unit =
     | None -> (
       charge st cost.c_call;
       st.c.calls <- st.c.calls + 1;
-      let callee = Ir.find_func st.prog fname in
-      let r = exec_func st callee argv in
+      let callee, ctier = st.resolve fname in
+      let r = exec_func st ~tier:ctier callee argv in
       match (d, r) with
       | Some d, Some v -> vars.(d) <- v
       | Some _, None -> raise (Sim ("call to void function " ^ fname ^ " expects a value"))
@@ -479,8 +497,13 @@ let record_metrics ?run (m : Metrics.t) (c : counters) : unit =
   add "spec_null_reads" c.spec_null_reads
 
 (** Run a program's main function. *)
-let run ?(fuel = 400_000_000) ?metrics ?profile ~(arch : Arch.t)
-    (p : Ir.program) (args : value list) : result =
+let run ?(fuel = 400_000_000) ?metrics ?profile ?dispatch ?on_trap
+    ~(arch : Arch.t) (p : Ir.program) (args : value list) : result =
+  let resolve =
+    match dispatch with
+    | Some d -> d
+    | None -> fun n -> (Ir.find_func p n, 0)
+  in
   let st =
     {
       prog = p;
@@ -490,10 +513,14 @@ let run ?(fuel = 400_000_000) ?metrics ?profile ~(arch : Arch.t)
       trace_rev = [];
       depth = 0;
       profile;
+      resolve;
+      on_trap;
     }
   in
   let execute () =
-    try Returned (exec_func st (Ir.find_func p p.prog_main) args)
+    try
+      let mainf, mtier = st.resolve p.prog_main in
+      Returned (exec_func st ~tier:mtier mainf args)
     with
     | Jexn k -> Uncaught k
     | Sim msg -> Sim_error msg

@@ -45,6 +45,8 @@ val run :
   ?fuel:int ->
   ?metrics:Nullelim_obs.Metrics.t ->
   ?profile:Nullelim_obs.Profile.t ->
+  ?dispatch:(string -> Ir.func * int) ->
+  ?on_trap:(func:string -> site:int -> unit) ->
   arch:Arch.t ->
   Ir.program ->
   Value.value list ->
@@ -55,7 +57,17 @@ val run :
     and per-check-site dynamic hits are collected into the given
     collector (when absent, every profiling hook reduces to one option
     match — no measurable slowdown); when tracing is active the whole
-    run is one span. *)
+    run is one span.
+
+    [dispatch] is the call-boundary code-version resolver for tiered
+    execution: every call (and the initial entry into main) maps the
+    resolved callee name to the function body to execute and its tier
+    — so a version installed between two calls takes effect at the
+    next call, never mid-frame.  The default resolves in [p] at tier
+    0.  The tier flows into the profile's per-site rows.  [on_trap] is
+    invoked when a hardware trap fires at an implicit check site
+    (before the NPE propagates) — the tiered manager's deoptimization
+    feedback; it must not raise. *)
 
 val record_metrics : ?run:string -> Nullelim_obs.Metrics.t -> counters -> unit
 (** Dump dynamic counters into a registry ([interp_*] counters), labeled

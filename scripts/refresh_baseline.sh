@@ -1,13 +1,26 @@
 #!/bin/sh
-# Re-record the dynamic null-check baseline (BENCH_baseline.json).
+# Re-record the committed regression baseline (BENCH_baseline.json).
 #
-# Run after an intentional optimizer change shifts the deterministic
-# dynamic check counts; commit the refreshed file with the change that
-# caused it.  CI fails when a workload x config executes more dynamic
-# null checks than this file records.
+# The file groups one member per schema, like BENCH_results.json:
+#   dynamic  nullelim-dynamic/1  per-site dynamic check counts
+#   tiered   nullelim-tiered/1   steady-state checks + promotion/deopt
+#                                counters (sync mode, reduced smoke
+#                                settings -- must match the CI step)
+#
+# Run after an intentional optimizer or tiering-policy change shifts
+# the deterministic counters; commit the refreshed file with the change
+# that caused it.  CI fails when a workload x config executes more
+# dynamic null checks than recorded, when a steady state regresses, or
+# when the promotion/deopt counters drift at all.
 set -e
 cd "$(dirname "$0")/.."
+rm -f BENCH_baseline.json
 dune exec bin/main.exe -- profile \
   --out PROFILE_report.md \
-  --write-baseline BENCH_baseline.json
-echo "refreshed BENCH_baseline.json and PROFILE_report.md"
+  --merge BENCH_baseline.json
+# reduced smoke settings: keep in sync with the CI tiered step
+dune exec bin/main.exe -- tiered \
+  --runs 6 --promote-calls 3 \
+  --out TIERED_report.md \
+  --merge BENCH_baseline.json
+echo "refreshed BENCH_baseline.json, PROFILE_report.md and TIERED_report.md"

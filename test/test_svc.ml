@@ -12,7 +12,7 @@ module Registry = Nullelim_workloads.Registry
 let program_bytes (p : Ir.program) = Fmt.str "%a" Ir_pp.pp_program p
 
 let job w cfg : Svc.job =
-  { Svc.jb_program = w; jb_config = cfg; jb_arch = Arch.ia32_windows }
+  Svc.job ~config:cfg ~arch:Arch.ia32_windows w
 
 (* a small but non-trivial job mix reused by several tests *)
 let sample_jobs () =
@@ -49,6 +49,18 @@ let test_chan_close_semantics () =
   Alcotest.(check bool) "drains queued item" true (Chan.pop c = Some 1);
   Alcotest.(check bool) "then None" true (Chan.pop c = None)
 
+let test_chan_try_push () =
+  let c = Chan.create ~capacity:2 in
+  Alcotest.(check bool) "accepts 1st" true (Chan.try_push c 1);
+  Alcotest.(check bool) "accepts 2nd" true (Chan.try_push c 2);
+  Alcotest.(check bool) "refuses when full" false (Chan.try_push c 3);
+  Alcotest.(check bool) "pop" true (Chan.pop c = Some 1);
+  Alcotest.(check bool) "accepts after pop" true (Chan.try_push c 4);
+  Chan.close c;
+  match Chan.try_push c 5 with
+  | (_ : bool) -> Alcotest.fail "try_push after close must raise"
+  | exception Chan.Closed -> ()
+
 (* Cross-domain: a consumer blocks on an empty channel, a bounded
    producer blocks on a full one; all items arrive in order. *)
 let test_chan_cross_domain () =
@@ -74,8 +86,11 @@ let test_chan_cross_domain () =
 (* ------------------------------------------------------------------ *)
 
 let test_cache_lru_eviction () =
-  (* each entry "costs" its int value; budget fits two of them *)
-  let c = Codecache.create ~budget_bytes:25 ~size:(fun v -> v) () in
+  (* one shard for deterministic LRU; each entry "costs" its int value;
+     budget fits two of them *)
+  let c =
+    Codecache.create ~budget_bytes:25 ~shards:1 ~size:(fun v -> v) ()
+  in
   Codecache.add c ~key:"a" 10;
   Codecache.add c ~key:"b" 10;
   ignore (Codecache.find c "a");
@@ -92,12 +107,83 @@ let test_cache_lru_eviction () =
   (* replacement under the same key is not an eviction *)
   Codecache.add c ~key:"c" 12;
   Alcotest.(check int) "replace, no evict" 1
-    (Codecache.stats c).Codecache.evictions;
-  (* an oversized artifact evicts everything else but stays resident *)
+    (Codecache.stats c).Codecache.evictions
+
+let test_cache_oversized_rejected () =
+  (* an artifact larger than the whole budget is rejected outright —
+     it must never displace the resident working set *)
+  let c =
+    Codecache.create ~budget_bytes:25 ~shards:1 ~size:(fun v -> v) ()
+  in
+  Codecache.add c ~key:"a" 10;
+  Codecache.add c ~key:"b" 10;
   Codecache.add c ~key:"big" 100;
+  Alcotest.(check bool) "big not cached" true (Codecache.find c "big" = None);
+  Alcotest.(check bool) "a survives" true (Codecache.find c "a" = Some 10);
+  Alcotest.(check bool) "b survives" true (Codecache.find c "b" = Some 10);
   let s = Codecache.stats c in
-  Alcotest.(check int) "only the big entry left" 1 s.Codecache.entries;
-  Alcotest.(check bool) "big resident" true (Codecache.find c "big" = Some 100)
+  Alcotest.(check int) "rejections" 1 s.Codecache.rejections;
+  Alcotest.(check int) "no evictions" 0 s.Codecache.evictions;
+  Alcotest.(check int) "entries intact" 2 s.Codecache.entries;
+  (* re-adding an existing key with an oversized value drops the old
+     entry too: the key must not serve a stale artifact *)
+  Codecache.add c ~key:"a" 100;
+  Alcotest.(check bool) "stale a dropped" true (Codecache.find c "a" = None);
+  Alcotest.(check int) "second rejection" 2
+    (Codecache.stats c).Codecache.rejections
+
+let test_cache_zero_budget_passthrough () =
+  (* budget_bytes:0 = a pass-through cache: everything is rejected,
+     nothing is resident, finds always miss *)
+  let c = Codecache.create ~budget_bytes:0 ~shards:1 ~size:(fun v -> v) () in
+  Codecache.add c ~key:"a" 1;
+  Codecache.add c ~key:"b" 0;
+  Alcotest.(check bool) "a not cached" true (Codecache.find c "a" = None);
+  Alcotest.(check bool) "b not cached" true (Codecache.find c "b" = None);
+  let s = Codecache.stats c in
+  Alcotest.(check int) "entries" 0 s.Codecache.entries;
+  Alcotest.(check int) "bytes" 0 s.Codecache.bytes;
+  Alcotest.(check int) "rejections" 2 s.Codecache.rejections;
+  Alcotest.(check int) "misses" 2 s.Codecache.misses;
+  Alcotest.(check int) "no evictions" 0 s.Codecache.evictions
+
+let test_cache_remove () =
+  let c = Codecache.create ~shards:1 ~size:(fun _ -> 1) () in
+  Codecache.add c ~key:"k" 7;
+  Alcotest.(check bool) "present" true (Codecache.find c "k" = Some 7);
+  Alcotest.(check bool) "removed" true (Codecache.remove c "k");
+  Alcotest.(check bool) "gone" true (Codecache.find c "k" = None);
+  Alcotest.(check bool) "second remove is false" false
+    (Codecache.remove c "k");
+  let s = Codecache.stats c in
+  Alcotest.(check int) "one invalidation" 1 s.Codecache.invalidations;
+  Alcotest.(check int) "entries" 0 s.Codecache.entries;
+  Alcotest.(check int) "bytes" 0 s.Codecache.bytes
+
+let test_cache_sharded_stats () =
+  (* many shards: keys spread out, but stats aggregate across all of
+     them and the reported budget is the configured total *)
+  let n = 64 in
+  let c =
+    Codecache.create ~budget_bytes:(1024 * 1024) ~shards:8
+      ~size:(fun _ -> 1) ()
+  in
+  for i = 1 to n do
+    Codecache.add c ~key:(Digest.to_hex (Digest.string (string_of_int i))) i
+  done;
+  for i = 1 to n do
+    let k = Digest.to_hex (Digest.string (string_of_int i)) in
+    Alcotest.(check bool) "resident" true (Codecache.find c k = Some i)
+  done;
+  let s = Codecache.stats c in
+  Alcotest.(check int) "shards" 8 s.Codecache.shards;
+  Alcotest.(check int) "aggregate entries" n s.Codecache.entries;
+  Alcotest.(check int) "aggregate bytes" n s.Codecache.bytes;
+  Alcotest.(check int) "aggregate hits" n s.Codecache.hits;
+  Alcotest.(check int) "aggregate budget" (1024 * 1024)
+    s.Codecache.budget_bytes;
+  Codecache.clear c;
+  Alcotest.(check int) "cleared" 0 (Codecache.stats c).Codecache.entries
 
 let test_cache_counters () =
   let c = Codecache.create ~size:(fun _ -> 1) () in
@@ -262,11 +348,21 @@ let () =
           Alcotest.test_case "fifo + drain" `Quick test_chan_fifo;
           Alcotest.test_case "close semantics" `Quick
             test_chan_close_semantics;
+          Alcotest.test_case "try_push backpressure" `Quick
+            test_chan_try_push;
           Alcotest.test_case "cross-domain" `Quick test_chan_cross_domain;
         ] );
       ( "codecache",
         [
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "oversized artifact rejected" `Quick
+            test_cache_oversized_rejected;
+          Alcotest.test_case "zero budget = pass-through" `Quick
+            test_cache_zero_budget_passthrough;
+          Alcotest.test_case "remove / invalidations" `Quick
+            test_cache_remove;
+          Alcotest.test_case "sharded aggregate stats" `Quick
+            test_cache_sharded_stats;
           Alcotest.test_case "counters" `Quick test_cache_counters;
         ] );
       ( "keys",
