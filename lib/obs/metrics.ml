@@ -12,13 +12,18 @@
     An instrument is identified by its name plus its label set; asking
     for the same (name, labels) twice returns the same instrument, and
     asking with a different type is a programming error
-    ([Invalid_argument]). *)
+    ([Invalid_argument]).
+
+    Domain safety: a registry may be shared across domains (the Svc pool
+    and the tiered manager both do).  Counters and gauges are [Atomic.t]
+    cells; histogram observation and registry structure (find-or-add,
+    snapshot) are mutex-guarded. *)
 
 type labels = (string * string) list
 
 type instrument =
-  | Icounter of int ref
-  | Igauge of float ref
+  | Icounter of int Atomic.t
+  | Igauge of float Atomic.t
   | Ihistogram of histogram_data
 
 and histogram_data = {
@@ -26,20 +31,22 @@ and histogram_data = {
   bucket_counts : int array;    (** length = Array.length buckets + 1 *)
   mutable hcount : int;
   mutable hsum : float;
+  hm : Mutex.t;                 (** guards the three mutable fields above *)
 }
 
 type t = {
   tbl : (string * labels, instrument) Hashtbl.t;
   mutable order : (string * labels) list;  (** registration order, reversed *)
+  rm : Mutex.t;                 (** guards [tbl] and [order] *)
 }
 
-type counter = int ref
-type gauge = float ref
+type counter = int Atomic.t
+type gauge = float Atomic.t
 type histogram = histogram_data
 
 let schema_version = 1
 
-let create () : t = { tbl = Hashtbl.create 64; order = [] }
+let create () : t = { tbl = Hashtbl.create 64; order = []; rm = Mutex.create () }
 
 (** A process-wide default registry, for callers that do not thread their
     own. *)
@@ -48,15 +55,20 @@ let global : t = create ()
 let norm_labels (labels : labels) : labels =
   List.sort_uniq compare labels
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let find_or_add (r : t) name labels (mk : unit -> instrument) : instrument =
   let key = (name, norm_labels labels) in
-  match Hashtbl.find_opt r.tbl key with
-  | Some i -> i
-  | None ->
-    let i = mk () in
-    Hashtbl.replace r.tbl key i;
-    r.order <- key :: r.order;
-    i
+  with_lock r.rm (fun () ->
+      match Hashtbl.find_opt r.tbl key with
+      | Some i -> i
+      | None ->
+        let i = mk () in
+        Hashtbl.replace r.tbl key i;
+        r.order <- key :: r.order;
+        i)
 
 let kind_error name want =
   invalid_arg
@@ -64,21 +76,25 @@ let kind_error name want =
        name want)
 
 let counter (r : t) ?(labels = []) name : counter =
-  match find_or_add r name labels (fun () -> Icounter (ref 0)) with
+  match find_or_add r name labels (fun () -> Icounter (Atomic.make 0)) with
   | Icounter c -> c
   | Igauge _ | Ihistogram _ -> kind_error name "counter"
 
-let inc (c : counter) n = c := !c + n
-let counter_value (c : counter) = !c
+let inc (c : counter) n = ignore (Atomic.fetch_and_add c n)
+let counter_value (c : counter) = Atomic.get c
 
 let gauge (r : t) ?(labels = []) name : gauge =
-  match find_or_add r name labels (fun () -> Igauge (ref 0.)) with
+  match find_or_add r name labels (fun () -> Igauge (Atomic.make 0.)) with
   | Igauge g -> g
   | Icounter _ | Ihistogram _ -> kind_error name "gauge"
 
-let set (g : gauge) v = g := v
-let add (g : gauge) v = g := !g +. v
-let gauge_value (g : gauge) = !g
+let set (g : gauge) v = Atomic.set g v
+
+let rec add (g : gauge) v =
+  let cur = Atomic.get g in
+  if not (Atomic.compare_and_set g cur (cur +. v)) then add g v
+
+let gauge_value (g : gauge) = Atomic.get g
 
 (** Default histogram buckets: wall-clock seconds from 1 microsecond up
     to ~10 s, factor-of-~3 spacing. *)
@@ -93,7 +109,7 @@ let histogram (r : t) ?(labels = []) ?(buckets = default_buckets) name :
     Array.sort compare b;
     Ihistogram
       { buckets = b; bucket_counts = Array.make (Array.length b + 1) 0;
-        hcount = 0; hsum = 0. }
+        hcount = 0; hsum = 0.; hm = Mutex.create () }
   in
   match find_or_add r name labels mk with
   | Ihistogram h -> h
@@ -103,12 +119,14 @@ let observe (h : histogram) v =
   let nb = Array.length h.buckets in
   let rec slot k = if k >= nb || v <= h.buckets.(k) then k else slot (k + 1) in
   let k = slot 0 in
+  Mutex.lock h.hm;
   h.bucket_counts.(k) <- h.bucket_counts.(k) + 1;
   h.hcount <- h.hcount + 1;
-  h.hsum <- h.hsum +. v
+  h.hsum <- h.hsum +. v;
+  Mutex.unlock h.hm
 
-let histogram_count (h : histogram) = h.hcount
-let histogram_sum (h : histogram) = h.hsum
+let histogram_count (h : histogram) = with_lock h.hm (fun () -> h.hcount)
+let histogram_sum (h : histogram) = with_lock h.hm (fun () -> h.hsum)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)
@@ -118,20 +136,34 @@ let labels_json (labels : labels) : Obs_json.t =
   Obs_json.Obj (List.map (fun (k, v) -> (k, Obs_json.Str v)) labels)
 
 let snapshot (r : t) : Obs_json.t =
-  (* deterministic order: sorted by (name, labels) *)
-  let keys = List.sort compare (List.rev r.order) in
+  (* deterministic order: sorted by (name, labels).  Holds the registry
+     lock for the traversal and each histogram's lock while copying its
+     cells, so the per-instrument values are internally consistent. *)
+  let keys, instruments =
+    with_lock r.rm (fun () ->
+        let keys = List.sort compare (List.rev r.order) in
+        (keys, List.map (fun key -> Hashtbl.find r.tbl key) keys))
+  in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  List.iter
-    (fun ((name, labels) as key) ->
+  List.iter2
+    (fun (name, labels) instrument ->
       let base = [ ("name", Obs_json.Str name); ("labels", labels_json labels) ] in
-      match Hashtbl.find r.tbl key with
+      match instrument with
       | Icounter c ->
-        counters := Obs_json.Obj (base @ [ ("value", Obs_json.Int !c) ]) :: !counters
+        counters :=
+          Obs_json.Obj (base @ [ ("value", Obs_json.Int (Atomic.get c)) ])
+          :: !counters
       | Igauge g ->
-        gauges := Obs_json.Obj (base @ [ ("value", Obs_json.Float !g) ]) :: !gauges
+        gauges :=
+          Obs_json.Obj (base @ [ ("value", Obs_json.Float (Atomic.get g)) ])
+          :: !gauges
       | Ihistogram h ->
+        let bucket_counts, hcount, hsum =
+          with_lock h.hm (fun () ->
+              (Array.copy h.bucket_counts, h.hcount, h.hsum))
+        in
         let bucket k le =
-          Obs_json.Obj [ ("le", le); ("count", Obs_json.Int h.bucket_counts.(k)) ]
+          Obs_json.Obj [ ("le", le); ("count", Obs_json.Int bucket_counts.(k)) ]
         in
         let buckets =
           List.init (Array.length h.buckets) (fun k ->
@@ -142,12 +174,12 @@ let snapshot (r : t) : Obs_json.t =
           Obs_json.Obj
             (base
             @ [
-                ("count", Obs_json.Int h.hcount);
-                ("sum", Obs_json.Float h.hsum);
+                ("count", Obs_json.Int hcount);
+                ("sum", Obs_json.Float hsum);
                 ("buckets", Obs_json.List buckets);
               ])
           :: !histograms)
-    keys;
+    keys instruments;
   Obs_json.Obj
     [
       ("schema_version", Obs_json.Int schema_version);

@@ -154,6 +154,85 @@ let test_metrics_validate_rejects () =
         ];
     ]
 
+(* Sum every counter series named [name] (all label variants) in a
+   snapshot; likewise for histogram sample counts.  Reading through the
+   snapshot rather than an instrument handle is what makes these checks
+   representation-independent: they hold whether the registry is one
+   shared table or per-domain shards merged at snapshot time. *)
+let snapshot_counter snap name =
+  match Json.member "counters" snap with
+  | Some (Json.List cs) ->
+    List.fold_left
+      (fun acc c ->
+        match (Json.member "name" c, Json.member "value" c) with
+        | Some (Json.Str n), Some (Json.Int v) when n = name -> acc + v
+        | _ -> acc)
+      0 cs
+  | _ -> Alcotest.fail "snapshot has no counters list"
+
+let snapshot_histogram_count snap name =
+  match Json.member "histograms" snap with
+  | Some (Json.List hs) ->
+    List.fold_left
+      (fun acc h ->
+        match (Json.member "name" h, Json.member "count" h) with
+        | Some (Json.Str n), Some (Json.Int v) when n = name -> acc + v
+        | _ -> acc)
+      0 hs
+  | _ -> Alcotest.fail "snapshot has no histograms list"
+
+(** Four domains hammer one shared registry — re-requesting instruments
+    every iteration (stressing find-or-add), bumping a shared counter, a
+    labelled counter family, a histogram and a CAS-add gauge — while a
+    fifth domain takes and validates snapshots mid-flight.  Every count
+    must come out exact: on the pre-fix registry this fails by count
+    mismatch (lost updates on [int ref] increments and histogram cells)
+    or crashes in the unsynchronized [Hashtbl].  *)
+let test_metrics_hammer () =
+  let m = Obs.Metrics.create () in
+  let domains = 4 and iters = 20_000 in
+  let worker () =
+    for i = 1 to iters do
+      Obs.Metrics.inc (Obs.Metrics.counter m "hammer_ops") 1;
+      Obs.Metrics.inc
+        (Obs.Metrics.counter m
+           ~labels:[ ("slot", string_of_int (i land 7)) ]
+           "hammer_slot")
+        1;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m "hammer_lat")
+        (float_of_int (i land 1023) /. 1024.);
+      if i land 15 = 0 then Obs.Metrics.add (Obs.Metrics.gauge m "hammer_acc") 1.
+    done
+  in
+  let reader () =
+    (* concurrent snapshots must stay well-formed while instruments are
+       being registered and bumped under them *)
+    for _ = 1 to 25 do
+      match Obs.Metrics.validate (Obs.Metrics.snapshot m) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "mid-flight snapshot invalid: %s" e
+    done
+  in
+  let ds =
+    Domain.spawn reader :: List.init domains (fun _ -> Domain.spawn worker)
+  in
+  List.iter Domain.join ds;
+  let snap = Obs.Metrics.snapshot m in
+  (match Obs.Metrics.validate snap with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final snapshot invalid: %s" e);
+  let expected = domains * iters in
+  Alcotest.(check int) "shared counter exact" expected
+    (snapshot_counter snap "hammer_ops");
+  Alcotest.(check int) "labelled counter family exact" expected
+    (snapshot_counter snap "hammer_slot");
+  Alcotest.(check int) "histogram count exact" expected
+    (snapshot_histogram_count snap "hammer_lat");
+  Alcotest.(check (float 1e-9)) "gauge CAS adds exact"
+    (float_of_int (domains * (iters / 16)))
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge m "hammer_acc"))
+
 (* ------------------------------------------------------------------ *)
 (* Trace spans                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -371,6 +450,8 @@ let () =
           Alcotest.test_case "kind conflict" `Quick test_metrics_kind_conflict;
           Alcotest.test_case "validate rejects" `Quick
             test_metrics_validate_rejects;
+          Alcotest.test_case "4-domain hammer (exact counts)" `Quick
+            test_metrics_hammer;
         ] );
       ( "trace",
         [
