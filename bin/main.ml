@@ -6,6 +6,7 @@ module W = Nullelim_workloads.Workload
 module Registry = Nullelim_workloads.Registry
 module PR = Nullelim_experiments.Profile_report
 module SS = Nullelim_experiments.Steady_state
+module LG = Nullelim_experiments.Loadgen
 
 let arch_conv =
   let parse s =
@@ -966,6 +967,276 @@ let fuzz_cmd =
       const run $ arch_arg $ seed_arg $ count_arg $ size_arg $ jobs_arg
       $ flight_arg $ shrink_arg $ mutate_arg $ out_arg)
 
+(* --- loadgen ------------------------------------------------------- *)
+
+let loadgen_cmd =
+  let doc =
+    "Open-loop Poisson load generator for the parallel compile \
+     service: calibrate the workload corpus (serial compiles give the \
+     mean cost per request), then offer compile requests at a sweep of \
+     rates relative to that capacity with seeded exponential \
+     inter-arrivals.  Arrivals never wait for completions; a full \
+     queue sheds the request.  Reports throughput and \
+     p50/p90/p99/p999 end-to-end latency per rate (exact, \
+     cross-checked against the merged metrics histogram), the \
+     saturation throughput, and optionally the flight-recorder \
+     overhead.  Latency is measured from the scheduled arrival, so \
+     coordinated omission is impossible by construction."
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the compile service (0 = the default \
+             pool size).")
+  in
+  let queue_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Compile queue capacity.")
+  in
+  let duration_arg =
+    Cmdliner.Arg.(
+      value
+      & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Target duration of each rate step.")
+  in
+  let seed_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the exponential arrival schedule.")
+  in
+  let sweep_arg =
+    Cmdliner.Arg.(
+      value
+      & opt string "0.25,0.5,1,2,4"
+      & info [ "rate-sweep" ] ~docv:"MULTS"
+          ~doc:
+            "Comma-separated offered-rate multipliers of the calibrated \
+             single-domain capacity, swept in increasing order.")
+  in
+  let rate_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"MULT"
+          ~doc:
+            "Run a single rate step at $(docv) times the calibrated \
+             capacity instead of the sweep.")
+  in
+  let max_requests_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 400
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Cap on the requests scheduled per rate step.")
+  in
+  let overhead_arg =
+    Cmdliner.Arg.(
+      value
+      & flag
+      & info [ "overhead" ]
+          ~doc:
+            "Also measure the flight recorder's overhead: ns per \
+             recorded event and the enabled-vs-disabled delta on a \
+             steady-state tiered loop.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the loadgen document (nullelim-loadgen schema).")
+  in
+  let merge_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "merge" ] ~docv:"FILE"
+          ~doc:
+            "Merge the loadgen document into an existing bench report \
+             (e.g. BENCH_results.json) under the `loadgen' key, \
+             creating the file if absent.")
+  in
+  let baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Gate the normalized p99 (lowest-rate p99 / mean compile \
+             time) against a committed baseline (its `loadgen' member \
+             if present); exit 1 above the gate factor.")
+  in
+  let factor_arg =
+    Cmdliner.Arg.(
+      value
+      & opt float 3.0
+      & info [ "gate-factor" ] ~docv:"X"
+          ~doc:"Allowed normalized-p99 ratio over the baseline.")
+  in
+  let write_baseline_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Record the fresh loadgen document as the new baseline.")
+  in
+  let flight_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Dump the global flight recorder (nullelim-flight schema) \
+             after the sweep — queue movement, request lifecycle and \
+             cache traffic of the final rate steps.")
+  in
+  let trace_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-trace" ] ~docv:"FILE"
+          ~doc:
+            "Convert the retained flight events to a Chrome trace-event \
+             file (chrome://tracing, ui.perfetto.dev).")
+  in
+  let run jobs queue duration seed sweep rate max_requests overhead out merge
+      baseline factor write_baseline flight trace =
+    let multipliers =
+      match rate with
+      | Some m -> [ m ]
+      | None -> (
+        try
+          String.split_on_char ',' sweep
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map float_of_string
+        with Failure _ ->
+          Fmt.epr "--rate-sweep: cannot parse %S@." sweep;
+          exit 1)
+    in
+    if multipliers = [] || List.exists (fun m -> m <= 0.) multipliers then
+    begin
+      Fmt.epr "rate multipliers must be positive@.";
+      exit 1
+    end;
+    let t =
+      LG.sweep
+        ?domains:(if jobs > 0 then Some jobs else None)
+        ~queue_capacity:queue ~duration ~seed ~multipliers ~max_requests
+        ~overhead ()
+    in
+    let cal = t.LG.lg_calibration in
+    Fmt.pr
+      "calibration: %d jobs, %.4f s mean compile, base rate %.2f req/s, %d \
+       domains@."
+      cal.LG.cal_jobs cal.LG.cal_mean_seconds cal.LG.cal_base_rate
+      t.LG.lg_domains;
+    Fmt.pr "@.%6s %9s %7s %9s %5s %9s %9s %9s %9s@." "rate" "offered/s"
+      "offered" "completed" "shed" "thru/s" "p50ms" "p99ms" "p999ms";
+    List.iter
+      (fun (r : LG.rate_row) ->
+        Fmt.pr "%5.2fx %9.2f %7d %9d %5d %9.2f %9.2f %9.2f %9.2f@."
+          r.LG.lr_multiplier r.LG.lr_offered_rate r.LG.lr_offered
+          r.LG.lr_completed r.LG.lr_shed r.LG.lr_throughput r.LG.lr_p50_ms
+          r.LG.lr_p99_ms r.LG.lr_p999_ms)
+      t.LG.lg_rows;
+    Fmt.pr "saturation throughput: %.2f req/s; normalized p99: %.3f \
+            mean-compiles@."
+      t.LG.lg_saturation_throughput (LG.normalized_p99 t);
+    (match t.LG.lg_overhead with
+    | Some o ->
+      Fmt.pr
+        "recorder overhead: %.0f ns/event; tiered loop %.4f s on vs %.4f s \
+         off (%+.2f%%)@."
+        o.LG.ov_ns_per_event o.LG.ov_enabled_seconds o.LG.ov_disabled_seconds
+        (100. *. o.LG.ov_fraction)
+    | None -> ());
+    (match LG.check_rows t.LG.lg_rows with
+    | Ok () -> ()
+    | Error errs ->
+      Fmt.epr "loadgen gate FAILED:@.";
+      List.iter (fun e -> Fmt.epr "  %s@." e) errs;
+      exit 1);
+    let doc = LG.to_json t in
+    (match LG.validate doc with
+    | Ok () -> ()
+    | Error e ->
+      Fmt.epr "internal error: loadgen document fails its own schema: %s@." e;
+      exit 1);
+    (match out with
+    | Some path ->
+      write_file path (Json.to_string doc ^ "\n");
+      Fmt.pr "loadgen document written to %s@." path
+    | None -> ());
+    (match merge with
+    | Some path ->
+      let report =
+        if Sys.file_exists path then
+          match Json.of_string (read_file path) with
+          | Ok j -> j
+          | Error e ->
+            Fmt.epr "%s: JSON parse error: %s@." path e;
+            exit 1
+        else Json.Obj [ ("schema", Json.Str "nullelim-bench/1") ]
+      in
+      write_file path (Json.to_string (set_member "loadgen" doc report) ^ "\n");
+      Fmt.pr "loadgen section merged into %s@." path
+    | None -> ());
+    (match flight with
+    | Some path ->
+      let fj = Obs.Recorder.to_json Obs.Recorder.global in
+      (match Obs.Recorder.validate fj with
+      | Ok () -> ()
+      | Error e ->
+        Fmt.epr "internal error: flight dump fails its own schema: %s@." e;
+        exit 1);
+      write_file path (Json.to_string fj ^ "\n");
+      Fmt.pr "flight dump written to %s@." path
+    | None -> ());
+    (match trace with
+    | Some path ->
+      Obs.Trace.write path (Obs.Recorder.to_trace Obs.Recorder.global);
+      Fmt.pr "flight trace written to %s@." path
+    | None -> ());
+    (match write_baseline with
+    | Some path ->
+      write_file path (Json.to_string doc ^ "\n");
+      Fmt.pr "baseline written to %s@." path
+    | None -> ());
+    match baseline with
+    | None -> ()
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | Error e ->
+        Fmt.epr "%s: JSON parse error: %s@." path e;
+        exit 1
+      | Ok b -> (
+        let b = match Json.member "loadgen" b with Some l -> l | None -> b in
+        match LG.check_against_baseline ~factor ~baseline:b t with
+        | Ok [] -> Fmt.pr "@.baseline check: OK@."
+        | Ok drift ->
+          Fmt.pr "@.baseline check: OK, with drift:@.";
+          List.iter (fun d -> Fmt.pr "  %s@." d) drift
+        | Error regs ->
+          Fmt.epr "@.baseline check FAILED:@.";
+          List.iter (fun r -> Fmt.epr "  %s@." r) regs;
+          exit 1))
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "loadgen" ~doc)
+    Cmdliner.Term.(
+      const run $ jobs_arg $ queue_arg $ duration_arg $ seed_arg $ sweep_arg
+      $ rate_arg $ max_requests_arg $ overhead_arg $ out_arg $ merge_arg
+      $ baseline_arg $ factor_arg $ write_baseline_arg $ flight_arg
+      $ trace_arg)
+
 (* --- validate-json ------------------------------------------------- *)
 
 let validate_json_cmd =
@@ -1033,11 +1304,19 @@ let validate_json_cmd =
                 Fmt.pr "%s: OK (fuzz schema v%d)@." path
                   Fuzz_report.schema_version
               | Error _ -> (
-                match validate_trace j with
-                | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
-                | Error _ ->
-                  Fmt.epr "%s: invalid: %s@." path metrics_err;
-                  exit 1))))))
+                match Obs.Recorder.validate (sub "flight") with
+                | Ok () -> Fmt.pr "%s: OK (flight schema v1)@." path
+                | Error _ -> (
+                  match LG.validate (sub "loadgen") with
+                  | Ok () ->
+                    Fmt.pr "%s: OK (loadgen schema v%d)@." path
+                      LG.schema_version
+                  | Error _ -> (
+                    match validate_trace j with
+                    | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+                    | Error _ ->
+                      Fmt.epr "%s: invalid: %s@." path metrics_err;
+                      exit 1))))))))
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
     Cmdliner.Term.(const run $ file_arg)
@@ -1050,5 +1329,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            batch_cmd; tiered_cmd; fuzz_cmd; validate_json_cmd;
+            batch_cmd; tiered_cmd; fuzz_cmd; loadgen_cmd; validate_json_cmd;
           ]))

@@ -1,0 +1,472 @@
+(** Open-loop Poisson load generator (see the interface for the
+    discipline and the honesty argument).
+
+    One rate step draws its whole arrival schedule from a seeded
+    exponential stream — the next arrival is [prev + Exp(rate)],
+    never "when the previous request came back" — then sleeps to each
+    scheduled instant and submits through {!Svc.recompile_async}.  A
+    full queue sheds the request (counted, not retried): the generator
+    must never block, or the offered rate would silently degrade to the
+    service's capacity and the percentiles would lie.
+
+    Latency is measured against the {e scheduled} arrival, not the
+    actual submission, so generator lag on an overloaded box is charged
+    to the service like any other queueing delay (the anti-coordinated-
+    omission rule). *)
+
+module Ir = Nullelim_ir.Ir
+module Arch = Nullelim_arch.Arch
+module Config = Nullelim_jit.Config
+module Svc = Nullelim_svc.Svc
+module Tier = Nullelim_tier.Tier
+module Metrics = Nullelim_obs.Metrics
+module Recorder = Nullelim_obs.Recorder
+module Json = Nullelim_obs.Obs_json
+module W = Nullelim_workloads.Workload
+module Registry = Nullelim_workloads.Registry
+
+type calibration = {
+  cal_jobs : int;
+  cal_mean_seconds : float;
+  cal_base_rate : float;
+}
+
+type rate_row = {
+  lr_multiplier : float;
+  lr_offered_rate : float;
+  lr_offered : int;
+  lr_completed : int;
+  lr_shed : int;
+  lr_elapsed : float;
+  lr_throughput : float;
+  lr_mean_ms : float;
+  lr_p50_ms : float;
+  lr_p90_ms : float;
+  lr_p99_ms : float;
+  lr_p999_ms : float;
+  lr_hist_p99_ms : float;
+}
+
+type overhead = {
+  ov_ns_per_event : float;
+  ov_enabled_seconds : float;
+  ov_disabled_seconds : float;
+  ov_fraction : float;
+}
+
+type t = {
+  lg_domains : int;
+  lg_queue_capacity : int;
+  lg_duration : float;
+  lg_seed : int;
+  lg_calibration : calibration;
+  lg_rows : rate_row list;
+  lg_saturation_throughput : float;
+  lg_overhead : overhead option;
+}
+
+let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus and calibration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let corpus () : Svc.job list =
+  Ir.reset_sites ();
+  List.map
+    (fun (w : W.t) ->
+      Svc.job ~config:Config.new_full ~arch:Arch.ia32_windows
+        (w.W.build ~scale:1))
+    (Registry.all ())
+
+let calibrate (jobs : Svc.job list) : calibration =
+  if jobs = [] then invalid_arg "Loadgen.calibrate: empty corpus";
+  let outcomes = Svc.compile_serial jobs in
+  let total =
+    List.fold_left (fun acc o -> acc +. o.Svc.oc_seconds) 0. outcomes
+  in
+  let mean = max 1e-9 (total /. float_of_int (List.length jobs)) in
+  {
+    cal_jobs = List.length jobs;
+    cal_mean_seconds = mean;
+    cal_base_rate = 1. /. mean;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* One rate step                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* exact quantile of a sorted array: the ceil(q*n)-th order statistic,
+   matching Metrics.percentile's rank rule *)
+let exact_q (sorted : float array) q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+    sorted.(rank - 1)
+
+let latency_buckets = Metrics.log_buckets ~lo:1e-5 ~hi:100. ~per_decade:10
+
+let run_rate ~svc ~(jobs : Svc.job array) ~multiplier ~rate ~duration ~seed
+    ~max_requests : rate_row =
+  let st = Random.State.make [| seed; int_of_float (multiplier *. 1000.) |] in
+  let n =
+    min max_requests (max 8 (int_of_float ((rate *. duration) +. 0.5)))
+  in
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:latency_buckets "loadgen_latency" in
+  let t0 = Unix.gettimeofday () in
+  let next = ref t0 in
+  let inflight = ref [] in
+  let shed = ref 0 in
+  for k = 0 to n - 1 do
+    let u = Random.State.float st 1.0 in
+    next := !next +. (-.log (1. -. u) /. rate);
+    let now = Unix.gettimeofday () in
+    if !next > now then Unix.sleepf (!next -. now);
+    match Svc.recompile_async svc jobs.(k mod Array.length jobs) with
+    | Some fut -> inflight := (!next, fut) :: !inflight
+    | None -> incr shed
+  done;
+  (* drain: open-loop submission is over, completions are awaited so
+     every accepted request contributes a latency sample *)
+  let lats =
+    List.rev_map
+      (fun (scheduled, fut) ->
+        let oc = Svc.await fut in
+        let l = max 0. (oc.Svc.oc_done_at -. scheduled) in
+        Metrics.observe h l;
+        l)
+      !inflight
+  in
+  let elapsed = max 1e-9 (Unix.gettimeofday () -. t0) in
+  let sorted = Array.of_list lats in
+  Array.sort compare sorted;
+  let completed = Array.length sorted in
+  let mean =
+    if completed = 0 then nan
+    else Array.fold_left ( +. ) 0. sorted /. float_of_int completed
+  in
+  let ms x = 1000. *. x in
+  {
+    lr_multiplier = multiplier;
+    lr_offered_rate = rate;
+    lr_offered = n;
+    lr_completed = completed;
+    lr_shed = !shed;
+    lr_elapsed = elapsed;
+    lr_throughput = float_of_int completed /. elapsed;
+    lr_mean_ms = ms mean;
+    lr_p50_ms = ms (exact_q sorted 0.5);
+    lr_p90_ms = ms (exact_q sorted 0.9);
+    lr_p99_ms = ms (exact_q sorted 0.99);
+    lr_p999_ms = ms (exact_q sorted 0.999);
+    lr_hist_p99_ms = ms (Metrics.percentile m "loadgen_latency" 0.99);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recorder overhead                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fuel = 1_000_000_000
+
+(* one steady-state pass: promote-and-stabilize a mid-size workload on
+   the synchronous tier manager — the path whose hot loops feed the
+   recorder from the channel, cache and tier layers *)
+let tiered_pass () =
+  Ir.reset_sites ();
+  let w =
+    match Registry.find "huffman" with
+    | Some w -> w
+    | None -> List.hd (Registry.all ())
+  in
+  let p = w.W.build ~scale:1 in
+  let cfg = { Config.new_full with Config.promote_calls = 2 } in
+  let t = Tier.create ~config:cfg ~arch:Arch.ia32_windows p in
+  for _ = 1 to 6 do
+    ignore (Tier.run ~fuel t [])
+  done;
+  Tier.drain t
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let measure_overhead ?(rounds = 3) () : overhead =
+  let g = Recorder.global in
+  let was = Recorder.is_enabled g in
+  Fun.protect
+    ~finally:(fun () -> Recorder.set_enabled g was)
+    (fun () ->
+      (* tight-loop cost of one record *)
+      let r = Recorder.create ~capacity:1024 () in
+      let iters = 1_000_000 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to iters - 1 do
+        Recorder.record ~a:i r Recorder.Mark
+      done;
+      let ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int iters in
+      (* alternating on/off passes of the tiered loop; medians cancel
+         the occasional GC/scheduler outlier *)
+      let on = ref [] and off = ref [] in
+      tiered_pass () (* warm-up, not timed *);
+      for _ = 1 to max 1 rounds do
+        Recorder.set_enabled g false;
+        let t0 = Unix.gettimeofday () in
+        tiered_pass ();
+        off := (Unix.gettimeofday () -. t0) :: !off;
+        Recorder.set_enabled g true;
+        let t0 = Unix.gettimeofday () in
+        tiered_pass ();
+        on := (Unix.gettimeofday () -. t0) :: !on
+      done;
+      let on = median !on and off = median !off in
+      {
+        ov_ns_per_event = ns;
+        ov_enabled_seconds = on;
+        ov_disabled_seconds = off;
+        ov_fraction = (on -. off) /. max 1e-9 off;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sweep ?domains ?(queue_capacity = 64) ?(duration = 2.0) ?(seed = 42)
+    ?(multipliers = default_multipliers) ?(max_requests = 400)
+    ?(overhead = false) () : t =
+  let jobs = corpus () in
+  let cal = calibrate jobs in
+  let jobs = Array.of_list jobs in
+  let multipliers = List.sort compare multipliers in
+  let domains =
+    match domains with Some d -> max 1 d | None -> Svc.default_domains ()
+  in
+  let rows =
+    Svc.with_service ~domains ~queue_capacity (fun svc ->
+        List.map
+          (fun multiplier ->
+            let rate = max 0.1 (multiplier *. cal.cal_base_rate) in
+            run_rate ~svc ~jobs ~multiplier ~rate ~duration ~seed
+              ~max_requests)
+          multipliers)
+  in
+  let saturation =
+    List.fold_left (fun acc r -> max acc r.lr_throughput) 0. rows
+  in
+  {
+    lg_domains = domains;
+    lg_queue_capacity = queue_capacity;
+    lg_duration = duration;
+    lg_seed = seed;
+    lg_calibration = cal;
+    lg_rows = rows;
+    lg_saturation_throughput = saturation;
+    lg_overhead = (if overhead then Some (measure_overhead ()) else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_rows (rows : rate_row list) : (unit, string list) result =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if rows = [] then err "no rate rows";
+  let running_max = ref 0. in
+  List.iter
+    (fun r ->
+      if r.lr_offered <= 0 then
+        err "rate %.2fx: no requests offered" r.lr_multiplier;
+      if r.lr_completed + r.lr_shed <> r.lr_offered then
+        err "rate %.2fx: %d completed + %d shed <> %d offered"
+          r.lr_multiplier r.lr_completed r.lr_shed r.lr_offered;
+      (* throughput must climb to saturation and then plateau; a dip
+         >15% below the best seen so far is a scheduling pathology *)
+      if r.lr_throughput < 0.85 *. !running_max then
+        err
+          "rate %.2fx: throughput %.2f/s dropped >15%% below the %.2f/s \
+           already reached at a lower rate"
+          r.lr_multiplier r.lr_throughput !running_max;
+      running_max := max !running_max r.lr_throughput;
+      let finite x = Float.is_finite x in
+      if
+        r.lr_completed > 0
+        && finite r.lr_p50_ms && finite r.lr_p99_ms && finite r.lr_p999_ms
+        && not (r.lr_p50_ms <= r.lr_p99_ms && r.lr_p99_ms <= r.lr_p999_ms)
+      then
+        err "rate %.2fx: percentiles not monotone (p50 %.2f p99 %.2f p999 %.2f)"
+          r.lr_multiplier r.lr_p50_ms r.lr_p99_ms r.lr_p999_ms)
+    rows;
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+(* The machine-independent stable quantity: how many mean compile times
+   does a p99 request wait end-to-end at the lowest offered rate. *)
+let normalized_p99 (t : t) : float =
+  match t.lg_rows with
+  | [] -> nan
+  | r :: _ -> r.lr_p99_ms /. 1000. /. t.lg_calibration.cal_mean_seconds
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "nullelim-loadgen/1"
+let schema_version = 1
+
+let row_json (r : rate_row) : Json.t =
+  Json.Obj
+    [
+      ("rate_multiplier", Json.Float r.lr_multiplier);
+      ("offered_rate_per_sec", Json.Float r.lr_offered_rate);
+      ("offered", Json.Int r.lr_offered);
+      ("completed", Json.Int r.lr_completed);
+      ("shed", Json.Int r.lr_shed);
+      ("elapsed_seconds", Json.Float r.lr_elapsed);
+      ("throughput_per_sec", Json.Float r.lr_throughput);
+      ("mean_ms", Json.Float r.lr_mean_ms);
+      ("p50_ms", Json.Float r.lr_p50_ms);
+      ("p90_ms", Json.Float r.lr_p90_ms);
+      ("p99_ms", Json.Float r.lr_p99_ms);
+      ("p999_ms", Json.Float r.lr_p999_ms);
+      ("hist_p99_ms", Json.Float r.lr_hist_p99_ms);
+    ]
+
+let overhead_json (o : overhead) : Json.t =
+  Json.Obj
+    [
+      ("ns_per_event", Json.Float o.ov_ns_per_event);
+      ("enabled_seconds", Json.Float o.ov_enabled_seconds);
+      ("disabled_seconds", Json.Float o.ov_disabled_seconds);
+      ("fraction", Json.Float o.ov_fraction);
+    ]
+
+let to_json (t : t) : Json.t =
+  Json.Obj
+    ([
+       ("schema", Json.Str schema);
+       ("schema_version", Json.Int schema_version);
+       ("domains", Json.Int t.lg_domains);
+       ("queue_capacity", Json.Int t.lg_queue_capacity);
+       ("duration_seconds", Json.Float t.lg_duration);
+       ("seed", Json.Int t.lg_seed);
+       ( "calibration",
+         Json.Obj
+           [
+             ("jobs", Json.Int t.lg_calibration.cal_jobs);
+             ( "mean_compile_seconds",
+               Json.Float t.lg_calibration.cal_mean_seconds );
+             ("base_rate_per_sec", Json.Float t.lg_calibration.cal_base_rate);
+           ] );
+       ("rows", Json.List (List.map row_json t.lg_rows));
+       ("saturation_throughput_per_sec", Json.Float t.lg_saturation_throughput);
+       ("normalized_p99", Json.Float (normalized_p99 t));
+     ]
+    @
+    match t.lg_overhead with
+    | Some o -> [ ("recorder_overhead", overhead_json o) ]
+    | None -> [])
+
+let num = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let validate (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+    | _ -> Error "missing field \"schema\""
+  in
+  let* () =
+    match Json.member "schema_version" j with
+    | Some (Json.Int v) when v = schema_version -> Ok ()
+    | Some (Json.Int v) ->
+      Error (Printf.sprintf "unsupported schema_version %d" v)
+    | _ -> Error "missing field \"schema_version\""
+  in
+  let* () =
+    match Json.member "calibration" j with
+    | Some cal -> (
+      match Option.bind (Json.member "mean_compile_seconds" cal) num with
+      | Some m when m > 0. -> Ok ()
+      | Some _ -> Error "calibration: mean_compile_seconds must be positive"
+      | None -> Error "calibration: missing mean_compile_seconds")
+    | None -> Error "missing field \"calibration\""
+  in
+  let* () =
+    match Json.member "rows" j with
+    | Some (Json.List (_ :: _ as rows)) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          let* () =
+            List.fold_left
+              (fun acc name ->
+                let* () = acc in
+                match Option.bind (Json.member name row) num with
+                | Some _ -> Ok ()
+                | None ->
+                  Error (Printf.sprintf "row: missing numeric field %S" name))
+              (Ok ())
+              [
+                "rate_multiplier"; "offered_rate_per_sec"; "offered";
+                "completed"; "shed"; "throughput_per_sec"; "p50_ms";
+                "p99_ms"; "p999_ms";
+              ]
+          in
+          Ok ())
+        (Ok ()) rows
+    | Some (Json.List []) -> Error "rows must be non-empty"
+    | _ -> Error "missing field \"rows\""
+  in
+  let* () =
+    match Option.bind (Json.member "saturation_throughput_per_sec" j) num with
+    | Some _ -> Ok ()
+    | None -> Error "missing field \"saturation_throughput_per_sec\""
+  in
+  match Option.bind (Json.member "normalized_p99" j) num with
+  | Some _ -> Ok ()
+  | None -> Error "missing field \"normalized_p99\""
+
+(* ------------------------------------------------------------------ *)
+(* Baseline gate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_against_baseline ?(factor = 3.0) ~(baseline : Json.t) (t : t) :
+    (string list, string list) result =
+  let fresh = normalized_p99 t in
+  match Option.bind (Json.member "normalized_p99" baseline) num with
+  | None -> Error [ "baseline document has no \"normalized_p99\" member" ]
+  | Some base ->
+    if not (Float.is_finite fresh) then
+      Error [ "fresh sweep produced no finite normalized p99" ]
+    else if fresh > factor *. base then
+      Error
+        [
+          Printf.sprintf
+            "normalized p99 regressed: %.3f mean-compiles vs baseline %.3f \
+             (gate %.1fx)"
+            fresh base factor;
+        ]
+    else
+      let drift = ref [] in
+      if fresh *. factor < base then
+        drift :=
+          Printf.sprintf
+            "normalized p99 improved to %.3f (baseline %.3f) — consider \
+             refreshing"
+            fresh base
+          :: !drift;
+      (match Json.member "rows" baseline with
+      | Some (Json.List brows)
+        when List.length brows <> List.length t.lg_rows ->
+        drift :=
+          Printf.sprintf "rate grid changed: %d rows vs baseline %d"
+            (List.length t.lg_rows) (List.length brows)
+          :: !drift
+      | _ -> ());
+      Ok (List.rev !drift)

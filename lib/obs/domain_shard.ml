@@ -1,0 +1,57 @@
+(* See domain_shard.mli.  The per-domain cache is a short assoc list:
+   owners that a domain touches concurrently are few (the global
+   registry, the flight recorder, at most a handful of per-compile
+   registries in flight), so linear scan beats hashing and the bound
+   keeps dead owners from pinning their shards forever. *)
+
+let cache_cap = 8
+
+module Make (S : sig
+  type shard
+
+  val create : owner_uid:int -> domain:int -> shard
+end) =
+struct
+  type owner = {
+    uid : int;
+    m : Mutex.t;
+    mutable all : S.shard list;  (* every shard ever created, newest first *)
+  }
+
+  let next_uid = Atomic.make 0
+
+  (* One key for the whole functor application: uid -> this domain's
+     shard, most recently used first. *)
+  let key : (int * S.shard) list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let create () =
+    { uid = Atomic.fetch_and_add next_uid 1; m = Mutex.create (); all = [] }
+
+  let uid o = o.uid
+
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+
+  let my_shard o =
+    let cache = Domain.DLS.get key in
+    match List.assoc_opt o.uid !cache with
+    | Some s -> s
+    | None ->
+      let s =
+        S.create ~owner_uid:o.uid ~domain:(Domain.self () :> int)
+      in
+      Mutex.lock o.m;
+      o.all <- s :: o.all;
+      Mutex.unlock o.m;
+      cache := (o.uid, s) :: take (cache_cap - 1) !cache;
+      s
+
+  let shards o =
+    Mutex.lock o.m;
+    let s = o.all in
+    Mutex.unlock o.m;
+    s
+end

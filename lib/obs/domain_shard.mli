@@ -1,0 +1,40 @@
+(** Per-domain sharding directory.
+
+    A sharded structure (the metrics registry, the flight recorder) owns
+    one shard per (owner, domain) pair: the owning domain mutates its
+    shard with plain unsynchronized writes, and a merge step folds every
+    shard that was ever created.  This functor provides the directory
+    plumbing: lazy shard creation on first access from a domain, a
+    per-domain lookup cache, and the owner-side list of all shards.
+
+    One [Domain.DLS] key is allocated per functor application (not per
+    owner), so creating many short-lived owners — e.g. the per-compile
+    metrics registry — does not grow domain-local storage.  Each domain
+    instead keeps a small bounded cache mapping owner uid to its shard;
+    evicting a cache entry is harmless (re-access creates a fresh shard
+    for the same owner, and merges sum over all of them). *)
+
+module Make (S : sig
+  type shard
+
+  val create : owner_uid:int -> domain:int -> shard
+  (** Called at most once per (owner, domain, cache-generation) on the
+      accessing domain. *)
+end) : sig
+  type owner
+
+  val create : unit -> owner
+
+  val uid : owner -> int
+  (** Process-unique id of this owner. *)
+
+  val my_shard : owner -> S.shard
+  (** The calling domain's shard of [owner], created and registered on
+      first access.  Only the calling domain may mutate the result. *)
+
+  val shards : owner -> S.shard list
+  (** Every shard ever created for [owner], newest first.  Safe to call
+      from any domain; entries belonging to live domains may still be
+      mutated concurrently, so readers must tolerate (word-atomic)
+      racy cell reads. *)
+end

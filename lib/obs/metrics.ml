@@ -14,39 +14,72 @@
     asking with a different type is a programming error
     ([Invalid_argument]).
 
-    Domain safety: a registry may be shared across domains (the Svc pool
-    and the tiered manager both do).  Counters and gauges are [Atomic.t]
-    cells; histogram observation and registry structure (find-or-add,
-    snapshot) are mutex-guarded. *)
+    Domain safety (see DESIGN.md §14): the registry is sharded
+    per domain.  Counters and histograms live in domain-local shards
+    ({!Domain_shard}) so the hot mutation path is a plain unsynchronized
+    write — no lock, no CAS — and {!snapshot} / the [_total] readers
+    merge all shards by summation.  Gauges have set-semantics (a sum of
+    per-domain values is meaningless), so each gauge is a single shared
+    [Atomic.t] cell.  Cross-domain reads of live cells are racy word
+    reads — never torn, but possibly missing in-flight bumps; after the
+    writing domains quiesce (join, pool shutdown) merged values are
+    exact. *)
 
 type labels = (string * string) list
 
-type instrument =
-  | Icounter of int Atomic.t
-  | Igauge of float Atomic.t
-  | Ihistogram of histogram_data
+(* Central per-registry spec of every instrument ever registered:
+   enforces kind consistency across domains and fixes a histogram's
+   bucket bounds at first registration. *)
+type kind =
+  | Kcounter
+  | Kgauge
+  | Khistogram of float array  (* upper bounds, ascending; +inf implicit *)
 
-and histogram_data = {
-  buckets : float array;        (** upper bounds, ascending; +inf implicit *)
-  bucket_counts : int array;    (** length = Array.length buckets + 1 *)
+(* Domain-local cells.  Mutated only by the owning domain. *)
+type hcells = {
+  hbuckets : float array;       (* shared spec array, never written *)
+  hcounts : int array;          (* length = Array.length hbuckets + 1 *)
   mutable hcount : int;
   mutable hsum : float;
-  hm : Mutex.t;                 (** guards the three mutable fields above *)
 }
+
+type cell = Ccounter of int ref | Chistogram of hcells
+
+type shard = {
+  sh_tbl : (string * labels, cell) Hashtbl.t;
+  sh_m : Mutex.t;
+      (* Guards structural mutation of [sh_tbl] against cross-domain
+         snapshot traversal.  The owning domain's lookups need no lock:
+         only the owner inserts, and traversals don't mutate. *)
+}
+
+module Shards = Domain_shard.Make (struct
+  type nonrec shard = shard
+
+  let create ~owner_uid:_ ~domain:_ =
+    { sh_tbl = Hashtbl.create 32; sh_m = Mutex.create () }
+end)
 
 type t = {
-  tbl : (string * labels, instrument) Hashtbl.t;
-  mutable order : (string * labels) list;  (** registration order, reversed *)
-  rm : Mutex.t;                 (** guards [tbl] and [order] *)
+  owner : Shards.owner;
+  rm : Mutex.t;                 (* guards [specs] and [gauges] *)
+  specs : (string * labels, kind) Hashtbl.t;
+  gauges : (string * labels, float Atomic.t) Hashtbl.t;
 }
 
-type counter = int Atomic.t
-type gauge = float Atomic.t
-type histogram = histogram_data
+type counter = int ref          (* the calling domain's cell *)
+type gauge = float Atomic.t     (* shared across domains *)
+type histogram = hcells         (* the calling domain's cells *)
 
 let schema_version = 1
 
-let create () : t = { tbl = Hashtbl.create 64; order = []; rm = Mutex.create () }
+let create () : t =
+  {
+    owner = Shards.create ();
+    rm = Mutex.create ();
+    specs = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+  }
 
 (** A process-wide default registry, for callers that do not thread their
     own. *)
@@ -59,34 +92,55 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let find_or_add (r : t) name labels (mk : unit -> instrument) : instrument =
-  let key = (name, norm_labels labels) in
-  with_lock r.rm (fun () ->
-      match Hashtbl.find_opt r.tbl key with
-      | Some i -> i
-      | None ->
-        let i = mk () in
-        Hashtbl.replace r.tbl key i;
-        r.order <- key :: r.order;
-        i)
-
 let kind_error name want =
   invalid_arg
     (Printf.sprintf "Metrics: %s already registered with a different type (wanted %s)"
        name want)
 
-let counter (r : t) ?(labels = []) name : counter =
-  match find_or_add r name labels (fun () -> Icounter (Atomic.make 0)) with
-  | Icounter c -> c
-  | Igauge _ | Ihistogram _ -> kind_error name "counter"
+(* Register (or fetch) the canonical spec for a key; the first
+   registration wins, later ones must agree on the constructor. *)
+let register_spec (r : t) key (k : kind) : kind =
+  with_lock r.rm (fun () ->
+      match Hashtbl.find_opt r.specs key with
+      | Some k0 -> k0
+      | None ->
+        Hashtbl.replace r.specs key k;
+        k)
 
-let inc (c : counter) n = ignore (Atomic.fetch_and_add c n)
-let counter_value (c : counter) = Atomic.get c
+(* The calling domain's cell for [key], creating it from [spec] on first
+   access.  Insertion excludes concurrent snapshot traversal. *)
+let my_cell (r : t) key (mk : unit -> cell) : cell =
+  let sh = Shards.my_shard r.owner in
+  match Hashtbl.find_opt sh.sh_tbl key with
+  | Some c -> c
+  | None ->
+    let c = mk () in
+    with_lock sh.sh_m (fun () -> Hashtbl.replace sh.sh_tbl key c);
+    c
+
+let counter (r : t) ?(labels = []) name : counter =
+  let key = (name, norm_labels labels) in
+  match register_spec r key Kcounter with
+  | Kgauge | Khistogram _ -> kind_error name "counter"
+  | Kcounter -> (
+    match my_cell r key (fun () -> Ccounter (ref 0)) with
+    | Ccounter c -> c
+    | Chistogram _ -> assert false (* spec said counter *))
+
+let inc (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
 
 let gauge (r : t) ?(labels = []) name : gauge =
-  match find_or_add r name labels (fun () -> Igauge (Atomic.make 0.)) with
-  | Igauge g -> g
-  | Icounter _ | Ihistogram _ -> kind_error name "gauge"
+  let key = (name, norm_labels labels) in
+  with_lock r.rm (fun () ->
+      match Hashtbl.find_opt r.specs key with
+      | Some (Kcounter | Khistogram _) -> kind_error name "gauge"
+      | Some Kgauge -> Hashtbl.find r.gauges key
+      | None ->
+        Hashtbl.replace r.specs key Kgauge;
+        let g = Atomic.make 0. in
+        Hashtbl.replace r.gauges key g;
+        g)
 
 let set (g : gauge) v = Atomic.set g v
 
@@ -102,31 +156,126 @@ let default_buckets =
   [| 1e-6; 3e-6; 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3;
      1.; 3.; 10. |]
 
+let log_buckets ~lo ~hi ~per_decade : float array =
+  if not (lo > 0. && hi > lo && per_decade >= 1) then
+    invalid_arg "Metrics.log_buckets: need 0 < lo < hi and per_decade >= 1";
+  let n =
+    int_of_float (ceil (float per_decade *. log10 (hi /. lo) -. 1e-9))
+  in
+  Array.init (n + 1) (fun i ->
+      lo *. (10. ** (float i /. float per_decade)))
+
 let histogram (r : t) ?(labels = []) ?(buckets = default_buckets) name :
     histogram =
-  let mk () =
+  let key = (name, norm_labels labels) in
+  let sorted () =
     let b = Array.copy buckets in
     Array.sort compare b;
-    Ihistogram
-      { buckets = b; bucket_counts = Array.make (Array.length b + 1) 0;
-        hcount = 0; hsum = 0.; hm = Mutex.create () }
+    b
   in
-  match find_or_add r name labels mk with
-  | Ihistogram h -> h
-  | Icounter _ | Igauge _ -> kind_error name "histogram"
+  match register_spec r key (Khistogram (sorted ())) with
+  | Kcounter | Kgauge -> kind_error name "histogram"
+  | Khistogram canonical -> (
+    let mk () =
+      Chistogram
+        { hbuckets = canonical;
+          hcounts = Array.make (Array.length canonical + 1) 0;
+          hcount = 0; hsum = 0. }
+    in
+    match my_cell r key mk with
+    | Chistogram h -> h
+    | Ccounter _ -> assert false)
 
 let observe (h : histogram) v =
-  let nb = Array.length h.buckets in
-  let rec slot k = if k >= nb || v <= h.buckets.(k) then k else slot (k + 1) in
+  let nb = Array.length h.hbuckets in
+  let rec slot k = if k >= nb || v <= h.hbuckets.(k) then k else slot (k + 1) in
   let k = slot 0 in
-  Mutex.lock h.hm;
-  h.bucket_counts.(k) <- h.bucket_counts.(k) + 1;
+  h.hcounts.(k) <- h.hcounts.(k) + 1;
   h.hcount <- h.hcount + 1;
-  h.hsum <- h.hsum +. v;
-  Mutex.unlock h.hm
+  h.hsum <- h.hsum +. v
 
-let histogram_count (h : histogram) = with_lock h.hm (fun () -> h.hcount)
-let histogram_sum (h : histogram) = with_lock h.hm (fun () -> h.hsum)
+let histogram_count (h : histogram) = h.hcount
+let histogram_sum (h : histogram) = h.hsum
+
+(* ------------------------------------------------------------------ *)
+(* Merged (cross-domain) reads                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold [f] over every shard's cell for [key].  Shard locks exclude
+   concurrent structural insertion during the lookup; the cell reads
+   themselves are unsynchronized word reads. *)
+let fold_cells (r : t) key (f : 'a -> cell -> 'a) (init : 'a) : 'a =
+  List.fold_left
+    (fun acc sh ->
+      match with_lock sh.sh_m (fun () -> Hashtbl.find_opt sh.sh_tbl key) with
+      | Some c -> f acc c
+      | None -> acc)
+    init
+    (Shards.shards r.owner)
+
+let counter_total (r : t) ?(labels = []) name : int =
+  let key = (name, norm_labels labels) in
+  fold_cells r key
+    (fun acc c -> match c with Ccounter c -> acc + !c | Chistogram _ -> acc)
+    0
+
+(* Merged histogram for [key]: (bucket bounds, per-bucket counts, total
+   count, sum).  None if no histogram is registered under the key. *)
+let merged_histogram (r : t) key : (float array * int array * int * float) option =
+  match with_lock r.rm (fun () -> Hashtbl.find_opt r.specs key) with
+  | Some (Khistogram buckets) ->
+    let counts = Array.make (Array.length buckets + 1) 0 in
+    let n = ref 0 and sum = ref 0. in
+    fold_cells r key
+      (fun () c ->
+        match c with
+        | Chistogram h ->
+          Array.iteri (fun k v -> counts.(k) <- counts.(k) + v) h.hcounts;
+          n := !n + h.hcount;
+          sum := !sum +. h.hsum
+        | Ccounter _ -> ())
+      ();
+    Some (buckets, counts, !n, !sum)
+  | Some (Kcounter | Kgauge) | None -> None
+
+let histogram_total_count (r : t) ?(labels = []) name : int =
+  match merged_histogram r (name, norm_labels labels) with
+  | Some (_, _, n, _) -> n
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Rank-based extraction from cumulative-by-construction bucket counts:
+   the q-quantile is the upper bound of the first bucket whose running
+   count reaches ceil(q * total) — i.e. an overestimate by at most one
+   bucket width.  The overflow bucket reports +infinity (the registry
+   does not track the max). *)
+let percentile_of ~buckets ~counts ~total q : float =
+  if total = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = max 1 (min total (int_of_float (ceil (q *. float total)))) in
+    let nb = Array.length buckets in
+    let rec go k cum =
+      let cum = cum + counts.(k) in
+      if cum >= target then (if k < nb then buckets.(k) else Float.infinity)
+      else go (k + 1) cum
+    in
+    go 0 0
+  end
+
+let percentiles (r : t) ?(labels = []) name (qs : float list) : float list =
+  match merged_histogram r (name, norm_labels labels) with
+  | None -> List.map (fun _ -> Float.nan) qs
+  | Some (buckets, counts, total, _) ->
+    List.map (percentile_of ~buckets ~counts ~total) qs
+
+let percentile (r : t) ?labels name q : float =
+  match percentiles r ?labels name [ q ] with
+  | [ v ] -> v
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)
@@ -136,39 +285,38 @@ let labels_json (labels : labels) : Obs_json.t =
   Obs_json.Obj (List.map (fun (k, v) -> (k, Obs_json.Str v)) labels)
 
 let snapshot (r : t) : Obs_json.t =
-  (* deterministic order: sorted by (name, labels).  Holds the registry
-     lock for the traversal and each histogram's lock while copying its
-     cells, so the per-instrument values are internally consistent. *)
-  let keys, instruments =
+  (* deterministic order: sorted by (name, labels); values merged across
+     every domain's shard *)
+  let keys =
     with_lock r.rm (fun () ->
-        let keys = List.sort compare (List.rev r.order) in
-        (keys, List.map (fun key -> Hashtbl.find r.tbl key) keys))
+        Hashtbl.fold (fun key kind acc -> (key, kind) :: acc) r.specs []
+        |> List.sort compare)
   in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  List.iter2
-    (fun (name, labels) instrument ->
+  List.iter
+    (fun (((name, labels) as key), kind) ->
       let base = [ ("name", Obs_json.Str name); ("labels", labels_json labels) ] in
-      match instrument with
-      | Icounter c ->
+      match kind with
+      | Kcounter ->
+        let v = counter_total r ~labels name in
         counters :=
-          Obs_json.Obj (base @ [ ("value", Obs_json.Int (Atomic.get c)) ])
-          :: !counters
-      | Igauge g ->
+          Obs_json.Obj (base @ [ ("value", Obs_json.Int v) ]) :: !counters
+      | Kgauge ->
+        let g = with_lock r.rm (fun () -> Hashtbl.find r.gauges key) in
         gauges :=
           Obs_json.Obj (base @ [ ("value", Obs_json.Float (Atomic.get g)) ])
           :: !gauges
-      | Ihistogram h ->
-        let bucket_counts, hcount, hsum =
-          with_lock h.hm (fun () ->
-              (Array.copy h.bucket_counts, h.hcount, h.hsum))
+      | Khistogram _ ->
+        let buckets, counts, hcount, hsum =
+          Option.get (merged_histogram r key)
         in
         let bucket k le =
-          Obs_json.Obj [ ("le", le); ("count", Obs_json.Int bucket_counts.(k)) ]
+          Obs_json.Obj [ ("le", le); ("count", Obs_json.Int counts.(k)) ]
         in
-        let buckets =
-          List.init (Array.length h.buckets) (fun k ->
-              bucket k (Obs_json.Float h.buckets.(k)))
-          @ [ bucket (Array.length h.buckets) (Obs_json.Str "+Inf") ]
+        let bs =
+          List.init (Array.length buckets) (fun k ->
+              bucket k (Obs_json.Float buckets.(k)))
+          @ [ bucket (Array.length buckets) (Obs_json.Str "+Inf") ]
         in
         histograms :=
           Obs_json.Obj
@@ -176,10 +324,10 @@ let snapshot (r : t) : Obs_json.t =
             @ [
                 ("count", Obs_json.Int hcount);
                 ("sum", Obs_json.Float hsum);
-                ("buckets", Obs_json.List buckets);
+                ("buckets", Obs_json.List bs);
               ])
           :: !histograms)
-    keys instruments;
+    keys;
   Obs_json.Obj
     [
       ("schema_version", Obs_json.Int schema_version);

@@ -5,7 +5,17 @@
 
     Instrument identity is [(name, sorted labels)]: asking again for the
     same identity returns the same instrument, so instrumented code can
-    re-request instruments instead of threading them around. *)
+    re-request instruments instead of threading them around.
+
+    Domain safety: a registry may be shared across domains.  Counters
+    and histograms are sharded per domain — {!counter} / {!histogram}
+    return the {e calling domain's} cell, {!inc} / {!observe} are plain
+    unsynchronized writes on it, and {!snapshot} / {!counter_total} /
+    {!percentiles} merge every domain's shard by summation.  Gauges have
+    set-semantics and are a single shared atomic cell.  Merged reads
+    taken while writer domains are live may miss in-flight bumps (cell
+    reads are word-atomic, never torn); once the writers quiesce, merged
+    values are exact.  See DESIGN.md §14. *)
 
 type t
 (** A registry.  [Compiler.compile] creates a private one per
@@ -30,14 +40,20 @@ val global : t
     library records to it implicitly. *)
 
 val counter : t -> ?labels:labels -> string -> counter
-(** Find-or-register; same (name, labels) always yields the same
-    instrument.  @raise Invalid_argument if the name is already
-    registered as a different type. *)
+(** Find-or-register; same (name, labels) from the same domain always
+    yields the same cell.  @raise Invalid_argument if the name is
+    already registered as a different type. *)
 
 val inc : counter -> int -> unit
-(** Add to a monotone counter. *)
+(** Add to a monotone counter (the calling domain's cell; lock-free). *)
 
 val counter_value : counter -> int
+(** This cell's (i.e. one domain's) contribution; {!counter_total} for
+    the merged value. *)
+
+val counter_total : t -> ?labels:labels -> string -> int
+(** Sum of the counter across every domain's shard (0 if never
+    registered). *)
 
 val gauge : t -> ?labels:labels -> string -> gauge
 (** Find-or-register a gauge (a settable float); identity rules as for
@@ -51,19 +67,43 @@ val default_buckets : float array
 (** Exponential seconds-scale bucket bounds used when [?buckets] is
     omitted. *)
 
+val log_buckets : lo:float -> hi:float -> per_decade:int -> float array
+(** Log-spaced bucket bounds from [lo] up to at least [hi] with
+    [per_decade] bounds per decade — e.g.
+    [log_buckets ~lo:1e-6 ~hi:30. ~per_decade:10] gives ~23% spacing,
+    bounding {!percentiles} error to one such step.
+    @raise Invalid_argument unless [0 < lo < hi] and [per_decade >= 1]. *)
+
 val histogram : t -> ?labels:labels -> ?buckets:float array -> string -> histogram
 (** Find-or-register a histogram with cumulative buckets; identity rules
-    as for {!counter}. *)
+    as for {!counter}.  The first registration fixes the bucket bounds;
+    later [?buckets] for the same identity are ignored. *)
 
 val observe : histogram -> float -> unit
-(** Record one sample: bumps the count, the sum and every bucket whose
-    bound admits the value. *)
+(** Record one sample: bumps the count, the sum and the one bucket
+    admitting the value (the calling domain's cells; lock-free). *)
 
 val histogram_count : histogram -> int
+(** This domain's sample count; {!histogram_total_count} for merged. *)
+
 val histogram_sum : histogram -> float
 
+val histogram_total_count : t -> ?labels:labels -> string -> int
+(** Merged sample count across every domain's shard. *)
+
+val percentile : t -> ?labels:labels -> string -> float -> float
+(** [percentile r name q] (with [0 <= q <= 1]) extracts the q-quantile
+    of the named histogram merged across domains: the upper bound of the
+    first bucket whose cumulative count reaches [ceil (q * total)] — an
+    overestimate by at most one bucket width.  Returns [nan] on an empty
+    or unregistered histogram and [infinity] when the quantile lands in
+    the overflow bucket. *)
+
+val percentiles : t -> ?labels:labels -> string -> float list -> float list
+(** {!percentile} at several quantiles over one merge. *)
+
 val snapshot : t -> Obs_json.t
-(** Deterministic snapshot:
+(** Deterministic merged snapshot (all domains' shards summed):
     [{"schema_version":N,"counters":[{"name","labels","value"}...],
       "gauges":[...],"histograms":[{"name","labels","count","sum",
       "buckets":[{"le","count"}...]}...]}]. *)

@@ -1,12 +1,14 @@
 (** Umbrella module for the telemetry layer: trace spans, leveled
-    logging, the metrics registry and the per-check decision log.
-    Client code says [Obs.span "phase1" f], [Obs.Log.debug ...],
-    [Obs.Metrics.counter ...], [Obs.Decision.record ...]. *)
+    logging, the metrics registry, the flight recorder and the per-check
+    decision log.  Client code says [Obs.span "phase1" f],
+    [Obs.Log.debug ...], [Obs.Metrics.counter ...],
+    [Obs.Recorder.record ...], [Obs.Decision.record ...]. *)
 
 module Json = Obs_json
 module Log = Log
 module Trace = Trace
 module Metrics = Metrics
+module Recorder = Recorder
 module Decision = Decision
 module Profile = Profile
 

@@ -1,0 +1,85 @@
+(** Flight recorder: a fixed-size, lock-free ring buffer of timestamped
+    runtime events — tier promotions/demotions, trap firings, code-cache
+    traffic, queue movement — cheap enough to leave on in production
+    (one enabled-flag load, four array stores and a clock read per
+    event).
+
+    Each domain records into its own ring ({!Domain_shard}): the hot
+    path takes no lock and performs no CAS, and once a ring is full new
+    events overwrite the oldest ({!dropped} counts the overwritten
+    ones).  {!dump} merges every domain's ring into one timestamp-sorted
+    stream; merging while writers are live is best-effort (a
+    concurrently overwritten slot can surface with mixed fields), after
+    quiescence it is exact.  See DESIGN.md §14. *)
+
+type kind =
+  | Tier_promote  (** [a] = tier installed, [b] = pending deopt sites *)
+  | Tier_demote   (** [a] = trapping site id *)
+  | Trap_fired    (** [a] = site id *)
+  | Cache_hit     (** [a] = cache shard index *)
+  | Cache_miss    (** [a] = cache shard index *)
+  | Cache_evict   (** [a] = cache shard index *)
+  | Enqueue       (** [a] = queue depth after the push *)
+  | Dequeue       (** [a] = queue depth after the pop *)
+  | Req_enqueue   (** [a] = request id *)
+  | Req_start     (** [a] = request id *)
+  | Req_done      (** [a] = request id *)
+  | Mark          (** free-form; [a]/[b] caller-defined *)
+
+type event = {
+  ev_ts : float;      (** absolute seconds (Unix.gettimeofday) *)
+  ev_domain : int;    (** recording domain's id *)
+  ev_kind : kind;
+  ev_a : int;
+  ev_b : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A recorder whose per-domain rings hold [capacity] events each
+    (default 4096).  Enabled from birth. *)
+
+val global : t
+(** The process-wide recorder the runtime layers record into by
+    default. *)
+
+val record : ?a:int -> ?b:int -> t -> kind -> unit
+(** Append one event to the calling domain's ring (no-op when
+    disabled). *)
+
+val set_enabled : t -> bool -> unit
+(** Disabling reduces {!record} to one atomic load + branch — the knob
+    the overhead bench flips. *)
+
+val is_enabled : t -> bool
+
+val capacity : t -> int
+
+val dump : t -> event list
+(** All retained events, merged across domains, sorted by timestamp. *)
+
+val dropped : t -> int
+(** Events overwritten because a ring wrapped, summed over rings. *)
+
+val clear : t -> unit
+(** Reset every ring (and the drop count).  Only meaningful while no
+    other domain is recording. *)
+
+val kind_name : kind -> string
+
+val schema : string
+(** ["nullelim-flight/1"]. *)
+
+val to_json : t -> Obs_json.t
+(** [{"schema":"nullelim-flight/1","schema_version":1,"capacity":C,
+      "dropped":D,"events":[{"ts","domain","kind","a","b"}…]}] with
+    events as in {!dump}. *)
+
+val validate : Obs_json.t -> (unit, string) result
+(** Structural validation of a {!to_json} document. *)
+
+val to_trace : t -> Trace.event list
+(** The retained events as zero-duration Chrome trace instants
+    (timestamps rebased to the earliest event), convertible with
+    {!Trace.to_json} / {!Trace.write}. *)

@@ -5,7 +5,14 @@
     blocked domain re-examines the state: blocked pushers raise
     {!Closed}, blocked poppers drain what is left and then return
     [None].  Condition waits are re-checked in a loop, so spurious
-    wakeups are harmless. *)
+    wakeups are harmless.
+
+    Every successful push/pop also feeds the flight recorder (an
+    enqueue/dequeue event carrying the depth after the operation) and
+    maintains the high-water mark, both inside the critical section so
+    depth readings are consistent. *)
+
+module Recorder = Nullelim_obs.Recorder
 
 type 'a t = {
   buf : 'a Queue.t;
@@ -14,11 +21,13 @@ type 'a t = {
   nonempty : Condition.t;
   nonfull : Condition.t;
   mutable closed : bool;
+  mutable high_water : int;
+  crec : Recorder.t;
 }
 
 exception Closed
 
-let create ~capacity =
+let create ?(recorder = Recorder.global) ~capacity () =
   {
     buf = Queue.create ();
     capacity = max 1 capacity;
@@ -26,6 +35,8 @@ let create ~capacity =
     nonempty = Condition.create ();
     nonfull = Condition.create ();
     closed = false;
+    high_water = 0;
+    crec = recorder;
   }
 
 let with_lock t f =
@@ -38,6 +49,12 @@ let with_lock t f =
     Mutex.unlock t.m;
     raise e
 
+(* call with the lock held, right after a Queue.push *)
+let note_enqueue t =
+  let d = Queue.length t.buf in
+  if d > t.high_water then t.high_water <- d;
+  Recorder.record ~a:d t.crec Recorder.Enqueue
+
 let push t x =
   with_lock t (fun () ->
       while (not t.closed) && Queue.length t.buf >= t.capacity do
@@ -45,6 +62,7 @@ let push t x =
       done;
       if t.closed then raise Closed;
       Queue.push x t.buf;
+      note_enqueue t;
       Condition.signal t.nonempty)
 
 let try_push t x =
@@ -53,6 +71,7 @@ let try_push t x =
       if Queue.length t.buf >= t.capacity then false
       else begin
         Queue.push x t.buf;
+        note_enqueue t;
         Condition.signal t.nonempty;
         true
       end)
@@ -64,6 +83,7 @@ let pop t =
       done;
       match Queue.take_opt t.buf with
       | Some x ->
+        Recorder.record ~a:(Queue.length t.buf) t.crec Recorder.Dequeue;
         Condition.signal t.nonfull;
         Some x
       | None -> None (* closed and drained *))
@@ -77,4 +97,7 @@ let close t =
       end)
 
 let length t = with_lock t (fun () -> Queue.length t.buf)
+let depth = length
+let high_water t = with_lock t (fun () -> t.high_water)
+let capacity t = t.capacity
 let is_closed t = with_lock t (fun () -> t.closed)

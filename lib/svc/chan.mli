@@ -8,7 +8,12 @@
     drain but no new item is accepted.
 
     All operations are linearizable; any number of producer and
-    consumer domains may share one channel. *)
+    consumer domains may share one channel.
+
+    Observability: each successful push/pop records an
+    enqueue/dequeue event (with the depth after the operation) into
+    the channel's flight recorder, and the channel tracks its
+    high-water mark ({!high_water}). *)
 
 type 'a t
 (** A bounded multi-producer multi-consumer channel carrying ['a]. *)
@@ -16,9 +21,11 @@ type 'a t
 exception Closed
 (** Raised by {!push} when the channel has been closed. *)
 
-val create : capacity:int -> 'a t
-(** [create ~capacity] is an empty open channel holding at most
-    [capacity] items (clamped to at least 1). *)
+val create :
+  ?recorder:Nullelim_obs.Recorder.t -> capacity:int -> unit -> 'a t
+(** [create ~capacity ()] is an empty open channel holding at most
+    [capacity] items (clamped to at least 1).  Queue movement is
+    recorded into [recorder] (default {!Nullelim_obs.Recorder.global}). *)
 
 val push : 'a t -> 'a -> unit
 (** [push t x] appends [x], blocking while the channel is full.
@@ -48,6 +55,15 @@ val close : 'a t -> unit
 val length : 'a t -> int
 (** Number of items currently queued (a racy snapshot, exact only when
     no other domain is operating on the channel). *)
+
+val depth : 'a t -> int
+(** Synonym for {!length}: the queue-depth gauge. *)
+
+val high_water : 'a t -> int
+(** The deepest the queue has ever been; never exceeds the capacity. *)
+
+val capacity : 'a t -> int
+(** The (clamped) capacity this channel was created with. *)
 
 val is_closed : 'a t -> bool
 (** Has {!close} been called?  (Racy snapshot, like {!length}.) *)

@@ -17,9 +17,12 @@
     tiers), so a doubly-linked LRU list would be bookkeeping without a
     measurable win. *)
 
+module Recorder = Nullelim_obs.Recorder
+
 type 'a entry = { value : 'a; ebytes : int; mutable stamp : int }
 
 type 'a shard = {
+  sh_id : int;
   tbl : (string, 'a entry) Hashtbl.t;
   m : Mutex.t;
   sh_budget : int;
@@ -51,12 +54,14 @@ type 'a t = {
   shards : 'a shard array;
   size : 'a -> int;
   budget_bytes : int;
+  crec : Recorder.t;
 }
 
 let default_budget = 64 * 1024 * 1024
 let default_shards () = max 1 (min 16 (Domain.recommended_domain_count ()))
 
-let create ?(budget_bytes = default_budget) ?shards ~size () =
+let create ?(budget_bytes = default_budget) ?shards
+    ?(recorder = Recorder.global) ~size () =
   let n =
     match shards with Some n -> max 1 n | None -> default_shards ()
   in
@@ -65,9 +70,11 @@ let create ?(budget_bytes = default_budget) ?shards ~size () =
      requested; a 0 budget stays 0 in every shard (pass-through). *)
   let sh_budget = if budget_bytes = 0 then 0 else (budget_bytes + n - 1) / n in
   {
+    crec = recorder;
     shards =
-      Array.init n (fun _ ->
+      Array.init n (fun i ->
           {
+            sh_id = i;
             tbl = Hashtbl.create 64;
             m = Mutex.create ();
             sh_budget;
@@ -124,9 +131,11 @@ let find t key =
       | Some e ->
         e.stamp <- next_tick s;
         s.hits <- s.hits + 1;
+        Recorder.record ~a:s.sh_id t.crec Recorder.Cache_hit;
         Some e.value
       | None ->
         s.misses <- s.misses + 1;
+        Recorder.record ~a:s.sh_id t.crec Recorder.Cache_miss;
         None)
 
 (* the least recently used entry, excluding [keep] *)
@@ -170,6 +179,7 @@ let add t ~key v =
             | Some (k, _) ->
               ignore (remove_entry s k);
               s.evictions <- s.evictions + 1;
+              Recorder.record ~a:s.sh_id t.crec Recorder.Cache_evict;
               evict ()
             | None -> ()
         in
@@ -212,6 +222,44 @@ let stats t =
       shards = Array.length t.shards;
     }
     t.shards
+
+(* One shard's counters/occupancy as a [stats] record ([shards] = 1,
+   budget = the shard's slice). *)
+let shard_stats t : stats array =
+  Array.map
+    (fun s ->
+      with_lock s (fun () ->
+          {
+            hits = s.hits;
+            misses = s.misses;
+            evictions = s.evictions;
+            rejections = s.rejections;
+            invalidations = s.invalidations;
+            entries = Hashtbl.length s.tbl;
+            bytes = s.bytes;
+            budget_bytes = s.sh_budget;
+            shards = 1;
+          }))
+    t.shards
+
+(* Export per-shard occupancy/traffic into a metrics registry as
+   [codecache_*] gauges labelled by shard index. *)
+let record_metrics ?(prefix = "codecache") (m : Nullelim_obs.Metrics.t) t :
+    unit =
+  let module Metrics = Nullelim_obs.Metrics in
+  Array.iteri
+    (fun i st ->
+      let labels = [ ("shard", string_of_int i) ] in
+      let set name v =
+        Metrics.set (Metrics.gauge m ~labels (prefix ^ "_" ^ name)) v
+      in
+      set "entries" (float_of_int st.entries);
+      set "bytes" (float_of_int st.bytes);
+      set "budget_bytes" (float_of_int st.budget_bytes);
+      set "hits" (float_of_int st.hits);
+      set "misses" (float_of_int st.misses);
+      set "evictions" (float_of_int st.evictions))
+    (shard_stats t)
 
 let clear t =
   Array.iter

@@ -40,7 +40,12 @@ type stats = {
     all shards. *)
 
 val create :
-  ?budget_bytes:int -> ?shards:int -> size:('a -> int) -> unit -> 'a t
+  ?budget_bytes:int ->
+  ?shards:int ->
+  ?recorder:Nullelim_obs.Recorder.t ->
+  size:('a -> int) ->
+  unit ->
+  'a t
 (** [create ~size ()] is an empty cache.  [size a] must return an
     estimate (in bytes) of keeping [a] resident; it is called once per
     {!add}.  [budget_bytes] defaults to 64 MiB and bounds the sum of
@@ -49,7 +54,9 @@ val create :
     miss).  [shards] defaults to [Domain.recommended_domain_count]
     clamped to [1..16]; each shard owns an equal slice of the budget.
     Pass [~shards:1] when deterministic global LRU order matters (the
-    unit tests do). *)
+    unit tests do).  Hits, misses and evictions are recorded (with the
+    shard index) into [recorder], default
+    {!Nullelim_obs.Recorder.global}. *)
 
 val find : 'a t -> string -> 'a option
 (** [find t key] returns the cached artifact and marks it most recently
@@ -76,6 +83,18 @@ val remove : 'a t -> string -> bool
 val stats : 'a t -> stats
 (** Aggregate counter snapshot over all shards; each shard is read
     under its own lock. *)
+
+val shard_stats : 'a t -> stats array
+(** Per-shard snapshots, indexed by shard: each element has
+    [shards = 1] and [budget_bytes] = that shard's budget slice.
+    Summing the array (except [budget_bytes], which uses ceiling
+    division) reproduces {!stats}. *)
+
+val record_metrics : ?prefix:string -> Nullelim_obs.Metrics.t -> 'a t -> unit
+(** Export per-shard occupancy and traffic into a metrics registry as
+    [<prefix>_entries] / [_bytes] / [_budget_bytes] / [_hits] /
+    [_misses] / [_evictions] gauges labelled [("shard", i)]; [prefix]
+    defaults to ["codecache"]. *)
 
 val clear : 'a t -> unit
 (** Drop every entry (counted as evictions); counters are retained. *)

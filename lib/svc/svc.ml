@@ -14,6 +14,7 @@ module Ir_pp = Nullelim_ir.Ir_pp
 module Arch = Nullelim_arch.Arch
 module Config = Nullelim_jit.Config
 module Compiler = Nullelim_jit.Compiler
+module Recorder = Nullelim_obs.Recorder
 
 type job = {
   jb_program : Ir.program;
@@ -38,6 +39,8 @@ type outcome = {
   oc_cache_hit : bool;
   oc_worker : int;
   oc_seconds : float;
+  oc_queued_seconds : float;
+  oc_done_at : float;
 }
 
 type cache = Compiler.compiled Codecache.t
@@ -138,14 +141,14 @@ let artifact_bytes (c : Compiler.compiled) : int =
   in
   program_bytes + (64 * List.length c.Compiler.decisions) + 1024
 
-let create_cache ?budget_bytes ?shards () : cache =
-  Codecache.create ?budget_bytes ?shards ~size:artifact_bytes ()
+let create_cache ?budget_bytes ?shards ?recorder () : cache =
+  Codecache.create ?budget_bytes ?shards ?recorder ~size:artifact_bytes ()
 
 (* ------------------------------------------------------------------ *)
 (* Compiling one job                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let compile_job ?cache ~worker (j : job) : outcome =
+let compile_job ?cache ?(queued_seconds = 0.) ~worker (j : job) : outcome =
   let t0 = Unix.gettimeofday () in
   let compile () =
     Compiler.compile ~tier:j.jb_tier ~deopt_sites:j.jb_deopt j.jb_config
@@ -163,12 +166,15 @@ let compile_job ?cache ~worker (j : job) : outcome =
         Codecache.add c ~key artifact;
         (false, artifact))
   in
+  let t1 = Unix.gettimeofday () in
   {
     oc_job = j;
     oc_compiled = compiled;
     oc_cache_hit = hit;
     oc_worker = worker;
-    oc_seconds = Unix.gettimeofday () -. t0;
+    oc_seconds = t1 -. t0;
+    oc_queued_seconds = queued_seconds;
+    oc_done_at = t1;
   }
 
 let compile_serial ?cache jobs =
@@ -185,7 +191,13 @@ type batch = {
   mutable remaining : int;
 }
 
-type task = { t_index : int; t_job : job; t_batch : batch }
+type task = {
+  t_index : int;
+  t_id : int;             (* service-wide request id *)
+  t_enqueued : float;     (* absolute submission time *)
+  t_job : job;
+  t_batch : batch;
+}
 
 type t = {
   queue : task Chan.t;
@@ -193,6 +205,19 @@ type t = {
   svc_cache : cache option;
   sm : Mutex.t;
   mutable stopped : bool;
+  seq : int Atomic.t;        (* next request id *)
+  submitted : int Atomic.t;  (* requests accepted into the queue *)
+  completed : int Atomic.t;
+  srec : Recorder.t;
+}
+
+type stats = {
+  s_domains : int;
+  s_queue_capacity : int;
+  s_queue_depth : int;
+  s_queue_high_water : int;
+  s_submitted : int;
+  s_completed : int;
 }
 
 let default_domains () =
@@ -205,34 +230,70 @@ let finish_task (b : batch) idx r =
   if b.remaining <= 0 then Condition.broadcast b.bdone;
   Mutex.unlock b.bm
 
-let worker_loop queue cache worker =
+let worker_loop queue cache srec completed worker =
   let rec loop () =
     match Chan.pop queue with
     | None -> ()
     | Some task ->
+      Recorder.record ~a:task.t_id ~b:worker srec Recorder.Req_start;
+      let queued_seconds = Unix.gettimeofday () -. task.t_enqueued in
       let r =
-        try Ok (compile_job ?cache ~worker task.t_job) with e -> Error e
+        try Ok (compile_job ?cache ~queued_seconds ~worker task.t_job)
+        with e -> Error e
       in
+      Atomic.incr completed;
+      Recorder.record ~a:task.t_id ~b:worker srec Recorder.Req_done;
       finish_task task.t_batch task.t_index r;
       loop ()
   in
   loop ()
 
-let create ?domains ?(queue_capacity = 64) ?cache () : t =
+let create ?domains ?(queue_capacity = 64) ?cache
+    ?(recorder = Recorder.global) () : t =
   let n = max 1 (Option.value ~default:(default_domains ()) domains) in
-  let queue = Chan.create ~capacity:(max 1 queue_capacity) in
+  let queue = Chan.create ~recorder ~capacity:(max 1 queue_capacity) () in
+  let completed = Atomic.make 0 in
   {
     queue;
     workers =
-      Array.init n (fun i -> Domain.spawn (fun () -> worker_loop queue cache i));
+      Array.init n (fun i ->
+          Domain.spawn (fun () -> worker_loop queue cache recorder completed i));
     svc_cache = cache;
     sm = Mutex.create ();
     stopped = false;
+    seq = Atomic.make 0;
+    submitted = Atomic.make 0;
+    completed;
+    srec = recorder;
   }
 
 let domains t = Array.length t.workers
 let cache t = t.svc_cache
 let cache_stats t = Option.map Codecache.stats t.svc_cache
+
+let stats t =
+  {
+    s_domains = Array.length t.workers;
+    s_queue_capacity = Chan.capacity t.queue;
+    s_queue_depth = Chan.depth t.queue;
+    s_queue_high_water = Chan.high_water t.queue;
+    s_submitted = Atomic.get t.submitted;
+    s_completed = Atomic.get t.completed;
+  }
+
+(* Mint a task: assign the request id and stamp the submission time.
+   [t_enqueued] is read by the worker for the queue-delay measurement,
+   so it is stamped as close to the push as possible; the Req_enqueue
+   event is recorded by the caller only once the push succeeds (a shed
+   [try_push] must not look like an accepted request). *)
+let new_task t ~index job batch =
+  {
+    t_index = index;
+    t_id = Atomic.fetch_and_add t.seq 1;
+    t_enqueued = Unix.gettimeofday ();
+    t_job = job;
+    t_batch = batch;
+  }
 
 let compile_all (t : t) (jobs : job list) : outcome list =
   let jobs = Array.of_list jobs in
@@ -255,7 +316,10 @@ let compile_all (t : t) (jobs : job list) : outcome list =
     (try
        Array.iteri
          (fun i job ->
-           Chan.push t.queue { t_index = i; t_job = job; t_batch = batch };
+           let task = new_task t ~index:i job batch in
+           Chan.push t.queue task;
+           Atomic.incr t.submitted;
+           Recorder.record ~a:task.t_id t.srec Recorder.Req_enqueue;
            incr submitted)
          jobs
      with Chan.Closed ->
@@ -342,8 +406,12 @@ let recompile_async (t : t) (j : job) : future option =
       remaining = 1;
     }
   in
-  match Chan.try_push t.queue { t_index = 0; t_job = j; t_batch = batch } with
-  | true -> Some { f_batch = batch }
+  let task = new_task t ~index:0 j batch in
+  match Chan.try_push t.queue task with
+  | true ->
+    Atomic.incr t.submitted;
+    Recorder.record ~a:task.t_id t.srec Recorder.Req_enqueue;
+    Some { f_batch = batch }
   | false -> None
   | exception Chan.Closed ->
     invalid_arg "Svc.recompile_async: service has been shut down"

@@ -67,6 +67,14 @@ type outcome = {
   oc_cache_hit : bool;    (** artifact came from the cache *)
   oc_worker : int;        (** worker index, or -1 for {!compile_serial} *)
   oc_seconds : float;     (** wall time of this job incl. cache lookup *)
+  oc_queued_seconds : float;
+                          (** time spent waiting in the queue before a
+                              worker picked the job up (0 for
+                              {!compile_serial}) *)
+  oc_done_at : float;     (** absolute completion time
+                              ([Unix.gettimeofday]) — lets a load
+                              generator compute end-to-end latency
+                              against its own arrival schedule *)
 }
 
 type cache = Compiler.compiled Codecache.t
@@ -84,10 +92,16 @@ val artifact_bytes : Compiler.compiled -> int
     cache [size] function): dominated by the pretty-printed size of the
     optimized program plus the decision log. *)
 
-val create_cache : ?budget_bytes:int -> ?shards:int -> unit -> cache
+val create_cache :
+  ?budget_bytes:int ->
+  ?shards:int ->
+  ?recorder:Nullelim_obs.Recorder.t ->
+  unit ->
+  cache
 (** A cache keyed for {!job_key}, sized by {!artifact_bytes};
     [budget_bytes] and [shards] default to {!Codecache.create}'s 64 MiB
-    and clamped recommended-domain-count sharding. *)
+    and clamped recommended-domain-count sharding; cache traffic is
+    recorded into [recorder] (default {!Nullelim_obs.Recorder.global}). *)
 
 type t
 (** A running service: worker domains + job queue + optional cache. *)
@@ -96,11 +110,20 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1] clamped to [1 .. 8]: one
     domain stays free for the submitting thread. *)
 
-val create : ?domains:int -> ?queue_capacity:int -> ?cache:cache -> unit -> t
+val create :
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?cache:cache ->
+  ?recorder:Nullelim_obs.Recorder.t ->
+  unit ->
+  t
 (** Start a service with [domains] workers (default
     {!default_domains}, clamped to at least 1) and a queue bound of
     [queue_capacity] jobs (default 64).  With [cache], every job is
-    looked up before compiling and installed after. *)
+    looked up before compiling and installed after.  Request lifecycle
+    events (enqueue/start/done, carrying the request id) and queue
+    movement are recorded into [recorder] (default
+    {!Nullelim_obs.Recorder.global}). *)
 
 val domains : t -> int
 (** Number of worker domains. *)
@@ -110,6 +133,21 @@ val cache : t -> cache option
 
 val cache_stats : t -> Codecache.stats option
 (** Shorthand for [Option.map Codecache.stats (cache t)]. *)
+
+type stats = {
+  s_domains : int;           (** worker domains *)
+  s_queue_capacity : int;    (** queue bound from {!create} *)
+  s_queue_depth : int;       (** current queue depth (racy snapshot) *)
+  s_queue_high_water : int;  (** deepest the queue has ever been *)
+  s_submitted : int;         (** requests accepted into the queue *)
+  s_completed : int;         (** requests fully compiled *)
+}
+(** Service-level counters; snapshots are racy but each field is an
+    untorn word, and [s_submitted = s_completed] once the service is
+    quiescent. *)
+
+val stats : t -> stats
+(** Snapshot the service counters and queue occupancy. *)
 
 val compile_all : t -> job list -> outcome list
 (** Compile every job on the worker pool and return the outcomes in

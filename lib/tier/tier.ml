@@ -29,11 +29,16 @@ module Svc = Nullelim_svc.Svc
 module Codecache = Nullelim_svc.Codecache
 module Interp = Nullelim_vm.Interp
 module Value = Nullelim_vm.Value
+module Metrics = Nullelim_obs.Metrics
+module Recorder = Nullelim_obs.Recorder
 
 type pending = {
   pd_tier : int;
   pd_deopt : Ir.site list;
   pd_key : string;
+  pd_submitted : float;  (* when the recompile was handed over; the
+                            install latency histogram measures from
+                            here to installation *)
   pd_state : [ `Ready of Svc.outcome | `Future of Svc.future ];
       (** [`Ready] in synchronous mode: compiled at submission time,
           installed at the next call boundary, so sync and async modes
@@ -85,9 +90,17 @@ type t = {
   mutable c_traps : int;
   mutable c_awaits : int;
   mutable c_recompile : float;
+  tm : Metrics.t option;   (* install-latency histograms land here *)
+  trec : Recorder.t;
 }
 
-let create ?svc ?cache ?(config = Config.new_full) ~arch program =
+(* Install latency spans five decades: a cached synchronous install is
+   tens of microseconds, a queued cold compile behind a saturated pool
+   can take seconds. *)
+let install_buckets = Metrics.log_buckets ~lo:1e-5 ~hi:10. ~per_decade:5
+
+let create ?svc ?cache ?(config = Config.new_full) ?metrics
+    ?(recorder = Recorder.global) ~arch program =
   let cache =
     match (cache, svc) with
     | (Some _ as c), _ -> c
@@ -116,6 +129,8 @@ let create ?svc ?cache ?(config = Config.new_full) ~arch program =
     c_traps = 0;
     c_awaits = 0;
     c_recompile = 0.;
+    tm = metrics;
+    trec = recorder;
   }
 
 let fstate t name =
@@ -156,6 +171,20 @@ let install t fs (pd : pending) (oc : Svc.outcome) =
   if prev_tier = 0 && pd.pd_tier > 0 then
     t.c_promotions <- t.c_promotions + 1;
   t.c_recompile <- t.c_recompile +. oc.Svc.oc_seconds;
+  Recorder.record ~a:pd.pd_tier
+    ~b:(List.length pd.pd_deopt)
+    t.trec Recorder.Tier_promote;
+  (match t.tm with
+  | Some m ->
+    (* submission → installation, i.e. how long the function kept
+       running the old version after the decision was made *)
+    let kind = if pd.pd_deopt <> [] then "deopt" else "promote" in
+    Metrics.observe
+      (Metrics.histogram m ~buckets:install_buckets
+         ~labels:[ ("kind", kind) ]
+         "tier_install_seconds")
+      (Unix.gettimeofday () -. pd.pd_submitted)
+  | None -> ());
   match prev_key with
   | Some k when k <> pd.pd_key -> invalidate t k
   | _ -> ()
@@ -168,12 +197,13 @@ let try_submit t fs =
   | Some (tier, deopt), None -> (
     let job = Svc.job ~tier ~deopt ~config:t.cfg ~arch:t.arch t.program in
     let key = Svc.job_key job in
+    let submitted = Unix.gettimeofday () in
     match t.svc with
     | None ->
       let oc = List.hd (Svc.compile_serial ?cache:t.cache [ job ]) in
       fs.fs_pending <-
         Some { pd_tier = tier; pd_deopt = deopt; pd_key = key;
-               pd_state = `Ready oc };
+               pd_submitted = submitted; pd_state = `Ready oc };
       fs.fs_goal <- None;
       t.c_submitted <- t.c_submitted + 1
     | Some svc -> (
@@ -181,7 +211,7 @@ let try_submit t fs =
       | Some fut ->
         fs.fs_pending <-
           Some { pd_tier = tier; pd_deopt = deopt; pd_key = key;
-                 pd_state = `Future fut };
+                 pd_submitted = submitted; pd_state = `Future fut };
         fs.fs_goal <- None;
         t.c_submitted <- t.c_submitted + 1
       | None -> t.c_queue_full <- t.c_queue_full + 1))
@@ -228,6 +258,7 @@ let dispatch t name : Ir.func * int =
 let on_trap t ~func ~site =
   t.c_traps <- t.c_traps + 1;
   let fs = fstate t func in
+  Recorder.record ~a:site ~b:fs.fs_tier t.trec Recorder.Trap_fired;
   let requested =
     List.mem site fs.fs_deopt
     || (match fs.fs_pending with
@@ -247,6 +278,7 @@ let on_trap t ~func ~site =
          variant compiles — and request tier 2 with the accumulated
          losing sites re-materialized. *)
       if fs.fs_tier <> 0 then begin
+        Recorder.record ~a:site ~b:fs.fs_tier t.trec Recorder.Tier_demote;
         fs.fs_func <- Ir.find_func t.p0 fs.fs_name;
         fs.fs_tier <- 0;
         t.c_demotions <- t.c_demotions + 1;

@@ -72,6 +72,8 @@ val create :
   ?svc:Svc.t ->
   ?cache:Svc.cache ->
   ?config:Config.t ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  ?recorder:Nullelim_obs.Recorder.t ->
   arch:Arch.t ->
   Ir.program ->
   t
@@ -80,7 +82,13 @@ val create :
     [deopt_traps] fields are the policy.  The tier-0 compilation of the
     whole program happens here, synchronously — that is the "instant"
     compile every function starts with.  [cache] is consulted for both
-    tiers (pass the service's cache to share it). *)
+    tiers (pass the service's cache to share it).
+
+    Observability: with [metrics], every installation observes a
+    [tier_install_seconds] histogram (submission → install latency,
+    labelled [kind=promote|deopt]); tier promotions/demotions and trap
+    firings are recorded into [recorder] (default
+    {!Nullelim_obs.Recorder.global}). *)
 
 val dispatch : t -> string -> Ir.func * int
 (** The interpreter's call-boundary hook (plug into [Interp.run

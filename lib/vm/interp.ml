@@ -473,8 +473,7 @@ let record_metrics ?run (m : Metrics.t) (c : counters) : unit =
   let labels =
     match run with Some r -> [ ("run", r) ] | None -> []
   in
-  (if run = None
-   && Metrics.counter_value (Metrics.counter m "interp_instrs") <> 0
+  (if run = None && Metrics.counter_total m "interp_instrs" <> 0
   then
      invalid_arg
        "Interp.record_metrics: registry already holds unlabeled interp_* \

@@ -27,7 +27,7 @@ let sample_jobs () =
 (* ------------------------------------------------------------------ *)
 
 let test_chan_fifo () =
-  let c = Chan.create ~capacity:4 in
+  let c = Chan.create ~capacity:4 () in
   List.iter (Chan.push c) [ 1; 2; 3 ];
   Alcotest.(check int) "length" 3 (Chan.length c);
   Alcotest.(check (list int))
@@ -38,7 +38,7 @@ let test_chan_fifo () =
   Alcotest.(check bool) "drained pop is None" true (Chan.pop c = None)
 
 let test_chan_close_semantics () =
-  let c = Chan.create ~capacity:2 in
+  let c = Chan.create ~capacity:2 () in
   Chan.push c 1;
   Chan.close c;
   Chan.close c (* idempotent *);
@@ -50,7 +50,7 @@ let test_chan_close_semantics () =
   Alcotest.(check bool) "then None" true (Chan.pop c = None)
 
 let test_chan_try_push () =
-  let c = Chan.create ~capacity:2 in
+  let c = Chan.create ~capacity:2 () in
   Alcotest.(check bool) "accepts 1st" true (Chan.try_push c 1);
   Alcotest.(check bool) "accepts 2nd" true (Chan.try_push c 2);
   Alcotest.(check bool) "refuses when full" false (Chan.try_push c 3);
@@ -64,7 +64,7 @@ let test_chan_try_push () =
 (* Cross-domain: a consumer blocks on an empty channel, a bounded
    producer blocks on a full one; all items arrive in order. *)
 let test_chan_cross_domain () =
-  let c = Chan.create ~capacity:2 in
+  let c = Chan.create ~capacity:2 () in
   let n = 500 in
   let consumer =
     Domain.spawn (fun () ->
@@ -80,6 +80,24 @@ let test_chan_cross_domain () =
   let got = Domain.join consumer in
   Alcotest.(check int) "all delivered" n (List.length got);
   Alcotest.(check (list int)) "in order" (List.init n (fun i -> i + 1)) got
+
+let test_chan_depth_high_water () =
+  let c = Chan.create ~capacity:3 () in
+  Alcotest.(check int) "empty depth" 0 (Chan.depth c);
+  Alcotest.(check int) "empty high water" 0 (Chan.high_water c);
+  Alcotest.(check int) "capacity" 3 (Chan.capacity c);
+  Chan.push c 1;
+  Chan.push c 2;
+  Alcotest.(check int) "depth 2" 2 (Chan.depth c);
+  Alcotest.(check int) "high water 2" 2 (Chan.high_water c);
+  ignore (Chan.pop c);
+  Alcotest.(check int) "depth falls" 1 (Chan.depth c);
+  Alcotest.(check int) "high water sticks" 2 (Chan.high_water c);
+  Chan.push c 3;
+  Chan.push c 4;
+  Alcotest.(check int) "high water 3" 3 (Chan.high_water c);
+  Alcotest.(check bool) "never above capacity" true
+    (Chan.high_water c <= Chan.capacity c)
 
 (* ------------------------------------------------------------------ *)
 (* Codecache                                                           *)
@@ -184,6 +202,54 @@ let test_cache_sharded_stats () =
     s.Codecache.budget_bytes;
   Codecache.clear c;
   Alcotest.(check int) "cleared" 0 (Codecache.stats c).Codecache.entries
+
+let test_cache_shard_stats_sum () =
+  (* per-shard snapshots must sum back to the aggregate *)
+  let c =
+    Codecache.create ~budget_bytes:(1024 * 1024) ~shards:4
+      ~size:(fun _ -> 3) ()
+  in
+  for i = 1 to 40 do
+    Codecache.add c ~key:(Digest.to_hex (Digest.string (string_of_int i))) i
+  done;
+  for i = 1 to 20 do
+    ignore
+      (Codecache.find c (Digest.to_hex (Digest.string (string_of_int i))))
+  done;
+  ignore (Codecache.find c "absent-key");
+  let agg = Codecache.stats c in
+  let per = Codecache.shard_stats c in
+  Alcotest.(check int) "one stats per shard" agg.Codecache.shards
+    (Array.length per);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 per in
+  Alcotest.(check int) "entries sum" agg.Codecache.entries
+    (sum (fun s -> s.Codecache.entries));
+  Alcotest.(check int) "bytes sum" agg.Codecache.bytes
+    (sum (fun s -> s.Codecache.bytes));
+  Alcotest.(check int) "hits sum" agg.Codecache.hits
+    (sum (fun s -> s.Codecache.hits));
+  Alcotest.(check int) "misses sum" agg.Codecache.misses
+    (sum (fun s -> s.Codecache.misses));
+  Array.iter
+    (fun s -> Alcotest.(check int) "each is a 1-shard view" 1 s.Codecache.shards)
+    per;
+  (* budget slices use ceiling division: never under the total *)
+  Alcotest.(check bool) "budget slices cover total" true
+    (sum (fun s -> s.Codecache.budget_bytes) >= agg.Codecache.budget_bytes);
+  (* the metrics export mirrors shard_stats *)
+  let m = Obs.Metrics.create () in
+  Codecache.record_metrics m c;
+  let entries =
+    Array.to_list per
+    |> List.mapi (fun i _ ->
+           Obs.Metrics.gauge_value
+             (Obs.Metrics.gauge m
+                ~labels:[ ("shard", string_of_int i) ]
+                "codecache_entries"))
+    |> List.fold_left ( +. ) 0.
+  in
+  Alcotest.(check (float 0.0)) "exported entries"
+    (float_of_int agg.Codecache.entries) entries
 
 let test_cache_counters () =
   let c = Codecache.create ~size:(fun _ -> 1) () in
@@ -340,6 +406,30 @@ let test_queue_smaller_than_batch () =
         "all jobs complete" 16
         (List.length (Svc.compile_all t jobs)))
 
+let test_service_stats () =
+  let w = (Option.get (Registry.find "assignment")).W.build ~scale:1 in
+  let jobs = List.init 12 (fun _ -> job w Config.new_full) in
+  Svc.with_service ~domains:2 ~queue_capacity:4 (fun t ->
+      let outcomes = Svc.compile_all t jobs in
+      let s = Svc.stats t in
+      Alcotest.(check int) "domains" 2 s.Svc.s_domains;
+      Alcotest.(check int) "capacity" 4 s.Svc.s_queue_capacity;
+      Alcotest.(check int) "submitted" 12 s.Svc.s_submitted;
+      Alcotest.(check int) "completed after batch" 12 s.Svc.s_completed;
+      Alcotest.(check int) "quiescent depth" 0 s.Svc.s_queue_depth;
+      Alcotest.(check bool) "high water positive" true
+        (s.Svc.s_queue_high_water > 0);
+      Alcotest.(check bool) "high water within capacity" true
+        (s.Svc.s_queue_high_water <= s.Svc.s_queue_capacity);
+      (* outcome timing fields the load generator builds on *)
+      List.iter
+        (fun (o : Svc.outcome) ->
+          Alcotest.(check bool) "queued_seconds >= 0" true
+            (o.Svc.oc_queued_seconds >= 0.);
+          Alcotest.(check bool) "done_at covers the compile" true
+            (o.Svc.oc_done_at >= 0.))
+        outcomes)
+
 let () =
   Alcotest.run "svc"
     [
@@ -351,6 +441,8 @@ let () =
           Alcotest.test_case "try_push backpressure" `Quick
             test_chan_try_push;
           Alcotest.test_case "cross-domain" `Quick test_chan_cross_domain;
+          Alcotest.test_case "depth + high water" `Quick
+            test_chan_depth_high_water;
         ] );
       ( "codecache",
         [
@@ -363,6 +455,8 @@ let () =
             test_cache_remove;
           Alcotest.test_case "sharded aggregate stats" `Quick
             test_cache_sharded_stats;
+          Alcotest.test_case "shard_stats sums to stats" `Quick
+            test_cache_shard_stats_sum;
           Alcotest.test_case "counters" `Quick test_cache_counters;
         ] );
       ( "keys",
@@ -379,5 +473,7 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_shutdown_semantics;
           Alcotest.test_case "queue smaller than batch" `Quick
             test_queue_smaller_than_batch;
+          Alcotest.test_case "service stats + high water bound" `Quick
+            test_service_stats;
         ] );
     ]
