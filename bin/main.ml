@@ -969,6 +969,82 @@ let fuzz_cmd =
 
 (* --- loadgen ------------------------------------------------------- *)
 
+let multipliers_of ~sweep ~rate =
+  match rate with
+  | Some m -> [ m ]
+  | None ->
+    let ms =
+      try
+        String.split_on_char ',' sweep
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map float_of_string
+      with Failure _ ->
+        Fmt.epr "--rate-sweep: cannot parse %S@." sweep;
+        exit 1
+    in
+    if ms = [] || List.exists (fun m -> m <= 0.) ms then begin
+      Fmt.epr "rate multipliers must be positive@.";
+      exit 1
+    end;
+    ms
+
+(* per-tenant offered/completed/shed totals summed over the rate rows *)
+let print_tenant_totals (rows : LG.rate_row list) =
+  let tbl : (int, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : LG.rate_row) ->
+      List.iter
+        (fun (tn : LG.tenant_row) ->
+          let o, c, s =
+            Option.value ~default:(0, 0, 0)
+              (Hashtbl.find_opt tbl tn.LG.tn_tenant)
+          in
+          Hashtbl.replace tbl tn.LG.tn_tenant
+            (o + tn.LG.tn_offered, c + tn.LG.tn_completed, s + tn.LG.tn_shed))
+        r.LG.lr_tenants)
+    rows;
+  let ids = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+  Fmt.pr "@.%7s %8s %10s %6s@." "tenant" "offered" "completed" "shed";
+  List.iter
+    (fun id ->
+      let o, c, s = Hashtbl.find tbl id in
+      Fmt.pr "%7d %8d %10d %6d@." id o c s)
+    ids
+
+(* reconstruct per-request timelines from a recorder and optionally
+   persist them; shared by the loadgen and serve commands *)
+let emit_timelines ?out recorder =
+  let dropped = Obs.Recorder.dropped recorder in
+  let tls = Obs.Timeline.of_events (Obs.Recorder.dump recorder) in
+  (match Obs.Timeline.check_complete ~dropped tls with
+  | Ok () ->
+    let completed =
+      List.length
+        (List.filter
+           (fun tl -> Obs.Timeline.phase tl = Obs.Timeline.Completed)
+           tls)
+    in
+    Fmt.pr "timelines: %d requests (%d completed), causal gate OK%s@."
+      (List.length tls) completed
+      (if dropped > 0 then
+         Printf.sprintf " (vacuous: %d events dropped)" dropped
+       else "")
+  | Error e ->
+    Fmt.epr "timeline causal gate FAILED: %s@." e;
+    exit 1);
+  match out with
+  | None -> ()
+  | Some path ->
+    let doc = Obs.Timeline.to_json ~dropped tls in
+    (match Obs.Timeline.validate doc with
+    | Ok () -> ()
+    | Error e ->
+      Fmt.epr "internal error: timeline document fails its own schema: %s@." e;
+      exit 1);
+    write_file path (Json.to_string doc ^ "\n");
+    Fmt.pr "timeline document written to %s@." path
+
 let loadgen_cmd =
   let doc =
     "Open-loop Poisson load generator for the parallel compile \
@@ -1107,31 +1183,45 @@ let loadgen_cmd =
             "Convert the retained flight events to a Chrome trace-event \
              file (chrome://tracing, ui.perfetto.dev).")
   in
+  let tenants_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 1
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Submit requests round-robin as $(docv) distinct tenants; \
+             per-tenant metrics, flight-event contexts and closed \
+             accounting are reported per rate step.")
+  in
+  let tenant_cap_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "tenant-cap" ] ~docv:"N"
+          ~doc:
+            "Per-tenant in-queue admission cap; a tenant already holding \
+             $(docv) queued requests has further arrivals shed with \
+             reason `tenant_cap'.  0 = unlimited.")
+  in
+  let timelines_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "timelines" ] ~docv:"FILE"
+          ~doc:
+            "Slice the flight dump into per-request causal timelines \
+             (nullelim-timeline schema), gate their completeness, and \
+             write them to $(docv).")
+  in
   let run jobs queue duration seed sweep rate max_requests overhead out merge
-      baseline factor write_baseline flight trace =
-    let multipliers =
-      match rate with
-      | Some m -> [ m ]
-      | None -> (
-        try
-          String.split_on_char ',' sweep
-          |> List.map String.trim
-          |> List.filter (fun s -> s <> "")
-          |> List.map float_of_string
-        with Failure _ ->
-          Fmt.epr "--rate-sweep: cannot parse %S@." sweep;
-          exit 1)
-    in
-    if multipliers = [] || List.exists (fun m -> m <= 0.) multipliers then
-    begin
-      Fmt.epr "rate multipliers must be positive@.";
-      exit 1
-    end;
+      baseline factor write_baseline flight trace tenants tenant_cap
+      timelines =
+    let multipliers = multipliers_of ~sweep ~rate in
     let t =
       LG.sweep
         ?domains:(if jobs > 0 then Some jobs else None)
         ~queue_capacity:queue ~duration ~seed ~multipliers ~max_requests
-        ~overhead ()
+        ~overhead ~tenants ~tenant_cap ()
     in
     let cal = t.LG.lg_calibration in
     Fmt.pr
@@ -1151,6 +1241,7 @@ let loadgen_cmd =
     Fmt.pr "saturation throughput: %.2f req/s; normalized p99: %.3f \
             mean-compiles@."
       t.LG.lg_saturation_throughput (LG.normalized_p99 t);
+    if tenants > 1 then print_tenant_totals t.LG.lg_rows;
     (match t.LG.lg_overhead with
     | Some o ->
       Fmt.pr
@@ -1206,6 +1297,9 @@ let loadgen_cmd =
       Obs.Trace.write path (Obs.Recorder.to_trace Obs.Recorder.global);
       Fmt.pr "flight trace written to %s@." path
     | None -> ());
+    (match timelines with
+    | Some path -> emit_timelines ~out:path Obs.Recorder.global
+    | None -> ());
     (match write_baseline with
     | Some path ->
       write_file path (Json.to_string doc ^ "\n");
@@ -1235,7 +1329,407 @@ let loadgen_cmd =
       const run $ jobs_arg $ queue_arg $ duration_arg $ seed_arg $ sweep_arg
       $ rate_arg $ max_requests_arg $ overhead_arg $ out_arg $ merge_arg
       $ baseline_arg $ factor_arg $ write_baseline_arg $ flight_arg
-      $ trace_arg)
+      $ trace_arg $ tenants_arg $ tenant_cap_arg $ timelines_arg)
+
+(* --- serve --------------------------------------------------------- *)
+
+let serve_cmd =
+  let doc =
+    "Start the live status server (stdlib HTTP/1.0: /metrics Prometheus \
+     exposition, /healthz SLO verdict, /flight, /timelines, /tenants) \
+     over a fresh metrics registry and flight recorder, then drive the \
+     open-loop load generator through it as the first client.  After \
+     the sweep the server probes its own endpoints, lints the \
+     exposition, gates the per-request causal timelines, and keeps \
+     serving for --linger seconds so external probes (the CI smoke) can \
+     scrape a live process."
+  in
+  let addr_arg =
+    Cmdliner.Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 (default) lets the kernel pick.")
+  in
+  let port_file_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the actual bound port to $(docv) once listening — \
+             how a --port 0 caller (the CI smoke) finds the server \
+             without a port race.")
+  in
+  let unix_socket_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix-socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a unix-domain socket at $(docv) instead of TCP.")
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the compile service.")
+  in
+  let queue_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Compile queue capacity.")
+  in
+  let duration_arg =
+    Cmdliner.Arg.(
+      value
+      & opt float 1.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Target duration of each loadgen rate step.")
+  in
+  let seed_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Arrival-schedule seed.")
+  in
+  let sweep_arg =
+    Cmdliner.Arg.(
+      value
+      & opt string "0.5,1"
+      & info [ "rate-sweep" ] ~docv:"MULTS"
+          ~doc:
+            "Offered-rate multipliers for the driving sweep (gentle by \
+             default so a healthy service reports a healthy SLO).")
+  in
+  let max_requests_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 200
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Cap on the requests scheduled per rate step.")
+  in
+  let tenants_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 4
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Distinct tenants the loadgen submits as (round-robin).")
+  in
+  let tenant_cap_arg =
+    Cmdliner.Arg.(
+      value
+      & opt int 0
+      & info [ "tenant-cap" ] ~docv:"N"
+          ~doc:"Per-tenant in-queue admission cap (0 = unlimited).")
+  in
+  let slo_threshold_arg =
+    Cmdliner.Arg.(
+      value
+      & opt float 1.0
+      & info [ "slo-latency" ] ~docv:"SECONDS"
+          ~doc:
+            "Latency objective threshold: 99% of compiles must finish \
+             within $(docv) seconds.")
+  in
+  let timelines_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "timelines" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-request causal timelines reconstructed from \
+             the flight recorder (nullelim-timeline schema) to $(docv) \
+             after the sweep.")
+  in
+  let linger_arg =
+    Cmdliner.Arg.(
+      value
+      & opt float 0.
+      & info [ "linger" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep serving for $(docv) seconds after the sweep (negative \
+             = until killed) so external clients can probe a live \
+             process.")
+  in
+  let run addr port port_file unix_socket jobs queue duration seed sweep
+      max_requests tenants tenant_cap slo_threshold timelines linger =
+    let multipliers = multipliers_of ~sweep ~rate:None in
+    let metrics = Obs.Metrics.create () in
+    let recorder = Obs.Recorder.create ~capacity:65536 () in
+    let slo =
+      Obs.Slo.create metrics
+        [
+          Obs.Slo.latency ~name:"compile-latency"
+            ~metric:"svc_compile_seconds" ~threshold:slo_threshold
+            ~target:0.99;
+          Obs.Slo.availability ~name:"availability"
+            ~good:"svc_requests_completed_total"
+            ~bad:"svc_requests_shed_total" ~target:0.99;
+        ]
+    in
+    let routes = Status.obs_routes ~metrics ~recorder ~slo () in
+    let srv =
+      Status.serve ~addr ~port ?unix_path:unix_socket
+        ~tick:(fun () -> Obs.Slo.tick slo)
+        routes
+    in
+    let address = Status.address srv in
+    Fmt.pr "serving on %s@." (Status.address_to_string address);
+    (match (address, port_file) with
+    | Status.Tcp (_, p), Some pf ->
+      write_file pf (string_of_int p ^ "\n");
+      Fmt.pr "port written to %s@." pf
+    | Status.Unix_sock _, Some pf ->
+      Fmt.epr "--port-file %s ignored (unix socket)@." pf
+    | _, None -> ());
+    let t =
+      LG.sweep
+        ~domains:(max 1 jobs)
+        ~queue_capacity:queue ~duration ~seed ~multipliers ~max_requests
+        ~tenants ~tenant_cap ~metrics ~recorder ()
+    in
+    Fmt.pr "@.%6s %7s %9s %5s %9s %9s@." "rate" "offered" "completed" "shed"
+      "thru/s" "p99ms";
+    List.iter
+      (fun (r : LG.rate_row) ->
+        Fmt.pr "%5.2fx %7d %9d %5d %9.2f %9.2f@." r.LG.lr_multiplier
+          r.LG.lr_offered r.LG.lr_completed r.LG.lr_shed r.LG.lr_throughput
+          r.LG.lr_p99_ms)
+      t.LG.lg_rows;
+    (match LG.check_rows t.LG.lg_rows with
+    | Ok () -> ()
+    | Error errs ->
+      Fmt.epr "loadgen gate FAILED:@.";
+      List.iter (fun e -> Fmt.epr "  %s@." e) errs;
+      exit 1);
+    if tenants > 1 then print_tenant_totals t.LG.lg_rows;
+    (* the server's own endpoints, probed through a real socket *)
+    (match Status.get address "/metrics" with
+    | Ok (200, body) -> (
+      match Obs.Export.lint body with
+      | Ok () -> Fmt.pr "@.self-probe /metrics : 200, exposition lints clean@."
+      | Error e ->
+        Fmt.epr "/metrics exposition lint FAILED: %s@." e;
+        exit 1)
+    | Ok (s, _) ->
+      Fmt.epr "/metrics returned %d@." s;
+      exit 1
+    | Error e ->
+      Fmt.epr "/metrics probe failed: %s@." e;
+      exit 1);
+    (match Status.get address "/healthz" with
+    | Ok (s, body) -> (
+      match Json.of_string body with
+      | Error e ->
+        Fmt.epr "/healthz: JSON parse error: %s@." e;
+        exit 1
+      | Ok j -> (
+        match Obs.Slo.validate j with
+        | Ok () -> Fmt.pr "self-probe /healthz : %d (nullelim-slo/1 valid)@." s
+        | Error e ->
+          Fmt.epr "/healthz document invalid: %s@." e;
+          exit 1))
+    | Error e ->
+      Fmt.epr "/healthz probe failed: %s@." e;
+      exit 1);
+    (match Status.get address "/tenants" with
+    | Ok (200, _) -> Fmt.pr "self-probe /tenants : 200@."
+    | Ok (s, _) ->
+      Fmt.epr "/tenants returned %d@." s;
+      exit 1
+    | Error e ->
+      Fmt.epr "/tenants probe failed: %s@." e;
+      exit 1);
+    emit_timelines ?out:timelines recorder;
+    if linger > 0. then begin
+      Fmt.pr "lingering %.1f s for external probes@." linger;
+      Unix.sleepf linger
+    end
+    else if linger < 0. then begin
+      Fmt.pr "serving until killed@.";
+      while true do
+        Unix.sleepf 3600.
+      done
+    end;
+    Status.stop srv
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "serve" ~doc)
+    Cmdliner.Term.(
+      const run $ addr_arg $ port_arg $ port_file_arg $ unix_socket_arg
+      $ jobs_arg $ queue_arg $ duration_arg $ seed_arg $ sweep_arg
+      $ max_requests_arg $ tenants_arg $ tenant_cap_arg $ slo_threshold_arg
+      $ timelines_arg $ linger_arg)
+
+(* --- timelines ----------------------------------------------------- *)
+
+let timelines_cmd =
+  let doc =
+    "Slice a flight-recorder dump (nullelim-flight JSON, or a document \
+     embedding one under a `flight' key) into per-request causal \
+     timelines: enqueue -> dequeue -> done span sequences with queue \
+     wait and service time attributed to each request's tenant."
+  in
+  let file_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Flight dump to slice.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the timeline document (nullelim-timeline schema).")
+  in
+  let check_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit 1 unless every completed request's timeline is \
+             causally complete (vacuous if the dump reports dropped \
+             events).")
+  in
+  let run path out check =
+    match Json.of_string (read_file path) with
+    | Error e ->
+      Fmt.epr "%s: JSON parse error: %s@." path e;
+      exit 1
+    | Ok j ->
+      let j = match Json.member "flight" j with Some f -> f | None -> j in
+      (match Obs.Recorder.validate j with
+      | Ok () -> ()
+      | Error e ->
+        Fmt.epr "%s: not a flight document: %s@." path e;
+        exit 1);
+      let geti e name =
+        match Json.member name e with
+        | Some (Json.Int i) -> Some i
+        | Some (Json.Float f) -> Some (int_of_float f)
+        | _ -> None
+      in
+      let getf e name =
+        match Json.member name e with
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let dropped = Option.value ~default:0 (geti j "dropped") in
+      let events =
+        match Json.member "events" j with
+        | Some (Json.List evs) ->
+          List.filter_map
+            (fun e ->
+              match (getf e "ts", geti e "domain", Json.member "kind" e) with
+              | Some ts, Some domain, Some (Json.Str k) -> (
+                match Obs.Recorder.kind_of_name k with
+                | None -> None
+                | Some kind ->
+                  let d ?(default = -1) name =
+                    Option.value ~default (geti e name)
+                  in
+                  Some
+                    {
+                      Obs.Recorder.ev_ts = ts;
+                      ev_domain = domain;
+                      ev_kind = kind;
+                      ev_a = d ~default:0 "a";
+                      ev_b = d ~default:0 "b";
+                      ev_ctx =
+                        {
+                          Obs.Ctx.cx_tenant = d "tenant";
+                          cx_request = d "request";
+                          cx_span = d "span";
+                          cx_parent = d "parent";
+                        };
+                    })
+              | _ -> None)
+            evs
+        | _ -> []
+      in
+      let tls = Obs.Timeline.of_events events in
+      let count p =
+        List.length (List.filter (fun tl -> Obs.Timeline.phase tl = p) tls)
+      in
+      Fmt.pr
+        "%d events -> %d requests: %d completed, %d shed, %d in flight \
+         (%d events dropped)@."
+        (List.length events) (List.length tls)
+        (count Obs.Timeline.Completed)
+        (count Obs.Timeline.Shed)
+        (count Obs.Timeline.Inflight)
+        dropped;
+      Fmt.pr "@.%8s %7s %10s %10s %10s %10s@." "request" "tenant" "phase"
+        "wait_ms" "svc_ms" "total_ms";
+      List.iter
+        (fun (tl : Obs.Timeline.t) ->
+          let ms = function
+            | Some s -> Printf.sprintf "%.2f" (1000. *. s)
+            | None -> "-"
+          in
+          Fmt.pr "%8d %7d %10s %10s %10s %10s@." tl.Obs.Timeline.tl_request
+            tl.Obs.Timeline.tl_tenant
+            (Obs.Timeline.phase_name (Obs.Timeline.phase tl))
+            (ms (Obs.Timeline.queue_wait tl))
+            (ms (Obs.Timeline.service_time tl))
+            (ms (Obs.Timeline.total_latency tl)))
+        tls;
+      (if check then
+         match Obs.Timeline.check_complete ~dropped tls with
+         | Ok () -> Fmt.pr "@.causal completeness: OK@."
+         | Error e ->
+           Fmt.epr "@.causal completeness FAILED: %s@." e;
+           exit 1);
+      match out with
+      | None -> ()
+      | Some path ->
+        let doc = Obs.Timeline.to_json ~dropped tls in
+        (match Obs.Timeline.validate doc with
+        | Ok () -> ()
+        | Error e ->
+          Fmt.epr
+            "internal error: timeline document fails its own schema: %s@." e;
+          exit 1);
+        write_file path (Json.to_string doc ^ "\n");
+        Fmt.pr "timeline document written to %s@." path
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "timelines" ~doc)
+    Cmdliner.Term.(const run $ file_arg $ out_arg $ check_arg)
+
+(* --- lint-exposition ----------------------------------------------- *)
+
+let lint_exposition_cmd =
+  let doc =
+    "Lint a Prometheus text-exposition file (as served by /metrics): \
+     every sample needs a # TYPE, histogram buckets must be cumulative \
+     with the le=\"+Inf\" bucket equal to _count, counters must be \
+     non-negative."
+  in
+  let file_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Exposition text to lint.")
+  in
+  let run path =
+    match Obs.Export.lint (read_file path) with
+    | Ok () -> Fmt.pr "%s: OK@." path
+    | Error e ->
+      Fmt.epr "%s: %s@." path e;
+      exit 1
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "lint-exposition" ~doc)
+    Cmdliner.Term.(const run $ file_arg)
 
 (* --- validate-json ------------------------------------------------- *)
 
@@ -1312,11 +1806,25 @@ let validate_json_cmd =
                     Fmt.pr "%s: OK (loadgen schema v%d)@." path
                       LG.schema_version
                   | Error _ -> (
-                    match validate_trace j with
-                    | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
-                    | Error _ ->
-                      Fmt.epr "%s: invalid: %s@." path metrics_err;
-                      exit 1))))))))
+                    match Obs.Slo.validate (sub "slo") with
+                    | Ok () -> Fmt.pr "%s: OK (slo schema v1)@." path
+                    | Error _ -> (
+                      (* a timeline document itself has a `timelines'
+                         list member, so try the document before the
+                         embedded-member convention *)
+                      match
+                        (match Obs.Timeline.validate j with
+                        | Ok () -> Ok ()
+                        | Error _ -> Obs.Timeline.validate (sub "timelines"))
+                      with
+                      | Ok () ->
+                        Fmt.pr "%s: OK (timeline schema v1)@." path
+                      | Error _ -> (
+                        match validate_trace j with
+                        | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+                        | Error _ ->
+                          Fmt.epr "%s: invalid: %s@." path metrics_err;
+                          exit 1))))))))))
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "validate-json" ~doc)
     Cmdliner.Term.(const run $ file_arg)
@@ -1329,5 +1837,6 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            batch_cmd; tiered_cmd; fuzz_cmd; loadgen_cmd; validate_json_cmd;
+            batch_cmd; tiered_cmd; fuzz_cmd; loadgen_cmd; serve_cmd;
+            timelines_cmd; lint_exposition_cmd; validate_json_cmd;
           ]))

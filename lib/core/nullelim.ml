@@ -88,6 +88,7 @@ module Compiler = Nullelim_jit.Compiler
 module Svc = Nullelim_svc.Svc
 module Chan = Nullelim_svc.Chan
 module Codecache = Nullelim_svc.Codecache
+module Status = Nullelim_svc.Status
 
 (** {1 Tiered execution}
 

@@ -31,6 +31,13 @@ type calibration = {
   cal_base_rate : float;
 }
 
+type tenant_row = {
+  tn_tenant : int;
+  tn_offered : int;
+  tn_completed : int;
+  tn_shed : int;
+}
+
 type rate_row = {
   lr_multiplier : float;
   lr_offered_rate : float;
@@ -45,6 +52,7 @@ type rate_row = {
   lr_p99_ms : float;
   lr_p999_ms : float;
   lr_hist_p99_ms : float;
+  lr_tenants : tenant_row list;
 }
 
 type overhead = {
@@ -59,6 +67,8 @@ type t = {
   lg_queue_capacity : int;
   lg_duration : float;
   lg_seed : int;
+  lg_tenants : int;
+  lg_tenant_cap : int;
   lg_calibration : calibration;
   lg_rows : rate_row list;
   lg_saturation_throughput : float;
@@ -108,13 +118,20 @@ let exact_q (sorted : float array) q =
 let latency_buckets = Metrics.log_buckets ~lo:1e-5 ~hi:100. ~per_decade:10
 
 let run_rate ~svc ~(jobs : Svc.job array) ~multiplier ~rate ~duration ~seed
-    ~max_requests : rate_row =
+    ~max_requests ~tenants : rate_row =
   let st = Random.State.make [| seed; int_of_float (multiplier *. 1000.) |] in
   let n =
     min max_requests (max 8 (int_of_float ((rate *. duration) +. 0.5)))
   in
+  let tenants = max 1 tenants in
   let m = Metrics.create () in
   let h = Metrics.histogram m ~buckets:latency_buckets "loadgen_latency" in
+  (* per-tenant closed accounting: every offered request ends up in
+     exactly one of completed/shed, per tenant — the structural gate
+     checks the identity on each row *)
+  let t_offered = Array.make tenants 0 in
+  let t_completed = Array.make tenants 0 in
+  let t_shed = Array.make tenants 0 in
   let t0 = Unix.gettimeofday () in
   let next = ref t0 in
   let inflight = ref [] in
@@ -124,16 +141,23 @@ let run_rate ~svc ~(jobs : Svc.job array) ~multiplier ~rate ~duration ~seed
     next := !next +. (-.log (1. -. u) /. rate);
     let now = Unix.gettimeofday () in
     if !next > now then Unix.sleepf (!next -. now);
-    match Svc.recompile_async svc jobs.(k mod Array.length jobs) with
-    | Some fut -> inflight := (!next, fut) :: !inflight
-    | None -> incr shed
+    (* tenants interleave round-robin, so every tenant offers load at
+       every rate and the per-tenant series are comparable *)
+    let tenant = k mod tenants in
+    t_offered.(tenant) <- t_offered.(tenant) + 1;
+    match Svc.recompile_async svc ~tenant jobs.(k mod Array.length jobs) with
+    | Some fut -> inflight := (tenant, !next, fut) :: !inflight
+    | None ->
+      incr shed;
+      t_shed.(tenant) <- t_shed.(tenant) + 1
   done;
   (* drain: open-loop submission is over, completions are awaited so
      every accepted request contributes a latency sample *)
   let lats =
     List.rev_map
-      (fun (scheduled, fut) ->
+      (fun (tenant, scheduled, fut) ->
         let oc = Svc.await fut in
+        t_completed.(tenant) <- t_completed.(tenant) + 1;
         let l = max 0. (oc.Svc.oc_done_at -. scheduled) in
         Metrics.observe h l;
         l)
@@ -162,6 +186,14 @@ let run_rate ~svc ~(jobs : Svc.job array) ~multiplier ~rate ~duration ~seed
     lr_p99_ms = ms (exact_q sorted 0.99);
     lr_p999_ms = ms (exact_q sorted 0.999);
     lr_hist_p99_ms = ms (Metrics.percentile m "loadgen_latency" 0.99);
+    lr_tenants =
+      List.init tenants (fun i ->
+          {
+            tn_tenant = i;
+            tn_offered = t_offered.(i);
+            tn_completed = t_completed.(i);
+            tn_shed = t_shed.(i);
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -235,21 +267,24 @@ let measure_overhead ?(rounds = 3) () : overhead =
 
 let sweep ?domains ?(queue_capacity = 64) ?(duration = 2.0) ?(seed = 42)
     ?(multipliers = default_multipliers) ?(max_requests = 400)
-    ?(overhead = false) () : t =
+    ?(overhead = false) ?(tenants = 1) ?(tenant_cap = 0) ?metrics ?recorder
+    () : t =
   let jobs = corpus () in
   let cal = calibrate jobs in
   let jobs = Array.of_list jobs in
   let multipliers = List.sort compare multipliers in
+  let tenants = max 1 tenants in
   let domains =
     match domains with Some d -> max 1 d | None -> Svc.default_domains ()
   in
   let rows =
-    Svc.with_service ~domains ~queue_capacity (fun svc ->
+    Svc.with_service ~domains ~queue_capacity ?metrics ?recorder ~tenant_cap
+      (fun svc ->
         List.map
           (fun multiplier ->
             let rate = max 0.1 (multiplier *. cal.cal_base_rate) in
             run_rate ~svc ~jobs ~multiplier ~rate ~duration ~seed
-              ~max_requests)
+              ~max_requests ~tenants)
           multipliers)
   in
   let saturation =
@@ -260,6 +295,8 @@ let sweep ?domains ?(queue_capacity = 64) ?(duration = 2.0) ?(seed = 42)
     lg_queue_capacity = queue_capacity;
     lg_duration = duration;
     lg_seed = seed;
+    lg_tenants = tenants;
+    lg_tenant_cap = max 0 tenant_cap;
     lg_calibration = cal;
     lg_rows = rows;
     lg_saturation_throughput = saturation;
@@ -297,7 +334,26 @@ let check_rows (rows : rate_row list) : (unit, string list) result =
         && not (r.lr_p50_ms <= r.lr_p99_ms && r.lr_p99_ms <= r.lr_p999_ms)
       then
         err "rate %.2fx: percentiles not monotone (p50 %.2f p99 %.2f p999 %.2f)"
-          r.lr_multiplier r.lr_p50_ms r.lr_p99_ms r.lr_p999_ms)
+          r.lr_multiplier r.lr_p50_ms r.lr_p99_ms r.lr_p999_ms;
+      (* per-tenant closed accounting, and the tenant rows must tie out
+         against the row totals *)
+      List.iter
+        (fun tn ->
+          if tn.tn_completed + tn.tn_shed <> tn.tn_offered then
+            err
+              "rate %.2fx tenant %d: %d completed + %d shed <> %d offered"
+              r.lr_multiplier tn.tn_tenant tn.tn_completed tn.tn_shed
+              tn.tn_offered)
+        r.lr_tenants;
+      if r.lr_tenants <> [] then begin
+        let sum f = List.fold_left (fun a tn -> a + f tn) 0 r.lr_tenants in
+        if sum (fun tn -> tn.tn_offered) <> r.lr_offered then
+          err "rate %.2fx: tenant offered counts don't sum to the row total"
+            r.lr_multiplier;
+        if sum (fun tn -> tn.tn_shed) <> r.lr_shed then
+          err "rate %.2fx: tenant shed counts don't sum to the row total"
+            r.lr_multiplier
+      end)
     rows;
   if !errs = [] then Ok () else Error (List.rev !errs)
 
@@ -315,6 +371,15 @@ let normalized_p99 (t : t) : float =
 let schema = "nullelim-loadgen/1"
 let schema_version = 1
 
+let tenant_row_json (tn : tenant_row) : Json.t =
+  Json.Obj
+    [
+      ("tenant", Json.Int tn.tn_tenant);
+      ("offered", Json.Int tn.tn_offered);
+      ("completed", Json.Int tn.tn_completed);
+      ("shed", Json.Int tn.tn_shed);
+    ]
+
 let row_json (r : rate_row) : Json.t =
   Json.Obj
     [
@@ -331,6 +396,7 @@ let row_json (r : rate_row) : Json.t =
       ("p99_ms", Json.Float r.lr_p99_ms);
       ("p999_ms", Json.Float r.lr_p999_ms);
       ("hist_p99_ms", Json.Float r.lr_hist_p99_ms);
+      ("tenants", Json.List (List.map tenant_row_json r.lr_tenants));
     ]
 
 let overhead_json (o : overhead) : Json.t =
@@ -351,6 +417,8 @@ let to_json (t : t) : Json.t =
        ("queue_capacity", Json.Int t.lg_queue_capacity);
        ("duration_seconds", Json.Float t.lg_duration);
        ("seed", Json.Int t.lg_seed);
+       ("tenants", Json.Int t.lg_tenants);
+       ("tenant_cap", Json.Int t.lg_tenant_cap);
        ( "calibration",
          Json.Obj
            [
@@ -418,7 +486,32 @@ let validate (j : Json.t) : (unit, string) result =
                 "p99_ms"; "p999_ms";
               ]
           in
-          Ok ())
+          (* "tenants" is additive (absent in pre-tenancy documents);
+             when present, each entry must close its accounting *)
+          match Json.member "tenants" row with
+          | None -> Ok ()
+          | Some (Json.List tns) ->
+            List.fold_left
+              (fun acc tn ->
+                let* () = acc in
+                match
+                  ( Json.member "tenant" tn,
+                    Json.member "offered" tn,
+                    Json.member "completed" tn,
+                    Json.member "shed" tn )
+                with
+                | Some (Json.Int t), Some (Json.Int o), Some (Json.Int c),
+                  Some (Json.Int s) ->
+                  if c + s <> o then
+                    Error
+                      (Printf.sprintf
+                         "tenant %d: %d completed + %d shed <> %d offered"
+                         t c s o)
+                  else Ok ()
+                | _ ->
+                  Error "tenant row: missing tenant/offered/completed/shed")
+              (Ok ()) tns
+          | Some _ -> Error "row: tenants must be a list")
         (Ok ()) rows
     | Some (Json.List []) -> Error "rows must be non-empty"
     | _ -> Error "missing field \"rows\""

@@ -38,6 +38,15 @@ type calibration = {
                                  theoretical capacity, requests/s *)
 }
 
+type tenant_row = {
+  tn_tenant : int;     (** tenant id (0-based) *)
+  tn_offered : int;    (** requests this tenant scheduled in the step *)
+  tn_completed : int;
+  tn_shed : int;       (** queue-full and tenant-cap rejections *)
+}
+(** One tenant's closed accounting within a rate step:
+    [tn_offered = tn_completed + tn_shed], checked by {!check_rows}. *)
+
 type rate_row = {
   lr_multiplier : float;   (** offered rate as a multiple of
                                [cal_base_rate] *)
@@ -55,6 +64,8 @@ type rate_row = {
   lr_hist_p99_ms : float;  (** p99 via the merged metrics histogram —
                                within one log-bucket width of
                                [lr_p99_ms] *)
+  lr_tenants : tenant_row list;  (** one row per tenant (round-robin
+                                     submission order) *)
 }
 
 type overhead = {
@@ -70,6 +81,8 @@ type t = {
   lg_queue_capacity : int;
   lg_duration : float;     (** target seconds per rate step *)
   lg_seed : int;
+  lg_tenants : int;        (** tenants the sweep submitted as *)
+  lg_tenant_cap : int;     (** per-tenant in-queue cap (0 = unlimited) *)
   lg_calibration : calibration;
   lg_rows : rate_row list; (** in increasing offered-rate order *)
   lg_saturation_throughput : float;  (** max row throughput *)
@@ -95,6 +108,10 @@ val sweep :
   ?multipliers:float list ->
   ?max_requests:int ->
   ?overhead:bool ->
+  ?tenants:int ->
+  ?tenant_cap:int ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  ?recorder:Nullelim_obs.Recorder.t ->
   unit ->
   t
 (** Run the rate sweep on a fresh (uncached) service.  [domains]
@@ -102,7 +119,16 @@ val sweep :
     [duration] to 2.0 s per step, [seed] to 42, [multipliers] to
     {!default_multipliers}, [max_requests] caps a step's schedule
     (default 400) so high-rate steps stay bounded.  [overhead] (default
-    false) additionally runs {!measure_overhead}. *)
+    false) additionally runs {!measure_overhead}.
+
+    Multi-tenancy: requests rotate round-robin over [tenants] tenant
+    ids (default 1 — everything is tenant 0), so per-tenant metrics,
+    flight-event contexts and the {!tenant_row} accounting are always
+    exercised.  [tenant_cap] > 0 additionally bounds each tenant's
+    in-queue share ({!Svc.create}).  [metrics] / [recorder] select the
+    sinks the service accounts into (defaults: the process-wide
+    globals) — the serve command passes the instances its status
+    endpoints read. *)
 
 val measure_overhead : ?rounds:int -> unit -> overhead
 (** Alternate recorder-on / recorder-off timings of a steady-state
@@ -115,7 +141,10 @@ val check_rows : rate_row list -> (unit, string list) result
     positive; completed + shed ≤ offered; each row's throughput must
     not {e drop} more than 15% below the running maximum as the offered
     rate rises (throughput grows to saturation, then plateaus — a dip
-    is a scheduling pathology); and every finite p50 ≤ p99 ≤ p999. *)
+    is a scheduling pathology); every finite p50 ≤ p99 ≤ p999; and the
+    per-tenant accounting closes — each tenant row satisfies
+    [offered = completed + shed], and the tenant rows sum to the step's
+    totals. *)
 
 val normalized_p99 : t -> float
 (** The lowest-rate row's p99 divided by the calibrated mean compile

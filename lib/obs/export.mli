@@ -1,0 +1,39 @@
+(** Prometheus text-exposition rendering of a {!Metrics} registry, plus
+    a lint for the format — what the status server's [/metrics] endpoint
+    serves and what the CI smoke checks it with.
+
+    The registry stores histograms as {e per-bucket} counts; the
+    exposition format requires {e cumulative} [_bucket] series ending in
+    [le="+Inf"] equal to [_count] — {!render} performs that
+    accumulation, and {!lint} rejects text that violates it.  Metric and
+    label names are sanitized to the Prometheus charset
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]; label values escape backslash,
+    double-quote and newline. *)
+
+val render : Metrics.t -> string
+(** The whole registry in text exposition format: one [# TYPE] header
+    per family, counters as bare samples, gauges likewise, histograms as
+    cumulative [_bucket] series plus [_sum] and [_count].  Ordering is
+    deterministic (the registry's sorted snapshot order). *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"] — the value for the
+    HTTP [Content-Type] header when serving {!render} output. *)
+
+val sanitize_name : string -> string
+(** Map an arbitrary string into the Prometheus name charset
+    (invalid characters become ['_']; a leading digit gains a ['_']
+    prefix). *)
+
+val escape_label_value : string -> string
+(** Escape a label value for inclusion between double quotes. *)
+
+val lint : string -> (unit, string) result
+(** Check a text-exposition document: every non-comment line parses as
+    [name{labels} value]; [# TYPE] lines are well-formed; every sample
+    belongs to a family declared by a {e preceding} [# TYPE] (directly,
+    or via a histogram family's [_bucket]/[_sum]/[_count] suffixes);
+    histogram [_bucket] series are cumulative (non-decreasing in file
+    order), carry an [le] label, include an [le="+Inf"] bucket, and tie
+    out against [_count]; counters are non-negative.  [Error] carries a
+    1-based line number where applicable. *)

@@ -243,6 +243,55 @@ let histogram_total_count (r : t) ?(labels = []) name : int =
   | Some (_, _, n, _) -> n
   | None -> 0
 
+let histogram_merged (r : t) ?(labels = []) name :
+    (float array * int array * int * float) option =
+  merged_histogram r (name, norm_labels labels)
+
+(* Every registered (labels) variant of [name], in registration-spec
+   (sorted-key) order.  Lets callers enumerate e.g. the tenants a
+   labelled family has accumulated. *)
+let instruments (r : t) name : labels list =
+  with_lock r.rm (fun () ->
+      Hashtbl.fold
+        (fun (n, labels) _ acc -> if n = name then labels :: acc else acc)
+        r.specs [])
+  |> List.sort compare
+
+let label_values (r : t) name key : string list =
+  instruments r name
+  |> List.filter_map (fun labels -> List.assoc_opt key labels)
+  |> List.sort_uniq compare
+
+(* Sum of [name] across every label set and every domain. *)
+let counter_total_any (r : t) name : int =
+  instruments r name
+  |> List.fold_left (fun acc labels -> acc + counter_total r ~labels name) 0
+
+(* Merge [name]'s histograms across every label set whose bucket bounds
+   agree with the first registration (the registry never registers the
+   same name with different bounds in practice — bounds are fixed by the
+   first caller — so the guard is belt-and-braces). *)
+let histogram_merged_any (r : t) name :
+    (float array * int array * int * float) option =
+  let variants =
+    instruments r name
+    |> List.filter_map (fun labels -> histogram_merged r ~labels name)
+  in
+  match variants with
+  | [] -> None
+  | (b0, _, _, _) :: _ ->
+    let counts = Array.make (Array.length b0 + 1) 0 in
+    let n = ref 0 and sum = ref 0. in
+    List.iter
+      (fun (b, c, hn, hs) ->
+        if b = b0 then begin
+          Array.iteri (fun k v -> counts.(k) <- counts.(k) + v) c;
+          n := !n + hn;
+          sum := !sum +. hs
+        end)
+      variants;
+    Some (b0, counts, !n, !sum)
+
 (* ------------------------------------------------------------------ *)
 (* Percentiles                                                         *)
 (* ------------------------------------------------------------------ *)

@@ -91,6 +91,29 @@ val histogram_sum : histogram -> float
 val histogram_total_count : t -> ?labels:labels -> string -> int
 (** Merged sample count across every domain's shard. *)
 
+val histogram_merged :
+  t -> ?labels:labels -> string -> (float array * int array * int * float) option
+(** The named histogram merged across every domain's shard:
+    [(bucket bounds, per-bucket counts, total count, sum)] — the raw
+    material {!percentile} and the SLO burn-rate evaluator work from.
+    [None] if no histogram is registered under the identity.  The
+    counts array has one extra overflow slot. *)
+
+val histogram_merged_any :
+  t -> string -> (float array * int array * int * float) option
+(** Like {!histogram_merged}, additionally merged across {e every label
+    set} registered under [name] (label sets whose bucket bounds differ
+    from the first registration are skipped).  This is how an SLO over
+    e.g. [svc_compile_seconds] aggregates the per-tenant series. *)
+
+val counter_total_any : t -> string -> int
+(** Sum of the named counter across every label set and every domain. *)
+
+val label_values : t -> string -> string -> string list
+(** [label_values r name key] — the distinct values the label [key]
+    takes across every instrument registered under [name], sorted.
+    Enumerates e.g. the tenants a per-tenant counter family has seen. *)
+
 val percentile : t -> ?labels:labels -> string -> float -> float
 (** [percentile r name q] (with [0 <= q <= 1]) extracts the q-quantile
     of the named histogram merged across domains: the upper bound of the
@@ -101,6 +124,12 @@ val percentile : t -> ?labels:labels -> string -> float -> float
 
 val percentiles : t -> ?labels:labels -> string -> float list -> float list
 (** {!percentile} at several quantiles over one merge. *)
+
+val percentile_of :
+  buckets:float array -> counts:int array -> total:int -> float -> float
+(** The rank-extraction primitive behind {!percentile}, usable on any
+    bucket/count pair — e.g. on a {e windowed delta} of two
+    {!histogram_merged} samples (the SLO evaluator's case). *)
 
 val snapshot : t -> Obs_json.t
 (** Deterministic merged snapshot (all domains' shards summed):

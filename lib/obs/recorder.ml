@@ -1,6 +1,8 @@
 (* See recorder.mli.  Struct-of-arrays rings: one float array for
-   timestamps and three int arrays for payload keep recording
-   allocation-free (no per-event record on the hot path). *)
+   timestamps and a handful of int arrays for payload keep recording
+   allocation-free (no per-event record on the hot path).  The four
+   context columns (tenant/request/span/parent) are filled from the
+   explicit [?ctx] or the calling domain's ambient {!Ctx.current}. *)
 
 type kind =
   | Tier_promote
@@ -14,6 +16,7 @@ type kind =
   | Req_enqueue
   | Req_start
   | Req_done
+  | Req_shed
   | Mark
 
 let kind_to_int = function
@@ -28,7 +31,8 @@ let kind_to_int = function
   | Req_enqueue -> 8
   | Req_start -> 9
   | Req_done -> 10
-  | Mark -> 11
+  | Req_shed -> 11
+  | Mark -> 12
 
 let kind_of_int = function
   | 0 -> Tier_promote
@@ -42,6 +46,7 @@ let kind_of_int = function
   | 8 -> Req_enqueue
   | 9 -> Req_start
   | 10 -> Req_done
+  | 11 -> Req_shed
   | _ -> Mark
 
 let kind_name = function
@@ -56,6 +61,7 @@ let kind_name = function
   | Req_enqueue -> "req_enqueue"
   | Req_start -> "req_start"
   | Req_done -> "req_done"
+  | Req_shed -> "req_shed"
   | Mark -> "mark"
 
 let kind_of_name = function
@@ -70,6 +76,7 @@ let kind_of_name = function
   | "req_enqueue" -> Some Req_enqueue
   | "req_start" -> Some Req_start
   | "req_done" -> Some Req_done
+  | "req_shed" -> Some Req_shed
   | "mark" -> Some Mark
   | _ -> None
 
@@ -79,6 +86,7 @@ type event = {
   ev_kind : kind;
   ev_a : int;
   ev_b : int;
+  ev_ctx : Ctx.t;
 }
 
 type ring = {
@@ -88,6 +96,10 @@ type ring = {
   rkind : int array;
   ra : int array;
   rb : int array;
+  rtenant : int array;
+  rreq : int array;
+  rspan : int array;
+  rparent : int array;
   mutable w : int;        (* total events ever recorded *)
 }
 
@@ -119,6 +131,10 @@ module Rings = Domain_shard.Make (struct
       rkind = Array.make cap 0;
       ra = Array.make cap 0;
       rb = Array.make cap 0;
+      rtenant = Array.make cap (-1);
+      rreq = Array.make cap (-1);
+      rspan = Array.make cap (-1);
+      rparent = Array.make cap (-1);
       w = 0;
     }
 end)
@@ -142,14 +158,19 @@ let create ?(capacity = default_capacity) () : t =
 
 let global : t = create ~capacity:8192 ()
 
-let record ?(a = 0) ?(b = 0) (t : t) (kind : kind) : unit =
+let record ?ctx ?(a = 0) ?(b = 0) (t : t) (kind : kind) : unit =
   if Atomic.get t.enabled then begin
+    let c = match ctx with Some c -> c | None -> Ctx.current () in
     let r = Rings.my_shard t.owner in
     let i = r.w mod r.cap in
     r.rts.(i) <- Unix.gettimeofday ();
     r.rkind.(i) <- kind_to_int kind;
     r.ra.(i) <- a;
     r.rb.(i) <- b;
+    r.rtenant.(i) <- c.Ctx.cx_tenant;
+    r.rreq.(i) <- c.Ctx.cx_request;
+    r.rspan.(i) <- c.Ctx.cx_span;
+    r.rparent.(i) <- c.Ctx.cx_parent;
     r.w <- r.w + 1
   end
 
@@ -169,6 +190,13 @@ let ring_events (r : ring) : event list =
         ev_kind = kind_of_int r.rkind.(i);
         ev_a = r.ra.(i);
         ev_b = r.rb.(i);
+        ev_ctx =
+          {
+            Ctx.cx_tenant = r.rtenant.(i);
+            cx_request = r.rreq.(i);
+            cx_span = r.rspan.(i);
+            cx_parent = r.rparent.(i);
+          };
       })
 
 let dump (t : t) : event list =
@@ -184,6 +212,12 @@ let dropped (t : t) : int =
 let clear (t : t) : unit =
   List.iter (fun r -> r.w <- 0) (Rings.shards t.owner)
 
+let record_metrics ?(registry = Metrics.global) (t : t) : unit =
+  Metrics.set (Metrics.gauge registry "flight_recorder_dropped")
+    (float_of_int (dropped t));
+  Metrics.set (Metrics.gauge registry "flight_recorder_capacity")
+    (float_of_int t.rcap)
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -196,17 +230,33 @@ let event_to_json (e : event) : Obs_json.t =
       ("kind", Obs_json.Str (kind_name e.ev_kind));
       ("a", Obs_json.Int e.ev_a);
       ("b", Obs_json.Int e.ev_b);
+      ("tenant", Obs_json.Int e.ev_ctx.Ctx.cx_tenant);
+      ("request", Obs_json.Int e.ev_ctx.Ctx.cx_request);
+      ("span", Obs_json.Int e.ev_ctx.Ctx.cx_span);
+      ("parent", Obs_json.Int e.ev_ctx.Ctx.cx_parent);
     ]
 
 let to_json (t : t) : Obs_json.t =
+  let d = dropped t in
   Obs_json.Obj
-    [
-      ("schema", Obs_json.Str schema);
-      ("schema_version", Obs_json.Int schema_version);
-      ("capacity", Obs_json.Int t.rcap);
-      ("dropped", Obs_json.Int (dropped t));
-      ("events", Obs_json.List (List.map event_to_json (dump t)));
-    ]
+    ([
+       ("schema", Obs_json.Str schema);
+       ("schema_version", Obs_json.Int schema_version);
+       ("capacity", Obs_json.Int t.rcap);
+       ("dropped", Obs_json.Int d);
+     ]
+    @ (if d > 0 then
+         [
+           ( "warning",
+             Obs_json.Str
+               (Printf.sprintf
+                  "%d events were overwritten before this dump; the oldest \
+                   part of the timeline is incomplete (raise the recorder \
+                   capacity to retain more)"
+                  d) );
+         ]
+       else [])
+    @ [ ("events", Obs_json.List (List.map event_to_json (dump t))) ])
 
 let validate (j : Obs_json.t) : (unit, string) result =
   let ( let* ) r f = Result.bind r f in
@@ -223,8 +273,21 @@ let validate (j : Obs_json.t) : (unit, string) result =
       Ok ()
     | _ -> Error "capacity/dropped must be non-negative integers"
   in
+  let* () =
+    (* the drop warning, when present, must accompany a positive count *)
+    match (Obs_json.member "warning" j, Obs_json.member "dropped" j) with
+    | None, _ -> Ok ()
+    | Some (Obs_json.Str _), Some (Obs_json.Int d) when d > 0 -> Ok ()
+    | Some (Obs_json.Str _), _ -> Error "warning present but dropped = 0"
+    | Some _, _ -> Error "warning must be a string"
+  in
   match Obs_json.member "events" j with
   | Some (Obs_json.List evs) ->
+    let opt_int name e =
+      match Obs_json.member name e with
+      | None | Some (Obs_json.Int _) -> true
+      | Some _ -> false
+    in
     let check_event prev_ts e =
       let* prev_ts = prev_ts in
       match
@@ -250,6 +313,14 @@ let validate (j : Obs_json.t) : (unit, string) result =
           | Some _ -> Ok ()
           | None -> Error (Printf.sprintf "unknown event kind %s" k)
         in
+        let* () =
+          if
+            List.for_all
+              (fun n -> opt_int n e)
+              [ "tenant"; "request"; "span"; "parent" ]
+          then Ok ()
+          else Error "context fields must be integers"
+        in
         if ts +. 1e-9 < prev_ts then
           Error "events not sorted by timestamp"
         else Ok ts
@@ -273,10 +344,17 @@ let to_trace (t : t) : Trace.event list =
           ev_dur_us = 0.;
           ev_depth = 0;
           ev_args =
-            [
-              ("domain", Obs_json.Int e.ev_domain);
-              ("a", Obs_json.Int e.ev_a);
-              ("b", Obs_json.Int e.ev_b);
-            ];
+            ([
+               ("domain", Obs_json.Int e.ev_domain);
+               ("a", Obs_json.Int e.ev_a);
+               ("b", Obs_json.Int e.ev_b);
+             ]
+            @
+            if Ctx.is_none e.ev_ctx then []
+            else
+              [
+                ("tenant", Obs_json.Int e.ev_ctx.Ctx.cx_tenant);
+                ("request", Obs_json.Int e.ev_ctx.Ctx.cx_request);
+              ]);
         })
       evs

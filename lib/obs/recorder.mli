@@ -1,8 +1,8 @@
 (** Flight recorder: a fixed-size, lock-free ring buffer of timestamped
     runtime events — tier promotions/demotions, trap firings, code-cache
-    traffic, queue movement — cheap enough to leave on in production
-    (one enabled-flag load, four array stores and a clock read per
-    event).
+    traffic, queue movement, request lifecycle — cheap enough to leave
+    on in production (one enabled-flag load, a handful of array stores
+    and a clock read per event).
 
     Each domain records into its own ring ({!Domain_shard}): the hot
     path takes no lock and performs no CAS, and once a ring is full new
@@ -10,7 +10,13 @@
     ones).  {!dump} merges every domain's ring into one timestamp-sorted
     stream; merging while writers are live is best-effort (a
     concurrently overwritten slot can surface with mixed fields), after
-    quiescence it is exact.  See DESIGN.md §14. *)
+    quiescence it is exact.
+
+    Every event additionally carries a causal {!Ctx.t} — tenant id,
+    request id, span and parent span — taken from the explicit [?ctx]
+    argument or, by default, the recording domain's ambient
+    {!Ctx.current}.  That is what lets a flight dump be sliced into
+    per-request timelines ({!Timeline}).  See DESIGN.md §14–15. *)
 
 type kind =
   | Tier_promote  (** [a] = tier installed, [b] = pending deopt sites *)
@@ -22,8 +28,10 @@ type kind =
   | Enqueue       (** [a] = queue depth after the push *)
   | Dequeue       (** [a] = queue depth after the pop *)
   | Req_enqueue   (** [a] = request id *)
-  | Req_start     (** [a] = request id *)
-  | Req_done      (** [a] = request id *)
+  | Req_start     (** [a] = request id, [b] = worker *)
+  | Req_done      (** [a] = request id, [b] = worker *)
+  | Req_shed      (** [a] = request id (or -1 if never minted),
+                      [b] = 0 queue full / 1 tenant cap *)
   | Mark          (** free-form; [a]/[b] caller-defined *)
 
 type event = {
@@ -32,6 +40,7 @@ type event = {
   ev_kind : kind;
   ev_a : int;
   ev_b : int;
+  ev_ctx : Ctx.t;     (** causal context in force when recorded *)
 }
 
 type t
@@ -44,9 +53,10 @@ val global : t
 (** The process-wide recorder the runtime layers record into by
     default. *)
 
-val record : ?a:int -> ?b:int -> t -> kind -> unit
+val record : ?ctx:Ctx.t -> ?a:int -> ?b:int -> t -> kind -> unit
 (** Append one event to the calling domain's ring (no-op when
-    disabled). *)
+    disabled).  [ctx] defaults to the domain's ambient
+    {!Ctx.current}. *)
 
 val set_enabled : t -> bool -> unit
 (** Disabling reduces {!record} to one atomic load + branch — the knob
@@ -66,20 +76,33 @@ val clear : t -> unit
 (** Reset every ring (and the drop count).  Only meaningful while no
     other domain is recording. *)
 
+val record_metrics : ?registry:Metrics.t -> t -> unit
+(** Export the recorder's health into a metrics registry (default
+    {!Metrics.global}): gauges [flight_recorder_dropped] (events
+    overwritten so far — silent data loss made visible in every
+    snapshot) and [flight_recorder_capacity]. *)
+
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} ([None] for unknown names). *)
 
 val schema : string
 (** ["nullelim-flight/1"]. *)
 
 val to_json : t -> Obs_json.t
 (** [{"schema":"nullelim-flight/1","schema_version":1,"capacity":C,
-      "dropped":D,"events":[{"ts","domain","kind","a","b"}…]}] with
-    events as in {!dump}. *)
+      "dropped":D,"events":[{"ts","domain","kind","a","b",
+      "tenant","request","span","parent"}…]}] with events as in
+    {!dump}.  When [D > 0] a ["warning"] string member calls out that
+    the oldest part of the timeline was overwritten. *)
 
 val validate : Obs_json.t -> (unit, string) result
-(** Structural validation of a {!to_json} document. *)
+(** Structural validation of a {!to_json} document (context fields are
+    optional for pre-context dumps). *)
 
 val to_trace : t -> Trace.event list
 (** The retained events as zero-duration Chrome trace instants
     (timestamps rebased to the earliest event), convertible with
-    {!Trace.to_json} / {!Trace.write}. *)
+    {!Trace.to_json} / {!Trace.write}.  Attributed events carry their
+    tenant/request ids as args. *)

@@ -13,6 +13,7 @@
     depth readings are consistent. *)
 
 module Recorder = Nullelim_obs.Recorder
+module Ctx = Nullelim_obs.Ctx
 
 type 'a t = {
   buf : 'a Queue.t;
@@ -23,11 +24,14 @@ type 'a t = {
   mutable closed : bool;
   mutable high_water : int;
   crec : Recorder.t;
+  ctx_of : 'a -> Ctx.t;
+  on_enqueue : 'a -> unit;
 }
 
 exception Closed
 
-let create ?(recorder = Recorder.global) ~capacity () =
+let create ?(recorder = Recorder.global) ?(ctx_of = fun _ -> Ctx.none)
+    ?(on_enqueue = fun _ -> ()) ~capacity () =
   {
     buf = Queue.create ();
     capacity = max 1 capacity;
@@ -37,6 +41,8 @@ let create ?(recorder = Recorder.global) ~capacity () =
     closed = false;
     high_water = 0;
     crec = recorder;
+    ctx_of;
+    on_enqueue;
   }
 
 let with_lock t f =
@@ -49,11 +55,19 @@ let with_lock t f =
     Mutex.unlock t.m;
     raise e
 
-(* call with the lock held, right after a Queue.push *)
-let note_enqueue t =
+(* call with the lock held, right after a Queue.push; the event carries
+   the pushed item's context so the queue movement lands on the item's
+   causal timeline (the pushing domain's ambient ctx would do too here,
+   but the pop side has no such luck — see [pop]) *)
+let note_enqueue t x =
   let d = Queue.length t.buf in
   if d > t.high_water then t.high_water <- d;
-  Recorder.record ~a:d t.crec Recorder.Enqueue
+  Recorder.record ~ctx:(t.ctx_of x) ~a:d t.crec Recorder.Enqueue;
+  (* still inside the critical section: no consumer has seen the item
+     yet, so anything the hook records (Req_enqueue) is guaranteed to
+     timestamp before the consumer's first event for it — recording
+     after the push returns would race the worker's Req_start *)
+  t.on_enqueue x
 
 let push t x =
   with_lock t (fun () ->
@@ -62,7 +76,7 @@ let push t x =
       done;
       if t.closed then raise Closed;
       Queue.push x t.buf;
-      note_enqueue t;
+      note_enqueue t x;
       Condition.signal t.nonempty)
 
 let try_push t x =
@@ -71,7 +85,7 @@ let try_push t x =
       if Queue.length t.buf >= t.capacity then false
       else begin
         Queue.push x t.buf;
-        note_enqueue t;
+        note_enqueue t x;
         Condition.signal t.nonempty;
         true
       end)
@@ -83,7 +97,10 @@ let pop t =
       done;
       match Queue.take_opt t.buf with
       | Some x ->
-        Recorder.record ~a:(Queue.length t.buf) t.crec Recorder.Dequeue;
+        (* popped on a consumer domain whose ambient ctx is stale or
+           absent: attribute the dequeue to the item itself *)
+        Recorder.record ~ctx:(t.ctx_of x) ~a:(Queue.length t.buf) t.crec
+          Recorder.Dequeue;
         Condition.signal t.nonfull;
         Some x
       | None -> None (* closed and drained *))

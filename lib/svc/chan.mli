@@ -22,10 +22,26 @@ exception Closed
 (** Raised by {!push} when the channel has been closed. *)
 
 val create :
-  ?recorder:Nullelim_obs.Recorder.t -> capacity:int -> unit -> 'a t
+  ?recorder:Nullelim_obs.Recorder.t ->
+  ?ctx_of:('a -> Nullelim_obs.Ctx.t) ->
+  ?on_enqueue:('a -> unit) ->
+  capacity:int ->
+  unit ->
+  'a t
 (** [create ~capacity ()] is an empty open channel holding at most
     [capacity] items (clamped to at least 1).  Queue movement is
-    recorded into [recorder] (default {!Nullelim_obs.Recorder.global}). *)
+    recorded into [recorder] (default {!Nullelim_obs.Recorder.global});
+    when [ctx_of] is given, each enqueue/dequeue event carries the
+    moved item's causal context (so the dequeue — which happens on a
+    consumer domain with no relevant ambient context — still lands on
+    the item's request timeline).  Default: no context.
+
+    [on_enqueue] runs for each accepted item {e inside} the push's
+    critical section, before any consumer can observe the item — the
+    only place a per-request enqueue event can be recorded without
+    racing the consumer's first event for the same request (recording
+    after the push returns can timestamp {e later} than the worker's
+    dequeue).  Keep it cheap, and never call back into the channel. *)
 
 val push : 'a t -> 'a -> unit
 (** [push t x] appends [x], blocking while the channel is full.

@@ -15,6 +15,8 @@ module Arch = Nullelim_arch.Arch
 module Config = Nullelim_jit.Config
 module Compiler = Nullelim_jit.Compiler
 module Recorder = Nullelim_obs.Recorder
+module Metrics = Nullelim_obs.Metrics
+module Ctx = Nullelim_obs.Ctx
 
 type job = {
   jb_program : Ir.program;
@@ -41,6 +43,7 @@ type outcome = {
   oc_seconds : float;
   oc_queued_seconds : float;
   oc_done_at : float;
+  oc_ctx : Ctx.t;
 }
 
 type cache = Compiler.compiled Codecache.t
@@ -148,23 +151,29 @@ let create_cache ?budget_bytes ?shards ?recorder () : cache =
 (* Compiling one job                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let compile_job ?cache ?(queued_seconds = 0.) ~worker (j : job) : outcome =
+let compile_job ?cache ?(queued_seconds = 0.) ?(ctx = Ctx.none) ~worker
+    (j : job) : outcome =
   let t0 = Unix.gettimeofday () in
   let compile () =
     Compiler.compile ~tier:j.jb_tier ~deopt_sites:j.jb_deopt j.jb_config
       ~arch:j.jb_arch j.jb_program
   in
+  (* The whole job — cache lookup included — runs under the request's
+     ambient context, so Cache_hit/Cache_miss/Cache_evict events deep in
+     {!Codecache} land on this request's causal timeline without the
+     cache knowing anything about requests. *)
   let hit, compiled =
-    match cache with
-    | None -> (false, compile ())
-    | Some c -> (
-      let key = job_key j in
-      match Codecache.find c key with
-      | Some artifact -> (true, artifact)
-      | None ->
-        let artifact = compile () in
-        Codecache.add c ~key artifact;
-        (false, artifact))
+    Ctx.with_current ctx (fun () ->
+        match cache with
+        | None -> (false, compile ())
+        | Some c -> (
+          let key = job_key j in
+          match Codecache.find c key with
+          | Some artifact -> (true, artifact)
+          | None ->
+            let artifact = compile () in
+            Codecache.add c ~key artifact;
+            (false, artifact)))
   in
   let t1 = Unix.gettimeofday () in
   {
@@ -175,6 +184,7 @@ let compile_job ?cache ?(queued_seconds = 0.) ~worker (j : job) : outcome =
     oc_seconds = t1 -. t0;
     oc_queued_seconds = queued_seconds;
     oc_done_at = t1;
+    oc_ctx = ctx;
   }
 
 let compile_serial ?cache jobs =
@@ -197,6 +207,19 @@ type task = {
   t_enqueued : float;     (* absolute submission time *)
   t_job : job;
   t_batch : batch;
+  t_ctx : Ctx.t;          (* causal context minted at submission *)
+}
+
+(* Per-tenant instruments + the in-queue admission ledger.  The ledger
+   (tenant -> tasks currently queued) backs the per-tenant cap: bumped
+   under [am] on a successful push, decremented by the worker that pops
+   the task.  Metrics instruments are find-or-register, so the helpers
+   just go through the registry every time — the registry interns. *)
+type accounting = {
+  amx : Metrics.t;
+  am : Mutex.t;
+  a_in_queue : (int, int) Hashtbl.t;
+  a_tenant_cap : int;       (* 0 = unlimited *)
 }
 
 type t = {
@@ -208,7 +231,9 @@ type t = {
   seq : int Atomic.t;        (* next request id *)
   submitted : int Atomic.t;  (* requests accepted into the queue *)
   completed : int Atomic.t;
+  shed : int Atomic.t;       (* async submissions rejected *)
   srec : Recorder.t;
+  acct : accounting;
 }
 
 type stats = {
@@ -218,10 +243,61 @@ type stats = {
   s_queue_high_water : int;
   s_submitted : int;
   s_completed : int;
+  s_shed : int;
 }
 
 let default_domains () =
   min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+(* metric names are module-level so the SLO declarations and the tests
+   can refer to them without string drift *)
+let m_submitted = "svc_requests_submitted_total"
+let m_completed = "svc_requests_completed_total"
+let m_shed = "svc_requests_shed_total"
+let m_queue_wait = "svc_queue_wait_seconds"
+let m_compile = "svc_compile_seconds"
+
+let tenant_labels (c : Ctx.t) =
+  [ ("tenant", Ctx.tenant_label c.Ctx.cx_tenant) ]
+
+let note_submitted (a : accounting) (c : Ctx.t) =
+  Metrics.inc (Metrics.counter a.amx ~labels:(tenant_labels c) m_submitted) 1
+
+let note_shed (a : accounting) (c : Ctx.t) ~(reason : string) =
+  Metrics.inc
+    (Metrics.counter a.amx
+       ~labels:(("reason", reason) :: tenant_labels c)
+       m_shed)
+    1
+
+let note_completed (a : accounting) (c : Ctx.t) ~queued_seconds ~seconds =
+  let labels = tenant_labels c in
+  Metrics.inc (Metrics.counter a.amx ~labels m_completed) 1;
+  Metrics.observe (Metrics.histogram a.amx ~labels m_queue_wait) queued_seconds;
+  Metrics.observe (Metrics.histogram a.amx ~labels m_compile) seconds
+
+(* the in-queue ledger: [admit] under the cap check, [release] when a
+   worker takes the task off the queue *)
+let ledger_admit (a : accounting) tenant =
+  if tenant < 0 || a.a_tenant_cap <= 0 then true
+  else begin
+    Mutex.lock a.am;
+    let n = Option.value ~default:0 (Hashtbl.find_opt a.a_in_queue tenant) in
+    let ok = n < a.a_tenant_cap in
+    if ok then Hashtbl.replace a.a_in_queue tenant (n + 1);
+    Mutex.unlock a.am;
+    ok
+  end
+
+let ledger_release (a : accounting) tenant =
+  if tenant >= 0 && a.a_tenant_cap > 0 then begin
+    Mutex.lock a.am;
+    (match Hashtbl.find_opt a.a_in_queue tenant with
+    | Some n when n > 1 -> Hashtbl.replace a.a_in_queue tenant (n - 1)
+    | Some _ -> Hashtbl.remove a.a_in_queue tenant
+    | None -> ());
+    Mutex.unlock a.am
+  end
 
 let finish_task (b : batch) idx r =
   Mutex.lock b.bm;
@@ -230,41 +306,78 @@ let finish_task (b : batch) idx r =
   if b.remaining <= 0 then Condition.broadcast b.bdone;
   Mutex.unlock b.bm
 
-let worker_loop queue cache srec completed worker =
+let worker_loop queue cache srec acct completed worker =
   let rec loop () =
     match Chan.pop queue with
     | None -> ()
     | Some task ->
-      Recorder.record ~a:task.t_id ~b:worker srec Recorder.Req_start;
+      ledger_release acct task.t_ctx.Ctx.cx_tenant;
+      Recorder.record ~ctx:task.t_ctx ~a:task.t_id ~b:worker srec
+        Recorder.Req_start;
       let queued_seconds = Unix.gettimeofday () -. task.t_enqueued in
       let r =
-        try Ok (compile_job ?cache ~queued_seconds ~worker task.t_job)
+        try
+          Ok
+            (compile_job ?cache ~queued_seconds ~ctx:task.t_ctx ~worker
+               task.t_job)
         with e -> Error e
       in
       Atomic.incr completed;
-      Recorder.record ~a:task.t_id ~b:worker srec Recorder.Req_done;
+      (match r with
+      | Ok o ->
+        note_completed acct task.t_ctx ~queued_seconds ~seconds:o.oc_seconds
+      | Error _ ->
+        (* a failed compile still consumed its queue slot; count it so
+           submitted = completed + shed stays a service-level identity *)
+        note_completed acct task.t_ctx ~queued_seconds ~seconds:0.);
+      Recorder.record ~ctx:task.t_ctx ~a:task.t_id ~b:worker srec
+        Recorder.Req_done;
       finish_task task.t_batch task.t_index r;
       loop ()
   in
   loop ()
 
 let create ?domains ?(queue_capacity = 64) ?cache
-    ?(recorder = Recorder.global) () : t =
+    ?(recorder = Recorder.global) ?(metrics = Metrics.global)
+    ?(tenant_cap = 0) () : t =
   let n = max 1 (Option.value ~default:(default_domains ()) domains) in
-  let queue = Chan.create ~recorder ~capacity:(max 1 queue_capacity) () in
   let completed = Atomic.make 0 in
+  let acct =
+    {
+      amx = metrics;
+      am = Mutex.create ();
+      a_in_queue = Hashtbl.create 16;
+      a_tenant_cap = max 0 tenant_cap;
+    }
+  in
+  let queue =
+    (* Req_enqueue and the submitted counter fire from the channel's
+       on_enqueue hook — inside the push critical section — so the
+       event's timestamp always precedes the worker's Req_start for the
+       same request, and a shed try_push never looks accepted. *)
+    Chan.create ~recorder
+      ~ctx_of:(fun task -> task.t_ctx)
+      ~on_enqueue:(fun task ->
+        note_submitted acct task.t_ctx;
+        Recorder.record ~ctx:task.t_ctx ~a:task.t_id recorder
+          Recorder.Req_enqueue)
+      ~capacity:(max 1 queue_capacity) ()
+  in
   {
     queue;
     workers =
       Array.init n (fun i ->
-          Domain.spawn (fun () -> worker_loop queue cache recorder completed i));
+          Domain.spawn (fun () ->
+              worker_loop queue cache recorder acct completed i));
     svc_cache = cache;
     sm = Mutex.create ();
     stopped = false;
     seq = Atomic.make 0;
     submitted = Atomic.make 0;
     completed;
+    shed = Atomic.make 0;
     srec = recorder;
+    acct;
   }
 
 let domains t = Array.length t.workers
@@ -279,20 +392,31 @@ let stats t =
     s_queue_high_water = Chan.high_water t.queue;
     s_submitted = Atomic.get t.submitted;
     s_completed = Atomic.get t.completed;
+    s_shed = Atomic.get t.shed;
   }
 
-(* Mint a task: assign the request id and stamp the submission time.
+let metrics t = t.acct.amx
+let tenant_cap t = t.acct.a_tenant_cap
+
+let tenants t =
+  Metrics.label_values t.acct.amx m_submitted "tenant"
+
+(* Mint a task: assign the request id, mint the causal context (request
+   id doubles as the trace's request id) and stamp the submission time.
    [t_enqueued] is read by the worker for the queue-delay measurement,
    so it is stamped as close to the push as possible; the Req_enqueue
-   event is recorded by the caller only once the push succeeds (a shed
-   [try_push] must not look like an accepted request). *)
-let new_task t ~index job batch =
+   event and the per-tenant submitted counter fire from the queue's
+   on_enqueue hook, only once the push is accepted (a shed [try_push]
+   must not look like an accepted request). *)
+let new_task t ?(tenant = -1) ~index job batch =
+  let id = Atomic.fetch_and_add t.seq 1 in
   {
     t_index = index;
-    t_id = Atomic.fetch_and_add t.seq 1;
+    t_id = id;
     t_enqueued = Unix.gettimeofday ();
     t_job = job;
     t_batch = batch;
+    t_ctx = Ctx.mint ~tenant ~request:id ();
   }
 
 let compile_all (t : t) (jobs : job list) : outcome list =
@@ -318,8 +442,9 @@ let compile_all (t : t) (jobs : job list) : outcome list =
          (fun i job ->
            let task = new_task t ~index:i job batch in
            Chan.push t.queue task;
+           (* the queue's on_enqueue hook has already recorded
+              Req_enqueue and the per-tenant submitted counter *)
            Atomic.incr t.submitted;
-           Recorder.record ~a:task.t_id t.srec Recorder.Req_enqueue;
            incr submitted)
          jobs
      with Chan.Closed ->
@@ -397,24 +522,46 @@ let compile_fold (t : t) ?(flight = 8) ~(count : int) ~(init : 'a)
    this is what "no stop-the-world" means operationally. *)
 type future = { f_batch : batch }
 
-let recompile_async (t : t) (j : job) : future option =
-  let batch =
-    {
-      results = Array.make 1 None;
-      bm = Mutex.create ();
-      bdone = Condition.create ();
-      remaining = 1;
-    }
-  in
-  let task = new_task t ~index:0 j batch in
-  match Chan.try_push t.queue task with
-  | true ->
-    Atomic.incr t.submitted;
-    Recorder.record ~a:task.t_id t.srec Recorder.Req_enqueue;
-    Some { f_batch = batch }
-  | false -> None
-  | exception Chan.Closed ->
-    invalid_arg "Svc.recompile_async: service has been shut down"
+(* Shed reasons, also the [reason] label values on [m_shed]. *)
+let reason_queue_full = "queue_full"
+let reason_tenant_cap = "tenant_cap"
+
+let recompile_async (t : t) ?(tenant = -1) (j : job) : future option =
+  (* the front door: per-tenant admission first (cheap ledger check),
+     then the global queue bound via [try_push] *)
+  if not (ledger_admit t.acct tenant) then begin
+    Atomic.incr t.shed;
+    let ctx = Ctx.mint ~tenant () in
+    note_shed t.acct ctx ~reason:reason_tenant_cap;
+    Recorder.record ~ctx ~a:(-1) ~b:1 t.srec Recorder.Req_shed;
+    None
+  end
+  else begin
+    let batch =
+      {
+        results = Array.make 1 None;
+        bm = Mutex.create ();
+        bdone = Condition.create ();
+        remaining = 1;
+      }
+    in
+    let task = new_task t ~tenant ~index:0 j batch in
+    match Chan.try_push t.queue task with
+    | true ->
+      (* Req_enqueue + per-tenant submitted fired from the queue hook *)
+      Atomic.incr t.submitted;
+      Some { f_batch = batch }
+    | false ->
+      ledger_release t.acct tenant;
+      Atomic.incr t.shed;
+      note_shed t.acct task.t_ctx ~reason:reason_queue_full;
+      Recorder.record ~ctx:task.t_ctx ~a:task.t_id ~b:0 t.srec
+        Recorder.Req_shed;
+      None
+    | exception Chan.Closed ->
+      ledger_release t.acct tenant;
+      invalid_arg "Svc.recompile_async: service has been shut down"
+  end
 
 let poll (f : future) : outcome option =
   let b = f.f_batch in
@@ -453,6 +600,9 @@ let shutdown (t : t) =
     Array.iter Domain.join t.workers
   end
 
-let with_service ?domains ?queue_capacity ?cache f =
-  let t = create ?domains ?queue_capacity ?cache () in
+let with_service ?domains ?queue_capacity ?cache ?recorder ?metrics
+    ?tenant_cap f =
+  let t =
+    create ?domains ?queue_capacity ?cache ?recorder ?metrics ?tenant_cap ()
+  in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

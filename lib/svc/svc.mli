@@ -75,6 +75,10 @@ type outcome = {
                               ([Unix.gettimeofday]) — lets a load
                               generator compute end-to-end latency
                               against its own arrival schedule *)
+  oc_ctx : Nullelim_obs.Ctx.t;
+                          (** the causal context minted at submission
+                              (tenant + request id); {!Ctx.none} for
+                              {!compile_serial} *)
 }
 
 type cache = Compiler.compiled Codecache.t
@@ -115,15 +119,41 @@ val create :
   ?queue_capacity:int ->
   ?cache:cache ->
   ?recorder:Nullelim_obs.Recorder.t ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  ?tenant_cap:int ->
   unit ->
   t
 (** Start a service with [domains] workers (default
     {!default_domains}, clamped to at least 1) and a queue bound of
     [queue_capacity] jobs (default 64).  With [cache], every job is
     looked up before compiling and installed after.  Request lifecycle
-    events (enqueue/start/done, carrying the request id) and queue
-    movement are recorded into [recorder] (default
-    {!Nullelim_obs.Recorder.global}). *)
+    events (enqueue/start/done/shed, carrying the request's causal
+    context) and queue movement are recorded into [recorder] (default
+    {!Nullelim_obs.Recorder.global}).
+
+    Per-tenant request accounting goes to [metrics] (default
+    {!Nullelim_obs.Metrics.global}): counters
+    [svc_requests_submitted_total]\{tenant\},
+    [svc_requests_completed_total]\{tenant\} and
+    [svc_requests_shed_total]\{tenant,reason\}, histograms
+    [svc_queue_wait_seconds]\{tenant\} and
+    [svc_compile_seconds]\{tenant\}.  Batch submissions carry tenant
+    ["none"].
+
+    [tenant_cap] > 0 bounds how many requests {e of one tenant} may sit
+    in the queue at once ({!recompile_async} sheds with reason
+    [tenant_cap] beyond it), so one chatty tenant cannot monopolize the
+    shared queue.  0 (the default) disables the cap. *)
+
+val metrics : t -> Nullelim_obs.Metrics.t
+(** The registry the service accounts into. *)
+
+val tenant_cap : t -> int
+(** The per-tenant in-queue cap ([0] = unlimited). *)
+
+val tenants : t -> string list
+(** Tenant labels that have submitted at least one request, sorted
+    (includes ["none"] once untenanted requests have been seen). *)
 
 val domains : t -> int
 (** Number of worker domains. *)
@@ -141,6 +171,8 @@ type stats = {
   s_queue_high_water : int;  (** deepest the queue has ever been *)
   s_submitted : int;         (** requests accepted into the queue *)
   s_completed : int;         (** requests fully compiled *)
+  s_shed : int;              (** async submissions rejected (queue full
+                                 or tenant cap) *)
 }
 (** Service-level counters; snapshots are racy but each field is an
     untorn word, and [s_submitted = s_completed] once the service is
@@ -192,13 +224,25 @@ type future
 (** An in-flight single-job recompilation submitted with
     {!recompile_async}. *)
 
-val recompile_async : t -> job -> future option
+val reason_queue_full : string
+(** ["queue_full"] — the [reason] label on [svc_requests_shed_total]
+    when the bounded queue refused the request. *)
+
+val reason_tenant_cap : string
+(** ["tenant_cap"] — the [reason] label when the submitting tenant was
+    at its per-tenant in-queue cap. *)
+
+val recompile_async : t -> ?tenant:int -> job -> future option
 (** Submit one job to the pool without ever blocking: returns [None]
-    when the queue is full (the caller retries at a later call
-    boundary).  This is the tiered manager's promotion/deoptimization
-    entry point — the serving (interpreter) thread must never wait on
-    the compile pool, so installation happens whenever a later {!poll}
-    finds the artifact ready.
+    when the queue is full or the submitting [tenant] (default -1 =
+    untenanted) is at its in-queue cap — the request was {e shed}, and
+    which of the two happened is visible in the
+    [svc_requests_shed_total] [reason] label and the [Req_shed] flight
+    event ([b] = 0 queue full, 1 tenant cap).  This is the tiered
+    manager's promotion/deoptimization entry point and the front door
+    the load generator drives — the serving (interpreter) thread must
+    never wait on the compile pool, so installation happens whenever a
+    later {!poll} finds the artifact ready.
 
     @raise Invalid_argument if the service has been shut down. *)
 
@@ -218,6 +262,13 @@ val shutdown : t -> unit
     [Invalid_argument]); prefer quiescing first.  Idempotent. *)
 
 val with_service :
-  ?domains:int -> ?queue_capacity:int -> ?cache:cache -> (t -> 'a) -> 'a
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?cache:cache ->
+  ?recorder:Nullelim_obs.Recorder.t ->
+  ?metrics:Nullelim_obs.Metrics.t ->
+  ?tenant_cap:int ->
+  (t -> 'a) ->
+  'a
 (** [with_service f] runs [f] over a fresh service and {!shutdown}s it
-    on any exit path. *)
+    on any exit path.  Optional arguments as for {!create}. *)

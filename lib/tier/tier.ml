@@ -92,6 +92,8 @@ type t = {
   mutable c_recompile : float;
   tm : Metrics.t option;   (* install-latency histograms land here *)
   trec : Recorder.t;
+  tenant : int;            (* tenant attributed to this manager's
+                              recompiles; -1 = untenanted *)
 }
 
 (* Install latency spans five decades: a cached synchronous install is
@@ -100,7 +102,7 @@ type t = {
 let install_buckets = Metrics.log_buckets ~lo:1e-5 ~hi:10. ~per_decade:5
 
 let create ?svc ?cache ?(config = Config.new_full) ?metrics
-    ?(recorder = Recorder.global) ~arch program =
+    ?(recorder = Recorder.global) ?(tenant = -1) ~arch program =
   let cache =
     match (cache, svc) with
     | (Some _ as c), _ -> c
@@ -131,6 +133,7 @@ let create ?svc ?cache ?(config = Config.new_full) ?metrics
     c_recompile = 0.;
     tm = metrics;
     trec = recorder;
+    tenant;
   }
 
 let fstate t name =
@@ -171,7 +174,11 @@ let install t fs (pd : pending) (oc : Svc.outcome) =
   if prev_tier = 0 && pd.pd_tier > 0 then
     t.c_promotions <- t.c_promotions + 1;
   t.c_recompile <- t.c_recompile +. oc.Svc.oc_seconds;
-  Recorder.record ~a:pd.pd_tier
+  (* the install event joins the *compile request's* causal timeline
+     (the outcome's context carries the request id the service minted at
+     submission), so a per-request slice shows enqueue → start → done →
+     the promotion it paid for *)
+  Recorder.record ~ctx:oc.Svc.oc_ctx ~a:pd.pd_tier
     ~b:(List.length pd.pd_deopt)
     t.trec Recorder.Tier_promote;
   (match t.tm with
@@ -207,7 +214,7 @@ let try_submit t fs =
       fs.fs_goal <- None;
       t.c_submitted <- t.c_submitted + 1
     | Some svc -> (
-      match Svc.recompile_async svc job with
+      match Svc.recompile_async svc ~tenant:t.tenant job with
       | Some fut ->
         fs.fs_pending <-
           Some { pd_tier = tier; pd_deopt = deopt; pd_key = key;

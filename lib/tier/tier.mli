@@ -74,6 +74,7 @@ val create :
   ?config:Config.t ->
   ?metrics:Nullelim_obs.Metrics.t ->
   ?recorder:Nullelim_obs.Recorder.t ->
+  ?tenant:int ->
   arch:Arch.t ->
   Ir.program ->
   t
@@ -88,7 +89,12 @@ val create :
     [tier_install_seconds] histogram (submission → install latency,
     labelled [kind=promote|deopt]); tier promotions/demotions and trap
     firings are recorded into [recorder] (default
-    {!Nullelim_obs.Recorder.global}). *)
+    {!Nullelim_obs.Recorder.global}).  [tenant] (default -1 =
+    untenanted) is attributed to every recompile this manager submits:
+    the service mints each submission's causal context from it, so
+    promotion/deopt compiles land in that tenant's metrics and the
+    [Tier_promote] install event joins the compile request's
+    timeline. *)
 
 val dispatch : t -> string -> Ir.func * int
 (** The interpreter's call-boundary hook (plug into [Interp.run

@@ -1,0 +1,328 @@
+(* Status server + causal-tracing integration: the HTTP surface answers
+   over real sockets (routing, 404s, exposition lint, SLO verdict), a
+   4-domain loadgen run's flight dump reconstructs a complete causal
+   timeline for every completed request, and the per-tenant admission
+   cap sheds with the right reason while the closed accounting
+   (submitted = completed + shed, per tenant) keeps holding. *)
+
+open Nullelim
+module LG = Nullelim_experiments.Loadgen
+module Metrics = Obs.Metrics
+module Recorder = Obs.Recorder
+module Timeline = Obs.Timeline
+module Slo = Obs.Slo
+module Export = Obs.Export
+module Ctx = Nullelim_obs.Ctx
+module W = Nullelim_workloads.Workload
+module Registry = Nullelim_workloads.Registry
+
+let get_ok srv path =
+  match Status.get (Status.address srv) path with
+  | Ok (st, body) -> (st, body)
+  | Error e -> Alcotest.failf "GET %s failed: %s" path e
+
+(* ------------------------------------------------------------------ *)
+(* HTTP surface                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_routes_and_404 () =
+  let srv =
+    Status.serve
+      [
+        ("/hello", fun () -> Status.ok "hi there");
+        ("/boom", fun () -> failwith "kaboom");
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Status.stop srv)
+    (fun () ->
+      let st, body = get_ok srv "/hello" in
+      Alcotest.(check int) "200" 200 st;
+      Alcotest.(check string) "body" "hi there" body;
+      let st, _ = get_ok srv "/nope" in
+      Alcotest.(check int) "404" 404 st;
+      (* query strings are stripped before dispatch *)
+      let st, _ = get_ok srv "/hello?x=1" in
+      Alcotest.(check int) "query stripped" 200 st;
+      (* a raising handler is a 500, not a dead server *)
+      let st, body = get_ok srv "/boom" in
+      Alcotest.(check int) "500" 500 st;
+      Alcotest.(check bool) "exception text" true
+        (String.length body > 0);
+      (* and the server still answers afterwards *)
+      let st, _ = get_ok srv "/hello" in
+      Alcotest.(check int) "alive after 500" 200 st)
+
+let test_stop_idempotent () =
+  let srv = Status.serve [ ("/x", fun () -> Status.ok "y") ] in
+  let st, _ = get_ok srv "/x" in
+  Alcotest.(check int) "serves" 200 st;
+  Status.stop srv;
+  Status.stop srv;
+  match Status.get (Status.address srv) "/x" with
+  | Ok _ -> Alcotest.fail "server still answering after stop"
+  | Error _ -> ()
+
+let test_unix_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nullelim-test-%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Status.serve ~unix_path:path [ ("/ping", fun () -> Status.ok "pong") ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Status.stop srv)
+    (fun () ->
+      let st, body = get_ok srv "/ping" in
+      Alcotest.(check int) "200 over unix socket" 200 st;
+      Alcotest.(check string) "body" "pong" body);
+  Alcotest.(check bool) "socket unlinked on stop" false (Sys.file_exists path)
+
+let test_obs_routes_live () =
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create ~capacity:1024 () in
+  Metrics.inc (Metrics.counter metrics ~labels:[ ("tenant", "0") ]
+                 "svc_requests_submitted_total") 7;
+  Metrics.inc (Metrics.counter metrics ~labels:[ ("tenant", "0") ]
+                 "svc_requests_completed_total") 7;
+  Recorder.record ~ctx:(Ctx.mint ~tenant:0 ~request:1 ()) ~a:1 recorder
+    Recorder.Req_enqueue;
+  let slo =
+    Slo.create metrics
+      [
+        Slo.availability ~name:"avail" ~good:"svc_requests_completed_total"
+          ~bad:"svc_requests_shed_total" ~target:0.99;
+      ]
+  in
+  let srv = Status.serve (Status.obs_routes ~metrics ~recorder ~slo ()) in
+  Fun.protect
+    ~finally:(fun () -> Status.stop srv)
+    (fun () ->
+      let st, body = get_ok srv "/metrics" in
+      Alcotest.(check int) "/metrics 200" 200 st;
+      (match Export.lint body with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "/metrics must lint: %s" e);
+      Alcotest.(check bool) "recorder gauge exported" true
+        (String.split_on_char '\n' body
+        |> List.exists (fun l -> l = "flight_recorder_dropped 0"));
+      let st, body = get_ok srv "/healthz" in
+      Alcotest.(check int) "/healthz healthy" 200 st;
+      (match Json.of_string body with
+      | Ok j -> (
+        match Slo.validate j with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "/healthz not nullelim-slo/1: %s" e)
+      | Error e -> Alcotest.failf "/healthz not JSON: %s" e);
+      let st, body = get_ok srv "/flight" in
+      Alcotest.(check int) "/flight 200" 200 st;
+      (match Json.of_string body with
+      | Ok j -> (
+        match Recorder.validate j with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "/flight not nullelim-flight/1: %s" e)
+      | Error e -> Alcotest.failf "/flight not JSON: %s" e);
+      let st, body = get_ok srv "/timelines" in
+      Alcotest.(check int) "/timelines 200" 200 st;
+      (match Json.of_string body with
+      | Ok j -> (
+        match Timeline.validate j with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "/timelines not nullelim-timeline/1: %s" e)
+      | Error e -> Alcotest.failf "/timelines not JSON: %s" e);
+      let st, body = get_ok srv "/tenants" in
+      Alcotest.(check int) "/tenants 200" 200 st;
+      match Json.of_string body with
+      | Ok j -> (
+        match Json.member "tenants" j with
+        | Some (Json.List (_ :: _)) -> ()
+        | _ -> Alcotest.fail "/tenants lists no tenants")
+      | Error e -> Alcotest.failf "/tenants not JSON: %s" e)
+
+(* a failing SLO must flip /healthz to 503 *)
+let test_healthz_failing () =
+  let metrics = Metrics.create () in
+  Metrics.inc (Metrics.counter metrics "bad_total") 100;
+  let slo =
+    Slo.create ~short_window:60. ~long_window:600. metrics
+      [
+        Slo.availability ~name:"avail" ~good:"good_total" ~bad:"bad_total"
+          ~target:0.99;
+      ]
+  in
+  (* seed a baseline sample well in the past so the probe's own tick
+     sees the 100 errors inside both windows *)
+  Slo.tick ~now:(Unix.gettimeofday () -. 30.) slo;
+  Metrics.inc (Metrics.counter metrics "bad_total") 100;
+  let srv =
+    Status.serve (Status.obs_routes ~metrics ~recorder:Recorder.global ~slo ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Status.stop srv)
+    (fun () ->
+      let st, _ = get_ok srv "/healthz" in
+      Alcotest.(check int) "total outage is 503" 503 st)
+
+(* ------------------------------------------------------------------ *)
+(* Causal timelines from a real 4-domain run                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole's acceptance gate: a flight dump from a 4-domain
+   loadgen run must reconstruct a complete causal timeline for every
+   completed request — enqueue -> dequeue -> done, in order, with every
+   span agreeing on request id and tenant. *)
+let test_timelines_complete_4domain () =
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create ~capacity:65536 () in
+  let t =
+    LG.sweep ~domains:4 ~duration:0.2 ~seed:7 ~multipliers:[ 0.5; 1.0 ]
+      ~max_requests:40 ~tenants:3 ~metrics ~recorder ()
+  in
+  (match LG.check_rows t.LG.lg_rows with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "loadgen gate: %s" (String.concat "; " es));
+  let dropped = Recorder.dropped recorder in
+  Alcotest.(check int) "ring did not wrap" 0 dropped;
+  let tls = Timeline.of_events (Recorder.dump recorder) in
+  (match Timeline.check_complete ~dropped tls with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "causal gate: %s" e);
+  let completed =
+    List.filter (fun tl -> Timeline.phase tl = Timeline.Completed) tls
+  in
+  let total_completed =
+    List.fold_left (fun a r -> a + r.LG.lr_completed) 0 t.LG.lg_rows
+  in
+  Alcotest.(check int) "one completed timeline per completed request"
+    total_completed (List.length completed);
+  (* every completed timeline carries a real tenant and sane latencies *)
+  List.iter
+    (fun tl ->
+      Alcotest.(check bool) "tenant attributed" true
+        (tl.Timeline.tl_tenant >= 0 && tl.Timeline.tl_tenant < 3);
+      match (Timeline.queue_wait tl, Timeline.total_latency tl) with
+      | Some w, Some l ->
+        Alcotest.(check bool) "wait <= total" true (w <= l +. 1e-9)
+      | _ -> Alcotest.fail "completed timeline missing spans")
+    completed;
+  (* the json document ties out *)
+  match Timeline.validate (Timeline.to_json ~dropped tls) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "timeline doc invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Tenant admission caps                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_job () =
+  let w = Registry.all () |> List.hd in
+  Svc.job ~config:Config.new_full ~arch:Arch.ia32_windows (w.W.build ~scale:1)
+
+(* With a cap of 1 in-queue request per tenant, a rapid burst from one
+   tenant must shed with reason `tenant_cap', and the per-tenant
+   accounting must stay closed: submitted + shed = offered. *)
+let test_tenant_cap_sheds () =
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create ~capacity:8192 () in
+  let job = small_job () in
+  let n = 50 in
+  let futures = ref [] in
+  let shed = ref 0 in
+  Svc.with_service ~domains:1 ~recorder ~metrics ~tenant_cap:1 (fun svc ->
+      for _ = 1 to n do
+        match Svc.recompile_async svc ~tenant:0 job with
+        | Some f -> futures := f :: !futures
+        | None -> incr shed
+      done;
+      List.iter (fun f -> ignore (Svc.await f)) !futures);
+  Alcotest.(check bool) "burst against cap 1 sheds" true (!shed > 0);
+  Alcotest.(check int) "accepted + shed = offered" n
+    (List.length !futures + !shed);
+  (* metrics agree, with the right reason label *)
+  let shed_capped =
+    Metrics.counter_total metrics
+      ~labels:[ ("tenant", "0"); ("reason", Svc.reason_tenant_cap) ]
+      "svc_requests_shed_total"
+  in
+  Alcotest.(check int) "shed counted under tenant_cap" !shed shed_capped;
+  let submitted =
+    Metrics.counter_total metrics ~labels:[ ("tenant", "0") ]
+      "svc_requests_submitted_total"
+  in
+  let completed =
+    Metrics.counter_total metrics ~labels:[ ("tenant", "0") ]
+      "svc_requests_completed_total"
+  in
+  Alcotest.(check int) "submitted all completed" submitted completed;
+  Alcotest.(check int) "closed accounting" n (submitted + shed_capped);
+  (* the flight dump carries Req_shed events flagged tenant-cap (b=1) *)
+  let shed_events =
+    List.filter
+      (fun (e : Recorder.event) ->
+        e.Recorder.ev_kind = Recorder.Req_shed && e.Recorder.ev_b = 1)
+      (Recorder.dump recorder)
+  in
+  Alcotest.(check int) "Req_shed(tenant_cap) events" !shed
+    (List.length shed_events);
+  List.iter
+    (fun (e : Recorder.event) ->
+      Alcotest.(check int) "shed event attributed to tenant 0" 0
+        e.Recorder.ev_ctx.Ctx.cx_tenant)
+    shed_events
+
+(* an uncapped second tenant must be unaffected by tenant 0's cap *)
+let test_tenant_cap_isolation () =
+  let metrics = Metrics.create () in
+  let job = small_job () in
+  Svc.with_service ~domains:1 ~metrics ~tenant_cap:1 (fun svc ->
+      let fs = ref [] in
+      for i = 1 to 20 do
+        (* tenant 1 submits between tenant 0's bursts; its own cap is
+           also 1 but its queue share drains just the same *)
+        ignore (Svc.recompile_async svc ~tenant:0 job);
+        if i mod 2 = 0 then
+          match Svc.recompile_async svc ~tenant:1 job with
+          | Some f -> fs := f :: !fs
+          | None -> ()
+      done;
+      List.iter (fun f -> ignore (Svc.await f)) !fs;
+      let sub t =
+        Metrics.counter_total metrics
+          ~labels:[ ("tenant", string_of_int t) ]
+          "svc_requests_submitted_total"
+      in
+      let shed t =
+        Metrics.counter_total metrics
+          ~labels:[ ("tenant", string_of_int t);
+                    ("reason", Svc.reason_tenant_cap) ]
+          "svc_requests_shed_total"
+      in
+      Alcotest.(check int) "tenant 0 closed" 20 (sub 0 + shed 0);
+      Alcotest.(check int) "tenant 1 closed" 10 (sub 1 + shed 1);
+      Alcotest.(check bool) "tenant 1 made progress" true (sub 1 > 0))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "routes + 404 + 500" `Quick test_routes_and_404;
+          Alcotest.test_case "stop is idempotent" `Quick test_stop_idempotent;
+          Alcotest.test_case "unix-domain socket" `Quick test_unix_socket;
+          Alcotest.test_case "obs routes live" `Quick test_obs_routes_live;
+          Alcotest.test_case "failing SLO is 503" `Quick test_healthz_failing;
+        ] );
+      ( "timelines",
+        [
+          Alcotest.test_case "4-domain run is causally complete" `Slow
+            test_timelines_complete_4domain;
+        ] );
+      ( "tenants",
+        [
+          Alcotest.test_case "cap sheds with reason" `Slow
+            test_tenant_cap_sheds;
+          Alcotest.test_case "cap isolates tenants" `Slow
+            test_tenant_cap_isolation;
+        ] );
+    ]
