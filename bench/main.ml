@@ -505,6 +505,7 @@ let tiered_steady_state () =
 
 module Gen = Nullelim.Gen
 module Diff = Nullelim.Diff
+module NB = Nullelim_experiments.Native_bench
 
 type fuzz_bench = {
   fb_programs : int;
@@ -537,6 +538,30 @@ let fuzz_throughput () =
   Fmt.pr "%d programs in %.2f s — %.1f programs/sec (%d passed, %d skipped)@."
     n s (float_of_int n /. Float.max 1e-9 s) !passed !skipped;
   { fb_programs = n; fb_seconds = s; fb_passed = !passed; fb_skipped = !skipped }
+
+(* ------------------------------------------------------------------ *)
+(* Native backend: measured trap costs (real hardware)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Replace the simulator's modeled per-check cycle constants with
+    wall-clock measurements through the native backend: explicit vs
+    implicit vs unchecked pointer-chase kernels, plus the full SIGSEGV
+    recovery round trip.  Reduced iteration counts keep the bench fast;
+    `nullelim native-bench` runs the full-size defaults.  Unavailable
+    hosts (no linux/x86-64 traps, masked compiler) report a reasoned
+    ["available": false] member instead of failing the bench. *)
+let native_trap_costs () =
+  section "Native backend: measured trap costs (real hardware traps)"
+    "trap-cost model (EXPERIMENTS.md)";
+  match
+    NB.collect ~iters:100_000 ~traps:1_000 ~arch:Arch.ia32_windows ()
+  with
+  | Ok r ->
+    Fmt.pr "%a@." NB.pp r;
+    Ok r
+  | Error m ->
+    Fmt.pr "native backend unavailable: %s@." m;
+    Error m
 
 (* ------------------------------------------------------------------ *)
 (* Solver engine comparison: worklist vs reference round-robin          *)
@@ -641,7 +666,8 @@ let bechamel_suite () =
 let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
     ~solver:(wl, rr, per_pass) ~bechamel ~dynamic ~overhead:(ov_off, ov_on)
     ~throughput:(th : throughput) ~contention:(cc : contention)
-    ~tiered:(ss_rows, fd) ~fuzz:(fb : fuzz_bench) =
+    ~tiered:(ss_rows, fd) ~fuzz:(fb : fuzz_bench)
+    ~native:(nb : (NB.result, string) result) =
   let open Json in
   let compile_row_json (r : E.compile_row) =
     Obj
@@ -802,6 +828,14 @@ let write_json path ~tables ~compile_rows ~breakdown ~deltas ~checks
               ("passed", Int fb.fb_passed);
               ("skipped", Int fb.fb_skipped);
             ] );
+        (* measured trap costs through the native backend (versioned
+           nullelim-native-bench schema); hosts that cannot run it
+           report {"available": false, "reason": ...} so the member is
+           always present *)
+        ( "native",
+          match nb with
+          | Ok r -> NB.to_json r
+          | Error m -> NB.unavailable_json m );
         (* per-pass timing/solver metrics of the reference javac compile,
            in the versioned metrics-snapshot schema (validated in CI via
            `nullelim validate-json`) *)
@@ -838,6 +872,7 @@ let () =
   let contention = cache_contention () in
   let tiered = tiered_steady_state () in
   let fuzz = fuzz_throughput () in
+  let native = native_trap_costs () in
   let solver = solver_comparison () in
   let bech = bechamel_suite () in
   (match json_path with
@@ -853,5 +888,5 @@ let () =
           ("ablation", "cycles", abl);
         ]
       ~compile_rows ~breakdown:t4 ~deltas ~checks ~solver ~bechamel:bech
-      ~dynamic ~overhead ~throughput ~contention ~tiered ~fuzz);
+      ~dynamic ~overhead ~throughput ~contention ~tiered ~fuzz ~native);
   Fmt.pr "@.done.@."

@@ -7,6 +7,7 @@ module Registry = Nullelim_workloads.Registry
 module PR = Nullelim_experiments.Profile_report
 module SS = Nullelim_experiments.Steady_state
 module LG = Nullelim_experiments.Loadgen
+module NB = Nullelim_experiments.Native_bench
 
 let arch_conv =
   let parse s =
@@ -148,9 +149,43 @@ let profile_flag =
            the per-site check table, loop hotness and reconciliation \
            status.")
 
+let backend_conv =
+  let parse = function
+    | "interp" -> Ok Config.Interp
+    | "native" -> Ok Config.Native
+    | s -> Error (`Msg ("unknown backend: " ^ s))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf b -> Fmt.string ppf (Config.backend_name b))
+
+let backend_arg =
+  Cmdliner.Arg.(
+    value
+    & opt backend_conv Config.Interp
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution engine: interp (simulating interpreter, default) or \
+           native (emitted C, real hardware traps; falls back to interp \
+           with a warning where unsupported).")
+
+(* Native execution with the interp fallback contract: any reason the
+   native path cannot run this program on this host demotes to the
+   interpreter, loudly. *)
+let run_native_or_fallback ~arch (compiled : Compiler.compiled) =
+  match Native.run_program ~arch compiled.Compiler.program with
+  | Ok r ->
+    Fmt.pr "backend        : native (real hardware traps)@.";
+    Fmt.pr "hardware traps : %d@." r.Native.r_traps;
+    Fmt.pr "native wall    : %.3f ms@."
+      (Int64.to_float r.Native.r_wall_ns /. 1e6);
+    r.Native.r_result
+  | Error msg ->
+    Fmt.epr "warning: native backend unavailable (%s); falling back to interp@."
+      msg;
+    Interp.run ~arch compiled.Compiler.program []
+
 let run_cmd =
   let doc = "Compile and run a workload, printing counters and checksum." in
-  let run arch cfg scale trace stats profile name =
+  let run arch cfg scale trace stats profile backend name =
     let w = find_workload name in
     if profile then Ir.reset_sites ();
     let prog = w.W.build ~scale in
@@ -166,8 +201,14 @@ let run_cmd =
     | Some path -> Obs.Trace.start_to_file path
     | None -> ());
     let prof = if profile then Some (Obs.Profile.create ()) else None in
+    let cfg = { cfg with Config.backend } in
     let compiled = Compiler.compile cfg ~arch prog in
-    let r = Interp.run ?profile:prof ~arch compiled.Compiler.program [] in
+    let r =
+      match backend with
+      | Config.Native -> run_native_or_fallback ~arch compiled
+      | Config.Interp ->
+        Interp.run ?profile:prof ~arch compiled.Compiler.program []
+    in
     (match trace with
     | Some path ->
       ignore (Obs.Trace.stop ());
@@ -218,7 +259,65 @@ let run_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
     Cmdliner.Term.(
       const run $ arch_arg $ config_arg $ scale_arg $ trace_arg $ stats_arg
-      $ profile_flag $ workload_arg)
+      $ profile_flag $ backend_arg $ workload_arg)
+
+(* --- native-bench -------------------------------------------------- *)
+
+let native_bench_cmd =
+  let doc =
+    "Measure real trap costs through the native backend: explicit-check, \
+     implicit-check and trap-recovery nanoseconds (EXPERIMENTS.md \
+     \"Measured trap costs\")."
+  in
+  let run arch iters traps repeats json =
+    let member =
+      match NB.collect ~iters ~traps ~repeats ~arch () with
+      | Ok r ->
+        Fmt.pr "%a@." NB.pp r;
+        NB.to_json r
+      | Error msg ->
+        Fmt.epr
+          "warning: native backend unavailable (%s); reporting fallback@." msg;
+        NB.unavailable_json msg
+    in
+    match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string member);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "JSON written to %s@." path
+  in
+  let iters_arg =
+    Cmdliner.Arg.(
+      value & opt int 500_000
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Chase-loop iterations per kernel (8 checks each).")
+  in
+  let traps_arg =
+    Cmdliner.Arg.(
+      value & opt int 2_000
+      & info [ "traps" ] ~docv:"N"
+          ~doc:"SIGSEGV recoveries driven by the recovery kernel.")
+  in
+  let repeats_arg =
+    Cmdliner.Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N" ~doc:"Take the best of N runs.")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the nullelim-native-bench/1 JSON member (the \
+             \"native\" section of BENCH_results.json).")
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "native-bench" ~doc)
+    Cmdliner.Term.(
+      const run $ arch_arg $ iters_arg $ traps_arg $ repeats_arg $ json_arg)
 
 (* --- dump ---------------------------------------------------------- *)
 
@@ -1837,6 +1936,6 @@ let () =
        (Cmdliner.Cmd.group info
           [
             list_cmd; list_configs_cmd; run_cmd; dump_cmd; verify_cmd; profile_cmd;
-            batch_cmd; tiered_cmd; fuzz_cmd; loadgen_cmd; serve_cmd;
-            timelines_cmd; lint_exposition_cmd; validate_json_cmd;
+            batch_cmd; tiered_cmd; fuzz_cmd; native_bench_cmd; loadgen_cmd;
+            serve_cmd; timelines_cmd; lint_exposition_cmd; validate_json_cmd;
           ]))

@@ -1,6 +1,15 @@
-(** Code-emission model: machine-instruction and spill statistics
-    derived from a register allocation.  Implicit null checks emit zero
-    instructions — the point of the paper's phase 2. *)
+(** Code-emission {e model}: machine-instruction and spill statistics
+    derived from a register allocation, without producing runnable
+    code.  Implicit null checks emit zero instructions — the point of
+    the paper's phase 2.
+
+    This statistics model predates the real native path and remains
+    the cost-model side of the backend: it prices {e any} architecture
+    (including ones the host cannot run) from the linearized form.
+    For actually executable code — C emission, hardware traps, SIGSEGV
+    recovery — see {!Emit_c} and {!Native}, whose
+    [ec_implicit_check_instrs = 0] invariant is the measured
+    counterpart of [implicit_check_instrs = 0] here. *)
 
 module Ir = Nullelim_ir.Ir
 module Arch = Nullelim_arch.Arch

@@ -67,6 +67,8 @@ module Opt_util = Nullelim_opt.Opt_util
 
 module Regalloc = Nullelim_backend.Regalloc
 module Codegen = Nullelim_backend.Codegen
+module Emit_c = Nullelim_backend.Emit_c
+module Native = Nullelim_backend.Native
 
 (** {1 Virtual machine (simulator)} *)
 

@@ -46,6 +46,7 @@ module Profile = Nullelim_obs.Profile
 module Decision = Nullelim_obs.Decision
 module Svc = Nullelim_svc.Svc
 module Tier = Nullelim_tier.Tier
+module Native = Nullelim_backend.Native
 
 type failure = {
   fl_oracle : string;  (** which oracle tripped (names above) *)
@@ -254,6 +255,54 @@ let check ?(arch = Arch.ia32_windows) ?(configs = default_configs)
         check_tier ~arch ~fuel ~reference p;
         Pass
       with Found f -> Fail f))
+
+(** Native ≍ interp: the optimized program must behave identically
+    through the C-emitting native backend (real guard-page SIGSEGV
+    traps) and the simulating interpreter.  Skips — never fails — when
+    the backend is unavailable on this host, the program leaves the
+    native subset, or either engine reports a simulator-level error
+    (fuel, depth, untypeable operation): those carry no differential
+    signal.  A C compiler failure on an emitted program IS a failure —
+    the emitter produced something the toolchain rejects. *)
+let check_native ?(arch = Arch.ia32_windows) ?(config = Config.new_full)
+    ?(fuel = default_fuel) (p : Ir.program) : verdict =
+  let name = config.Config.name ^ "+native" in
+  if not (Native.available ()) then Skip "native backend unavailable"
+  else
+    match Ir_validate.validate_program ~strict:true p with
+    | _ :: _ as errs -> Skip ("invalid input: " ^ String.concat "; " errs)
+    | [] -> (
+      match compile_or_fail ~oracle_config:name config ~arch p with
+      | exception Found f -> Fail f
+      | c -> (
+      let reference = Interp.run ~fuel ~arch c.Compiler.program [] in
+      match reference.Interp.outcome with
+      | Interp.Sim_error m -> Skip ("interp run: " ^ m)
+      | _ -> (
+        match Native.run_program ~fuel ~arch c.Compiler.program with
+        | Error msg ->
+          let unsupported =
+            String.length msg >= 8 && String.sub msg 0 8 = "emission"
+          in
+          if unsupported then Skip msg
+          else
+            Fail
+              { fl_oracle = "native"; fl_config = name; fl_detail = msg }
+        | Ok r -> (
+          match r.Native.r_result.Interp.outcome with
+          | Interp.Sim_error m -> Skip ("native run: " ^ m)
+          | _ ->
+            if Interp.equivalent reference r.Native.r_result then Pass
+            else
+              Fail
+                {
+                  fl_oracle = "native";
+                  fl_config = name;
+                  fl_detail =
+                    Fmt.str "interp=%a native=%a" Interp.pp_outcome
+                      reference.Interp.outcome Interp.pp_outcome
+                      r.Native.r_result.Interp.outcome;
+                }))))
 
 (** Shrinker predicate: the program still fails, with the same oracle
     (shrinking must not wander to an unrelated bug). *)

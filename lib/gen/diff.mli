@@ -46,6 +46,21 @@ val check :
     callers inside a service folder rely on [Svc.compile_fold]'s
     pool-idle guarantee. *)
 
+val check_native :
+  ?arch:Arch.t ->
+  ?config:Config.t ->
+  ?fuel:int ->
+  Ir.program ->
+  verdict
+(** Native ≍ interp differential: compile with [config] (default
+    [new_full]), run the optimized program through both the interpreter
+    and the C-emitting native backend, and compare observable behavior
+    with {!Interp.equivalent}.  [Skip]s when the backend is unavailable
+    on this host, the program leaves the native subset, or either engine
+    hits a simulator-level error; a C toolchain rejection of emitted
+    code or a behavioral divergence is a [Fail] ([fl_oracle =
+    "native"]). *)
+
 val still_fails :
   ?arch:Arch.t ->
   ?configs:Config.t list ->

@@ -8,6 +8,7 @@ module Opt = Nullelim_opt
 module Pipeline = Nullelim_opt.Pipeline
 module Solver = Nullelim_dataflow.Solver
 module Codegen = Nullelim_backend.Codegen
+module Emit_c = Nullelim_backend.Emit_c
 module Trace = Nullelim_obs.Trace
 module Metrics = Nullelim_obs.Metrics
 module Decision = Nullelim_obs.Decision
@@ -31,6 +32,11 @@ type compiled = {
   compile_seconds : float;
   metrics : Metrics.t;           (** per-compile metrics registry *)
   decisions : Decision.event list;  (** per-check decision log *)
+  native_stats : Emit_c.stats option;
+      (** C-emission statistics when the configuration's backend is
+          [Native] (and the program is expressible); [None] on the
+          interp backend.  Emission is pure — no toolchain is
+          invoked here. *)
 }
 
 let count_all_checks p =
@@ -206,6 +212,22 @@ let compile ?(tier = -1) ?(deopt_sites = []) (cfg : Config.t)
   Metrics.inc (Metrics.counter metrics "checks_explicit_after") e;
   Metrics.inc (Metrics.counter metrics "checks_implicit_after") i;
   Metrics.inc (Metrics.counter metrics "decision_events") (List.length decisions);
+  let native_stats =
+    match cfg.Config.backend with
+    | Config.Interp -> None
+    | Config.Native -> (
+      match Emit_c.emit ~trap_area:arch.Arch.trap_area p' with
+      | Ok em ->
+        let st = em.Emit_c.em_stats in
+        Metrics.inc
+          (Metrics.counter metrics "native_implicit_check_instrs")
+          st.Emit_c.ec_implicit_check_instrs;
+        Metrics.inc
+          (Metrics.counter metrics "native_trap_entries")
+          st.Emit_c.ec_trap_entries;
+        Some st
+      | Error _ -> None)
+  in
   {
     program = p';
     config = cfg;
@@ -223,6 +245,7 @@ let compile ?(tier = -1) ?(deopt_sites = []) (cfg : Config.t)
     compile_seconds;
     metrics;
     decisions;
+    native_stats;
   }
 
 (** Check that the decision log accounts exactly for the difference

@@ -32,6 +32,12 @@ type compiled = {
           the compile-level check counters *)
   decisions : Decision.event list;
       (** per-check decision log of this compilation, in record order *)
+  native_stats : Nullelim_backend.Emit_c.stats option;
+      (** C-emission statistics when [config.backend] is
+          {!Config.Native} and the program is expressible in the native
+          subset; [None] otherwise.  Emission here is pure bookkeeping —
+          compiling/loading the shared object is
+          {!Nullelim_backend.Native.compile}'s job. *)
 }
 
 val passes :

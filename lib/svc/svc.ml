@@ -64,7 +64,7 @@ let fingerprint (b : Buffer.t) (j : job) =
   Buffer.add_char b '\x00';
   let cfg = j.jb_config in
   Buffer.add_string b
-    (Printf.sprintf "%s|%b|%b|%s|%d|%b|%d|%b\x00"
+    (Printf.sprintf "%s|%b|%b|%s|%d|%b|%d|%b|%s\x00"
        (match cfg.Config.null_opt with
        | Config.No_null_opt -> "none"
        | Config.Old_whaley -> "whaley"
@@ -75,7 +75,10 @@ let fingerprint (b : Buffer.t) (j : job) =
        | None -> "-"
        | Some a -> a.Arch.name)
        cfg.Config.iterations cfg.Config.inline cfg.Config.heavy_factor
-       cfg.Config.weak_arrays);
+       cfg.Config.weak_arrays
+       (* the native artifact carries emission state the interp one
+          does not, so the backend joins the key *)
+       (Config.backend_name cfg.Config.backend));
   (* tier and deopt sites change the artifact (decision-event tags, the
      re-materialized checks), so they are part of the key; the sorted
      deopt list makes the set canonical.  The promotion/deopt policy
